@@ -1,0 +1,69 @@
+"""§7.1.1 factor ablation: where TZ-LLM's TTFT win comes from.
+
+Starting from the strawman and enabling one mechanism at a time:
+NPU support (paper: up to -87.2% TTFT), framework-state checkpointing
+(up to -36.8% on what remains), and pipelined restoration (up to -40.6%
+on what remains).  Together they produce the headline 77-91% reduction.
+"""
+
+import pytest
+
+from repro import PipelineConfig
+from repro.analysis import render_table
+
+from _common import WorstCasePressure, bench_models, build_tzllm, once, warm
+
+STEPS = [
+    # name, kwargs
+    ("strawman", dict(use_npu=False, decode_use_npu=False, use_checkpoint=False,
+                      pipeline_config=PipelineConfig(pipelined=False))),
+    ("+NPU", dict(use_npu=True, decode_use_npu="auto", use_checkpoint=False,
+                  pipeline_config=PipelineConfig(pipelined=False))),
+    ("+checkpoint", dict(use_npu=True, decode_use_npu="auto", use_checkpoint=True,
+                         pipeline_config=PipelineConfig(pipelined=False))),
+    ("+pipeline (TZ-LLM)", dict(use_npu=True, decode_use_npu="auto", use_checkpoint=True,
+                                pipeline_config=PipelineConfig(pipelined=True))),
+]
+
+PROMPT = 512
+
+
+def run_ablation():
+    results = {}
+    for model in bench_models():
+        for step_name, kwargs in STEPS:
+            system = build_tzllm(model, **kwargs)
+            warm(system)
+            pressure = WorstCasePressure(system, model)
+            pressure.refresh()
+            results[(model.model_id, step_name)] = system.run_infer(PROMPT, 0).ttft
+            pressure.stop()
+    return results
+
+
+def test_ablation_feature_factors(benchmark):
+    results = once(benchmark, run_ablation)
+    models = bench_models()
+    rows = []
+    for model in models:
+        ttfts = [results[(model.model_id, name)] for name, _ in STEPS]
+        row = [model.display_name] + ["%.2f" % t for t in ttfts]
+        row.append("-%.1f%%" % ((1 - ttfts[-1] / ttfts[0]) * 100))
+        rows.append(row)
+    print()
+    print(render_table(
+        ["model"] + [name for name, _ in STEPS] + ["total"],
+        rows, title="§7.1.1 ablation: TTFT (s) at %d tokens, feature by feature" % PROMPT))
+
+    for model in models:
+        ttfts = [results[(model.model_id, name)] for name, _ in STEPS]
+        # Every step helps (checkpoint saves a fixed ~2.1 s; NPU and
+        # pipeline save big fractions).
+        for before, after in zip(ttfts, ttfts[1:]):
+            assert after < before
+        # NPU is the dominant factor at long prompts (paper: up to 87.2%).
+        npu_gain = 1 - ttfts[1] / ttfts[0]
+        assert npu_gain > 0.4
+        # The full stack lands in the headline band.
+        total_gain = 1 - ttfts[-1] / ttfts[0]
+        assert 0.7 < total_gain < 0.95

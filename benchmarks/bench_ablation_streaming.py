@@ -1,0 +1,59 @@
+"""Future-work ablation (§8): decode-time parameter streaming.
+
+The paper keeps all parameters resident during decoding and defers
+LLM-in-a-flash-style offloading to future work.  This bench implements
+the combination: keep a fraction of parameters resident, stream the rest
+from (encrypted) flash every token, double-buffered against computation —
+and maps the memory/speed trade-off that results.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.llm import TINYLLAMA
+
+from _common import build_tzllm, once, warm
+
+RESIDENCIES = (1.0, 0.75, 0.5, 0.25)
+DECODE_TOKENS = 12
+
+
+def run_streaming_ablation():
+    results = {}
+    for residency in RESIDENCIES:
+        system = build_tzllm(TINYLLAMA, decode_param_residency=residency)
+        warm(system)
+        record = system.run_infer(64, DECODE_TOKENS)
+        resident_bytes = int(system.ta.plan.total_alloc_bytes * residency)
+        results[residency] = (
+            record.decode_tokens_per_second,
+            resident_bytes,
+            record.streamed_bytes_per_token,
+        )
+    return results
+
+
+def test_ablation_decode_streaming(benchmark):
+    results = once(benchmark, run_streaming_ablation)
+    rows = [
+        ["%.0f%%" % (r * 100), "%.2f" % tps, "%.0f MB" % (mem / 1e6),
+         "%.0f MB" % (streamed / 1e6)]
+        for r, (tps, mem, streamed) in results.items()
+    ]
+    print()
+    print(render_table(
+        ["resident params", "decode tok/s", "resident memory", "streamed/token"],
+        rows, title="§8 extension: decode with parameter streaming (TinyLlama)"))
+
+    speeds = [results[r][0] for r in RESIDENCIES]
+    memories = [results[r][1] for r in RESIDENCIES]
+    # Less residency => less memory, monotonically slower decode.
+    assert memories == sorted(memories, reverse=True)
+    assert speeds == sorted(speeds, reverse=True)
+    # At full residency nothing streams; at 25% decode is flash-bound.
+    assert results[1.0][2] == 0
+    flash_bound = results[0.25][2] / 2.0e9
+    assert 1.0 / results[0.25][0] >= flash_bound * 0.9
+    # The trade is severe, as the paper implies by deferring it: quarter
+    # residency costs more than half the decode speed.
+    assert results[0.25][0] < 0.5 * results[1.0][0]

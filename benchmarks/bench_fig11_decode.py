@@ -1,0 +1,70 @@
+"""Figure 11: token-generation (decode) speed per model and system.
+
+Paper claims (C2): TZ-LLM decodes 0.9%~23.2% faster than the strawman
+(NPU in the TEE, limited by decode's single-token batches) and
+1.3%~4.9% slower than the REE baselines (co-driver communication),
+with the overhead shrinking as models grow.
+"""
+
+import pytest
+
+from repro.analysis import percent_change, render_table
+
+from _common import (
+    DECODE_PROMPT,
+    DECODE_TOKENS,
+    SYSTEM_BUILDERS,
+    bench_models,
+    once,
+    warm,
+)
+
+
+def run_fig11():
+    results = {}  # (model, system) -> tok/s
+    for model in bench_models():
+        for system_name, builder in SYSTEM_BUILDERS.items():
+            system = builder(model)
+            warm(system)
+            record = system.run_infer(DECODE_PROMPT, DECODE_TOKENS)
+            results[(model.model_id, system_name)] = record.decode_tokens_per_second
+    return results
+
+
+def test_fig11_decode_speed(benchmark):
+    results = once(benchmark, run_fig11)
+    models = bench_models()
+    rows = [
+        [model.display_name]
+        + ["%.2f" % results[(model.model_id, s)] for s in SYSTEM_BUILDERS]
+        for model in models
+    ]
+    print()
+    print(render_table(["model"] + list(SYSTEM_BUILDERS), rows,
+                       title="Figure 11: decode speed (tokens/s)"))
+
+    gains, overheads = {}, {}
+    for model in models:
+        tz = results[(model.model_id, "TZ-LLM")]
+        straw = results[(model.model_id, "Strawman")]
+        ree = results[(model.model_id, "REE-LLM-Memory")]
+        gains[model.model_id] = percent_change(tz, straw)
+        overheads[model.model_id] = percent_change(tz, ree)
+        print("%s: +%.1f%% vs strawman, %.1f%% vs REE"
+              % (model.display_name, gains[model.model_id], overheads[model.model_id]))
+
+    # C2 shape: a modest improvement over the strawman everywhere (the
+    # smallest model sits at ~0%: NPU launch latency and mid-decode KV
+    # extensions eat the bandwidth gain, exactly the paper's 0.9% story).
+    assert all(-2.0 <= g < 30.0 for g in gains.values())
+    # ...growing with model size (bandwidth-bound decode favours big
+    # matmuls; tiny ones lose the gain to launch latency).
+    ordered = [gains[m.model_id] for m in models]
+    assert ordered == sorted(ordered)
+    # Small slowdown vs REE from co-driver communication (paper <= 4.9%).
+    assert all(-8.0 < o <= 0.5 for o in overheads.values())
+    # REE-Memory and REE-Flash decode identically (paper shows one bar).
+    for model in models:
+        assert results[(model.model_id, "REE-LLM-Memory")] == pytest.approx(
+            results[(model.model_id, "REE-LLM-Flash")], rel=0.02
+        )

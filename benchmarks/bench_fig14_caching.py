@@ -1,0 +1,78 @@
+"""Figure 14: the effect of partial parameter caching (claim C3).
+
+Sweeping the cached parameter proportion from 0% to 100%: TTFT
+(normalized to the 0% point) falls approximately linearly up to a
+threshold, then flattens — beyond the threshold the remaining
+restoration already hides under computation.  The threshold grows with
+prompt length (more computation to hide under).
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core.caching import ThresholdProfiler
+
+from _common import WorstCasePressure, bench_models, build_tzllm, once, warm
+
+FRACTIONS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+PROMPTS = (32, 512)
+
+
+def run_fig14():
+    results = {}  # (model, T, fraction) -> ttft
+    for model in bench_models():
+        for fraction in FRACTIONS:
+            system = build_tzllm(model, cache_fraction=fraction)
+            warm(system)
+            system.run_infer(8, 0)  # establish the cache prefix
+            pressure = WorstCasePressure(system, model)
+            for T in PROMPTS:
+                pressure.refresh()
+                results[(model.model_id, T, fraction)] = system.run_infer(T, 0).ttft
+            pressure.stop()
+    return results
+
+
+def test_fig14_partial_parameter_caching(benchmark):
+    results = once(benchmark, run_fig14)
+    models = bench_models()
+    rows = []
+    for model in models:
+        for T in PROMPTS:
+            base = results[(model.model_id, T, 0.0)]
+            rows.append(
+                [model.display_name, T]
+                + ["%.2f" % (results[(model.model_id, T, f)] / base) for f in FRACTIONS]
+            )
+    print()
+    print(render_table(
+        ["model", "prompt"] + ["%d%%" % (f * 100) for f in FRACTIONS],
+        rows, title="Figure 14: normalized TTFT vs cached parameter proportion"))
+
+    profiler = ThresholdProfiler(tolerance=0.08)
+    for model in models:
+        for T in PROMPTS:
+            series = [results[(model.model_id, T, f)] for f in FRACTIONS]
+            # C3: monotone non-increasing in the cache proportion.
+            for earlier, later in zip(series, series[1:]):
+                assert later <= earlier * 1.01
+            knee = profiler.find_knee(list(zip(FRACTIONS, series)))
+            # A knee of 0.0 means the curve is already flat: caching buys
+            # nothing because restoration hides under compute.
+            assert 0.0 <= knee <= 1.0
+        # At short prompts restoration dominates TTFT, so caching it away
+        # is a big win; at long prompts it already hides under compute and
+        # the curve is nearly flat — exactly the Fig. 14 story.
+        short = [results[(model.model_id, 32, f)] for f in FRACTIONS]
+        long = [results[(model.model_id, 512, f)] for f in FRACTIONS]
+        assert short[-1] < 0.6 * short[0]
+        assert long[-1] > 0.55 * long[0]
+        # Longer prompts flatten earlier (more computation to hide
+        # restoration under) => knee(512) <= knee(32).
+        knee_short = profiler.find_knee(
+            [(f, results[(model.model_id, 32, f)]) for f in FRACTIONS]
+        )
+        knee_long = profiler.find_knee(
+            [(f, results[(model.model_id, 512, f)]) for f in FRACTIONS]
+        )
+        assert knee_long <= knee_short

@@ -1,0 +1,31 @@
+"""Benchmark-harness plumbing: persist every bench's printed figures.
+
+Each bench prints the rows/series of the paper figure it regenerates.
+This autouse fixture captures that output and writes it to
+``bench_results/<test>.txt``, so a plain ``pytest benchmarks/
+--benchmark-only`` run leaves the full set of regenerated tables on disk
+(add ``-s`` to stream them to the console instead).
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "bench_results")
+
+
+@pytest.fixture(autouse=True)
+def save_bench_output(request, capsys):
+    yield
+    try:
+        captured = capsys.readouterr()
+    except Exception:
+        return
+    if not captured.out.strip():
+        return
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, request.node.name + ".txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(captured.out)
+    # Re-emit so -s / -rA users still see it.
+    print(captured.out, end="")

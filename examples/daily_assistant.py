@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""A day in the life: adaptive parameter caching under shifting pressure.
+
+The deployed mechanism of §4.1: after each inference the TA keeps as many
+parameters cached as the REE's memory pressure allows
+(:class:`PressureCachePolicy`), releasing in reverse topological order.
+This example replays a request trace while background apps open and close
+(pressure phases); watch the cache grow when memory is free (fast TTFT)
+and shrink when apps need the RAM (slower TTFT, but the phone stays
+usable).
+
+Run:  python examples/daily_assistant.py
+"""
+
+from repro import TINYLLAMA, TZLLM
+from repro.analysis import render_table
+from repro.config import GiB
+from repro.core.caching import PressureCachePolicy
+from repro.workloads import MemoryStress
+from repro.workloads.traces import generate_pressure_phases, generate_trace
+
+HORIZON = 1800.0  # half an hour, simulated
+
+
+def main() -> None:
+    system = TZLLM(TINYLLAMA)
+    system.ta.cache_policy = PressureCachePolicy(headroom_bytes=4 * GiB)
+    system.run_infer(8, 0)  # cold start
+
+    trace = generate_trace(HORIZON, rate_per_hour=40, seed=3)
+    phases = generate_pressure_phases(
+        HORIZON, low_bytes=2 * GiB, high_bytes=10 * GiB, period=400.0, seed=3
+    )
+    print("Trace: %d requests, %d pressure phases over %.0f simulated minutes"
+          % (len(trace), len(phases), HORIZON / 60))
+
+    sim = system.sim
+    rows = []
+
+    def driver():
+        stress = None
+        phase_index = 0
+        for event in trace:
+            # Advance background pressure phases up to this arrival.
+            while phase_index < len(phases) and phases[phase_index].start <= event.at:
+                if stress is not None:
+                    stress.stop()
+                stress = MemoryStress(system.stack.kernel, phases[phase_index].pressure_bytes)
+                stress.start()
+                phase = phases[phase_index]
+                phase_index += 1
+            if sim.now < event.at:
+                yield sim.timeout(event.at - sim.now)
+            cached_before = system.ta.params_region.protected
+            record = yield from system.infer(event.prompt_tokens, min(event.output_tokens, 16))
+            rows.append(
+                [
+                    "%5.0fs" % event.at,
+                    event.kind,
+                    event.prompt_tokens,
+                    "%.2f" % record.ttft,
+                    "%.0f MB" % (cached_before / 1e6),
+                    "%.0f MB" % (system.ta.params_region.protected / 1e6),
+                    "%.1f GB" % ((system.stack.kernel.used_bytes) / 1e9),
+                ]
+            )
+        if stress is not None:
+            stress.stop()
+
+    proc = sim.process(driver())
+    sim.run_until(proc)
+
+    print()
+    print(render_table(
+        ["arrival", "workload", "prompt", "TTFT (s)",
+         "cache before", "cache after", "RAM in use"],
+        rows[:18] + ([["...", "", "", "", "", "", ""]] if len(rows) > 18 else []),
+        title="Adaptive caching under shifting memory pressure",
+    ))
+
+    cached_sizes = [float(r[5].split()[0]) for r in rows]
+    print()
+    print("Cache size ranged %.0f–%.0f MB as pressure phases alternated;"
+          % (min(cached_sizes), max(cached_sizes)))
+    print("warm-cache TTFTs: best %.2fs, cold-equivalent worst %.2fs."
+          % (min(float(r[3]) for r in rows), max(float(r[3]) for r in rows)))
+
+
+if __name__ == "__main__":
+    main()

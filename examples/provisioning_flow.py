@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Factory to first token: the full model-provisioning story.
+
+The paper assumes the wrapped model key is on flash (§6); this example
+shows how it gets there and what stops a jailbroken device:
+
+  factory  — the manufacturer enrolls the device's attestation key;
+  boot     — the measured chain (BL2 → TEE OS) establishes integrity;
+  field    — the provider challenges the device, verifies the quote, and
+             releases its model key wrapped to that device only;
+  runtime  — the key unwraps inside the TEE and inference runs under
+             full TrustZone protection.
+
+A second device with a modified TEE OS walks the same protocol and is
+refused at the quote check.
+
+Run:  python examples/provisioning_flow.py
+"""
+
+from repro import TINYLLAMA, TZLLM
+from repro.crypto import derive_key
+from repro.errors import SecurityViolation
+from repro.tee.attestation import (
+    AttestationService,
+    DeviceAttestor,
+    ModelProvider,
+    device_unwrap_provisioned_key,
+)
+from repro.tee.boot import BootChain, BootImage
+
+MODEL_KEY = derive_key(b"model-provider-secret", TINYLLAMA.model_id)
+
+
+def boot_device(seed: bytes, tee_os_code: bytes):
+    from repro.crypto import HardwareKeyStore
+
+    keystore = HardwareKeyStore(seed)
+    stages = BootChain.sign_chain(
+        [BootImage("bl2", b"bl2-v1.0"), BootImage("tee-os", tee_os_code)]
+    )
+    chain = BootChain(rom_digest=stages[0].digest)
+    chain.boot(stages)
+    return keystore, chain
+
+
+def main() -> None:
+    service = AttestationService()
+
+    print("== factory ==")
+    good_keystore, good_chain = boot_device(b"device-good", b"tee-os-v1.0")
+    service.enroll_device("device-good", good_keystore)
+    evil_keystore, evil_chain = boot_device(b"device-evil", b"tee-os-JAILBROKEN")
+    service.enroll_device("device-evil", evil_keystore)
+    print("enrolled: device-good, device-evil")
+
+    provider = ModelProvider(service, good_chain.measurements, TINYLLAMA.model_id, MODEL_KEY)
+
+    print("\n== field: honest device ==")
+    attestor = DeviceAttestor("device-good", good_keystore, good_chain)
+    quote = attestor.quote(provider.challenge())
+    wrapped = provider.provision(quote)
+    key = device_unwrap_provisioned_key(good_keystore, wrapped, TINYLLAMA.model_id)
+    assert key == MODEL_KEY
+    print("quote verified; model key provisioned and unwrapped in the TEE")
+
+    print("\n== field: jailbroken device ==")
+    evil_attestor = DeviceAttestor("device-evil", evil_keystore, evil_chain)
+    try:
+        provider.provision(evil_attestor.quote(provider.challenge()))
+        raise SystemExit("BUG: jailbroken device got the key!")
+    except SecurityViolation as exc:
+        print("provider refused: %s" % exc)
+
+    print("\n== runtime: first inference on the provisioned device ==")
+    system = TZLLM(TINYLLAMA)
+    system.run_infer(8, 0)
+    record = system.run_infer(48, 12)
+    reply = system.ta.tokenizer.decode(record.decode.token_ids)
+    print("TTFT %.2f s, %d tokens decoded at %.1f tok/s" % (
+        record.ttft, len(record.decode.token_ids), record.decode_tokens_per_second))
+    print("first words: %s ..." % " ".join(reply.split()[:6]))
+    print("\nprovisioned devices: %s; rejections: %d" % (
+        sorted(provider.provisioned), provider.rejections))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""TZ-LLM reproduction: protecting on-device LLMs with Arm TrustZone.
+
+A functional, discrete-event-simulated reproduction of *TZ-LLM:
+Protecting On-Device Large Language Models with Arm TrustZone*
+(EUROSYS 2026).  See DESIGN.md for the system inventory and README.md for
+a tour.
+
+Quick start::
+
+    from repro import TZLLM, TINYLLAMA
+
+    system = TZLLM(TINYLLAMA)
+    system.run_infer(8)                 # first request: cold init + checkpoint
+    record = system.run_infer(128, 16)  # measured request
+    print(record.ttft, record.decode_tokens_per_second)
+
+Sub-packages: :mod:`repro.sim` (discrete-event engine), :mod:`repro.hw`
+(TrustZone hardware), :mod:`repro.crypto`, :mod:`repro.ree` /
+:mod:`repro.tee` (the two OS worlds), :mod:`repro.llm` (inference
+substrate), :mod:`repro.core` (the paper's contribution),
+:mod:`repro.workloads`, and :mod:`repro.analysis`.
+"""
+
+from .config import RK3588, PlatformSpec
+from .core import (
+    PAPER_PRESSURE,
+    REELLM,
+    TZLLM,
+    InferenceRecord,
+    PipelineConfig,
+    strawman,
+)
+from .llm import LLAMA3_8B, MODELS, PHI3_MINI, QWEN25_3B, TINYLLAMA, ModelSpec, get_model
+from .stack import Stack, build_stack
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "InferenceRecord",
+    "LLAMA3_8B",
+    "MODELS",
+    "ModelSpec",
+    "PAPER_PRESSURE",
+    "PHI3_MINI",
+    "PipelineConfig",
+    "PlatformSpec",
+    "QWEN25_3B",
+    "REELLM",
+    "RK3588",
+    "Stack",
+    "TINYLLAMA",
+    "TZLLM",
+    "build_stack",
+    "get_model",
+    "strawman",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Measurement and reporting helpers for the benchmark harness."""
+
+from .loc import PAPER_LOC, count_package_loc
+from .metrics import geomean, mean, percent_change, reduction, speedup
+from .tables import render_bars, render_table
+
+__all__ = [
+    "PAPER_LOC",
+    "count_package_loc",
+    "geomean",
+    "mean",
+    "percent_change",
+    "reduction",
+    "render_bars",
+    "render_table",
+    "speedup",
+]

@@ -1,0 +1,49 @@
+"""Small statistics helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["geomean", "mean", "percent_change", "speedup", "reduction"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (errors on empty input)."""
+    values = list(values)
+    if not values:
+        raise ConfigurationError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (how the paper averages ratios)."""
+    values = list(values)
+    if not values:
+        raise ConfigurationError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ConfigurationError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def percent_change(new: float, old: float) -> float:
+    """(new - old) / old, in percent.  Positive = ``new`` is larger."""
+    if old == 0:
+        raise ConfigurationError("percent change from zero")
+    return (new - old) / old * 100.0
+
+
+def speedup(old: float, new: float) -> float:
+    """old/new: how many times faster ``new`` is."""
+    if new == 0:
+        raise ConfigurationError("speedup to zero time")
+    return old / new
+
+
+def reduction(old: float, new: float) -> float:
+    """How much ``new`` shrank relative to ``old``, in percent."""
+    if old == 0:
+        raise ConfigurationError("reduction from zero")
+    return (old - new) / old * 100.0

@@ -1,0 +1,56 @@
+"""Plain-text rendering for benchmark output: tables and bar series.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep the output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["render_table", "render_bars"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal ASCII bars (one figure series)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top = max(values) if values else 1.0
+    top = top if top > 0 else 1.0
+    label_w = max((len(l) for l in labels), default=0)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(value / top * width))) if value > 0 else ""
+        lines.append("%s | %s %.4g%s" % (label.ljust(label_w), bar.ljust(width), value, unit))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return "%.4g" % cell
+    return str(cell)

@@ -1,0 +1,53 @@
+"""TZ-LLM proper: pipelined restoration, secure memory, co-driver systems.
+
+The paper's contribution lives here: restoration planning
+(:mod:`repro.core.restore_graph`), the pipelined prefill executor
+(:mod:`repro.core.pipeline`), restoration backends
+(:mod:`repro.core.backends`), caching policies
+(:mod:`repro.core.caching`), the LLM TA (:mod:`repro.core.llm_ta`), and
+the end-to-end evaluated systems (:mod:`repro.core.system`).
+"""
+
+from .backends import REERestoreBackend, RestoreBackend, TEERestoreBackend
+from .client import ChatReply, ClientApp, ClientSession
+from .caching import (
+    CachePolicy,
+    FractionCachePolicy,
+    PressureCachePolicy,
+    ThresholdProfiler,
+)
+from .llm_ta import InferenceRecord, LLMTA
+from .multi import TZLLMMulti
+from .obfuscation import apply_size_obfuscation, quantize_duration
+from .pipeline import PipelineConfig, PipelineMetrics, PrefillPipeline
+from .restore_graph import RestorationPlan, RestoreGroup, build_restoration_plan
+from .system import PAPER_PRESSURE, REELLM, TZLLM, provision_model, strawman
+
+__all__ = [
+    "CachePolicy",
+    "ChatReply",
+    "ClientApp",
+    "ClientSession",
+    "FractionCachePolicy",
+    "InferenceRecord",
+    "LLMTA",
+    "PAPER_PRESSURE",
+    "PipelineConfig",
+    "PipelineMetrics",
+    "PrefillPipeline",
+    "PressureCachePolicy",
+    "REELLM",
+    "REERestoreBackend",
+    "RestorationPlan",
+    "RestoreBackend",
+    "RestoreGroup",
+    "TEERestoreBackend",
+    "ThresholdProfiler",
+    "TZLLM",
+    "TZLLMMulti",
+    "apply_size_obfuscation",
+    "build_restoration_plan",
+    "quantize_duration",
+    "provision_model",
+    "strawman",
+]

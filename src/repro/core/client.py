@@ -1,0 +1,127 @@
+"""Client application (CA) API: text in, text out, sessions, queueing.
+
+The REE-facing surface of the system: applications open a session to the
+LLM TA, submit *text* prompts (tokenized with the model's tokenizer) and
+receive decoded text plus the inference record.  The TA serves one
+request at a time — concurrent submissions queue in arrival order, as
+the single-TA deployment of the paper would behave — and per-session
+statistics aggregate the records.
+
+This is also where the shadow-thread activation cost is charged: each
+request enters the TEE through one CA→TA invocation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from ..sim import Event, Resource
+from .llm_ta import InferenceRecord
+from .system import TZLLM
+
+__all__ = ["ChatReply", "ClientSession", "ClientApp"]
+
+
+@dataclass
+class ChatReply:
+    session_id: int
+    request_id: int
+    text: str
+    record: InferenceRecord
+
+    @property
+    def ttft(self) -> float:
+        return self.record.ttft
+
+    @property
+    def tokens_per_second(self) -> float:
+        return self.record.decode_tokens_per_second
+
+
+class ClientSession:
+    """One application's session with the LLM TA."""
+
+    def __init__(self, app: "ClientApp", session_id: int):
+        self.app = app
+        self.session_id = session_id
+        self.replies: List[ChatReply] = []
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    def ask(self, prompt_text: str, max_new_tokens: int = 32):
+        """Submit a prompt (generator; returns a :class:`ChatReply`)."""
+        if self.closed:
+            raise ConfigurationError("session %d is closed" % self.session_id)
+        reply = yield from self.app._submit(self, prompt_text, max_new_tokens)
+        return reply
+
+    def ask_blocking(self, prompt_text: str, max_new_tokens: int = 32) -> ChatReply:
+        """Convenience wrapper that drives the simulator to completion."""
+        proc = self.app.system.sim.process(self.ask(prompt_text, max_new_tokens))
+        return self.app.system.sim.run_until(proc)
+
+    def close(self) -> None:
+        self.closed = True
+
+    # ------------------------------------------------------------------
+    @property
+    def total_tokens_generated(self) -> int:
+        return sum(len(r.record.decode.token_ids) for r in self.replies if r.record.decode)
+
+    @property
+    def mean_ttft(self) -> float:
+        if not self.replies:
+            return 0.0
+        return sum(r.ttft for r in self.replies) / len(self.replies)
+
+
+class ClientApp:
+    """The client application: owns sessions and the TA request queue."""
+
+    def __init__(self, system: TZLLM):
+        self.system = system
+        self.sim = system.sim
+        self._session_ids = itertools.count(1)
+        self._request_ids = itertools.count(1)
+        #: one request in the TEE at a time (single LLM TA instance).
+        self._ta_lock = Resource(self.sim, capacity=1, name="llm-ta-queue")
+        self.sessions: List[ClientSession] = []
+        self.requests_served = 0
+        self.queue_wait_time = 0.0
+
+    def open_session(self) -> ClientSession:
+        session = ClientSession(self, next(self._session_ids))
+        self.sessions.append(session)
+        return session
+
+    @property
+    def queue_depth(self) -> int:
+        return self._ta_lock.queued
+
+    def _submit(self, session: ClientSession, prompt_text: str, max_new_tokens: int):
+        if max_new_tokens < 0:
+            raise ConfigurationError("max_new_tokens must be non-negative")
+        tokenizer = self.system.ta.tokenizer
+        prompt_tokens = tokenizer.encode(prompt_text)
+        request_id = next(self._request_ids)
+        enqueued_at = self.sim.now
+        grant = self._ta_lock.request()
+        yield grant
+        self.queue_wait_time += self.sim.now - enqueued_at
+        try:
+            record = yield from self.system.infer(len(prompt_tokens), max_new_tokens)
+        finally:
+            self._ta_lock.release(grant)
+        text = tokenizer.decode(record.decode.token_ids) if record.decode else ""
+        reply = ChatReply(
+            session_id=session.session_id,
+            request_id=request_id,
+            text=text,
+            record=record,
+        )
+        session.replies.append(reply)
+        self.requests_served += 1
+        return reply

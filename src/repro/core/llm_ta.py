@@ -1,0 +1,434 @@
+"""The LLM trusted application: llama.cpp as a TA (§3.2, §5).
+
+One TA instance owns two secure regions (§4.2):
+
+* ``<model>:params`` — LLM parameters, grown by pipelined restoration in
+  topological order, shrunk in reverse order after inference (partial
+  parameter caching keeps a prefix resident);
+* ``<model>:data`` — KV cache, activations, and NPU job execution
+  contexts, allocated at inference start and fully released at the end.
+
+An inference request runs: framework init (checkpoint restore, or cold
+init on the first request) → KV/activation region setup → pipelined
+prefill → decode loop with secure NPU jobs → data-region release and
+cache-policy-driven parameter release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..config import PlatformSpec
+from ..errors import ConfigurationError
+from ..hw.common import AddrRange
+from ..llm.checkpoint import cold_init, restore_checkpoint, save_checkpoint
+from ..llm.gguf import ModelContainer, container_path
+from ..llm.graph import build_prefill_graph
+from ..llm.kv_cache import KVCache
+from ..llm.models import ModelSpec
+from ..llm.runtime import (
+    DecodeResult,
+    GraphExecutor,
+    NPUBackend,
+    TEECoDriverNPUBackend,
+    decode_tokens,
+)
+from ..llm.tokenizer import Tokenizer
+from ..sim import Resource
+from ..stack import Stack
+from ..tee.secure_memory import SecureRegion
+from ..tee.ta import TrustedApplication
+from .backends import TEERestoreBackend
+from .caching import CachePolicy, FractionCachePolicy
+from .pipeline import PipelineConfig, PipelineMetrics, PrefillPipeline
+from .restore_graph import RestorationPlan, build_restoration_plan
+
+__all__ = ["InferenceRecord", "LLMTA"]
+
+
+@dataclass
+class InferenceRecord:
+    """What one inference request measured."""
+
+    prompt_tokens: int
+    output_tokens: int
+    started_at: float
+    ttft: float = 0.0
+    init_time: float = 0.0
+    data_setup_time: float = 0.0
+    pipeline: Optional[PipelineMetrics] = None
+    decode: Optional[DecodeResult] = None
+    cached_groups: int = 0
+    cached_bytes: int = 0
+    release_time: float = 0.0
+    world_switch_time: float = 0.0
+    smc_count: int = 0
+    #: number of mid-decode KV-region extensions (§4.2 growth).
+    kv_growth_extends: int = 0
+    #: §8 streaming-decode extension: bytes streamed per token and the
+    #: number of prefetch sweeps issued.
+    streamed_bytes_per_token: int = 0
+    stream_sweeps: int = 0
+
+    @property
+    def decode_tokens_per_second(self) -> float:
+        return self.decode.tokens_per_second if self.decode else 0.0
+
+
+class LLMTA(TrustedApplication):
+    """The inference framework running as a TA (llama.cpp's role)."""
+
+    def __init__(
+        self,
+        stack: Stack,
+        model: ModelSpec,
+        container: ModelContainer,
+        max_tokens: int = 1024,
+        use_checkpoint: bool = True,
+        use_npu: Union[bool, str] = True,
+        decode_use_npu: Union[bool, str] = "auto",
+        pipeline_config: Optional[PipelineConfig] = None,
+        cache_policy: Optional[CachePolicy] = None,
+        size_obfuscation=None,
+        npu_duration_quantum: float = 0.0,
+        decode_param_residency: float = 1.0,
+    ):
+        super().__init__("llm-ta:" + model.model_id)
+        #: §6 mitigations: None = off, "uniform" = pad groups to the
+        #: largest, int = pad to that quantum; and the secure-job timing
+        #: quantum (0 = off).
+        self.size_obfuscation = size_obfuscation
+        self.npu_duration_quantum = npu_duration_quantum
+        #: §8 future-work extension (parameter offloading a la
+        #: LLM-in-a-flash): fraction of parameter bytes kept resident
+        #: during *decoding*; the rest streams from flash every token,
+        #: double-buffered against computation.  1.0 = the paper's
+        #: deployed behaviour (everything resident while decoding).
+        if not 0.0 < decode_param_residency <= 1.0:
+            raise ConfigurationError("decode_param_residency must be in (0, 1]")
+        self.decode_param_residency = decode_param_residency
+        #: opt-in pipeline tracer (see :mod:`repro.sim.trace`).
+        from ..sim.trace import NULL_TRACER
+
+        self.tracer = NULL_TRACER
+        self.stack = stack
+        self.sim = stack.sim
+        self.platform: PlatformSpec = stack.spec
+        self.model = model
+        self.container = container
+        self.file_path = container_path(model.model_id)
+        self.max_tokens = max_tokens
+        self.use_checkpoint = use_checkpoint
+        self.use_npu = use_npu
+        self.decode_use_npu = decode_use_npu
+        self.pipeline_config = pipeline_config or PipelineConfig()
+        self.cache_policy = cache_policy or FractionCachePolicy(0.0)
+        self.tokenizer = Tokenizer(model.model_id, model.vocab)
+        #: the aggregate big-cluster CPU row for decode-phase execution.
+        self.cpu = Resource(stack.sim, capacity=1, priority=True, name="ta-cpu")
+        self._initialized = False
+        self._checkpoint_saved = False
+        self.records: List[InferenceRecord] = []
+        # Regions, plan and backend are wired by setup().
+        self.plan: Optional[RestorationPlan] = None
+        self.params_region: Optional[SecureRegion] = None
+        self.data_region: Optional[SecureRegion] = None
+        self.backend: Optional[TEERestoreBackend] = None
+        self.model_key: Optional[bytes] = None
+        self._npu_backend: Optional[NPUBackend] = None
+
+    # ------------------------------------------------------------------
+    # one-time setup (TA install + secure regions + key unwrap)
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        stack = self.stack
+        tee_os = stack.tee_os
+        tee_os.install_ta(self)
+        granule = stack.kernel.db.granule
+        planning_graph = build_prefill_graph(self.model, self.container.tensors, 1, use_npu=False)
+        self.plan = build_restoration_plan(planning_graph, granule)
+        if self.size_obfuscation is not None:
+            from .obfuscation import apply_size_obfuscation
+
+            quantum = None if self.size_obfuscation == "uniform" else int(self.size_obfuscation)
+            apply_size_obfuscation(self.plan, quantum)
+
+        params_cma = stack.kernel.cma_regions[self._region_name("params")]
+        if params_cma.size_bytes < self.plan.total_alloc_bytes:
+            raise ConfigurationError(
+                "params CMA region too small: %d < %d"
+                % (params_cma.size_bytes, self.plan.total_alloc_bytes)
+            )
+        self.params_region = tee_os.create_secure_region(
+            self,
+            self._region_name("params"),
+            self._region_name("params"),
+            params_cma.base_addr,
+            params_cma.size_bytes,
+            granule,
+        )
+        data_cma = stack.kernel.cma_regions[self._region_name("data")]
+        self.data_region = tee_os.create_secure_region(
+            self,
+            self._region_name("data"),
+            self._region_name("data"),
+            data_cma.base_addr,
+            data_cma.size_bytes,
+            granule,
+        )
+        # The NPU may access exactly the two job-context regions (§4.3).
+        stack.tee_npu.allowed_slots = [
+            self.params_region.tzasc_slot,
+            self.data_region.tzasc_slot,
+        ]
+        self.model_key = tee_os.unwrap_key_for(
+            self, self.container.wrapped_key, self.model.model_id
+        )
+        self.backend = TEERestoreBackend(
+            self.sim,
+            self.platform,
+            self.params_region,
+            stack.tz_driver,
+            self.container,
+            self.file_path,
+            self.model_key,
+        )
+
+    def _region_name(self, kind: str) -> str:
+        return "%s:%s" % (self.model.model_id, kind)
+
+    @staticmethod
+    def cma_requirements(
+        model: ModelSpec,
+        container: ModelContainer,
+        granule: int,
+        max_tokens: int,
+        size_obfuscation=None,
+    ):
+        """(params_bytes, data_bytes) the kernel must reserve at boot."""
+        planning_graph = build_prefill_graph(model, container.tensors, 1, use_npu=False)
+        plan = build_restoration_plan(planning_graph, granule)
+        if size_obfuscation is not None:
+            from .obfuscation import apply_size_obfuscation
+
+            quantum = None if size_obfuscation == "uniform" else int(size_obfuscation)
+            apply_size_obfuscation(plan, quantum)
+        data = model.kv_bytes(max_tokens) + model.activation_bytes(max_tokens) + 4096
+        data = -(-data // granule) * granule
+        return plan.total_alloc_bytes, data
+
+    # ------------------------------------------------------------------
+    # cache state
+    # ------------------------------------------------------------------
+    @property
+    def cached_groups(self) -> int:
+        if self.plan is None or self.params_region is None:
+            return 0
+        return self.plan.groups_for_bytes(self.params_region.protected)
+
+    # ------------------------------------------------------------------
+    # the inference entry point
+    # ------------------------------------------------------------------
+    def infer(self, prompt_tokens: int, output_tokens: int = 0):
+        """Serve one inference request (generator; returns the record)."""
+        if self.plan is None:
+            raise ConfigurationError("setup() was not called")
+        if prompt_tokens + output_tokens > self.max_tokens:
+            raise ConfigurationError("request exceeds max_tokens")
+        sim = self.sim
+        record = InferenceRecord(
+            prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens,
+            started_at=sim.now,
+            cached_groups=self.cached_groups,
+            cached_bytes=self.params_region.protected,
+        )
+        switch_t0 = self.stack.tee_npu.world_switch_time
+        smc0 = self.stack.board.monitor.smc_count
+
+        # --- framework init -------------------------------------------------
+        t0 = sim.now
+        yield from self._init_framework()
+        record.init_time = sim.now - t0
+
+        # --- KV cache + activations (second TZASC region, §4.2) -------------
+        # The region starts sized for the prompt's KV plus the fixed
+        # buffers; it *grows during decoding* as tokens are generated and
+        # is fully released afterwards (the Fig. 7b data-region pattern).
+        t0 = sim.now
+        granule = self.data_region.granule
+        fixed_bytes = self.model.activation_bytes(max(prompt_tokens, 1)) + 4096
+        data_bytes = fixed_bytes + self.model.kv_bytes(prompt_tokens)
+        data_bytes = -(-data_bytes // granule) * granule
+        yield from self.data_region.extend_allocated(data_bytes, threads=4)
+        yield from self.data_region.extend_protected(data_bytes)
+        yield sim.timeout(self.platform.timing.kv_activation_alloc)
+        record.data_setup_time = sim.now - t0
+        act_bytes = self.model.activation_bytes(max(prompt_tokens, 1))
+        ctx = AddrRange(self.data_region.base_addr + act_bytes, 4096)
+        self._npu_backend = TEECoDriverNPUBackend(
+            self.stack.tee_npu, ctx, duration_quantum=self.npu_duration_quantum
+        )
+
+        def grow_kv(kv):
+            """Extend the data region as the KV cache outgrows it."""
+            needed = fixed_bytes + self.model.kv_bytes(kv.tokens + 1)
+            if needed > self.data_region.allocated:
+                delta = -(-(needed - self.data_region.allocated) // granule) * granule
+                yield from self.data_region.extend_allocated(delta, threads=1)
+                yield from self.data_region.extend_protected(delta)
+                record.kv_growth_extends += 1
+
+        # --- pipelined prefill ----------------------------------------------
+        graph = build_prefill_graph(
+            self.model,
+            self.container.tensors,
+            prompt_tokens,
+            use_npu=self.use_npu,
+            platform=self.platform,
+        )
+        pipeline = PrefillPipeline(
+            sim,
+            self.platform,
+            graph,
+            self.plan,
+            self.backend,
+            self._npu_backend,
+            cached_groups=record.cached_groups,
+            config=self.pipeline_config,
+            tracer=self.tracer,
+        )
+        try:
+            record.pipeline = yield from pipeline.run()
+            record.ttft = sim.now - record.started_at
+
+            # --- decode -------------------------------------------------------
+            if output_tokens > 0:
+                executor = GraphExecutor(sim, self.platform, self.cpu, self._npu_backend)
+                kv = KVCache(self.model, self.max_tokens)
+                kv.init_prompt(prompt_tokens)
+                hook = grow_kv
+                if self.decode_param_residency < 1.0:
+                    hook = yield from self._enter_streaming_decode(record, grow_kv)
+                record.decode = yield from decode_tokens(
+                    executor,
+                    self.model,
+                    self.container.tensors,
+                    kv,
+                    output_tokens,
+                    use_npu=self.decode_use_npu,
+                    grow_hook=hook,
+                )
+        except Exception:
+            # Failed restoration (I/O error, Iago detection): release all
+            # transient memory so the TA stays serviceable, then surface
+            # the error to the CA.
+            yield from self._recover()
+            raise
+
+        # --- release ----------------------------------------------------------
+        t0 = sim.now
+        yield from self.data_region.shrink_all()
+        keep_bytes = self.cache_policy.bytes_to_keep(self)
+        keep_groups = self.plan.groups_for_bytes(keep_bytes)
+        keep = self.plan.cached_prefix_bytes(keep_groups)
+        yield from self.backend.release_to(keep)
+        record.release_time = sim.now - t0
+
+        record.world_switch_time = self.stack.tee_npu.world_switch_time - switch_t0
+        record.smc_count = self.stack.board.monitor.smc_count - smc0
+        self.records.append(record)
+        return record
+
+    def _enter_streaming_decode(self, record: "InferenceRecord", grow_kv):
+        """Shrink parameter memory to the residency target and return a
+        per-token hook that streams + decrypts the evicted suffix,
+        double-buffered against the current token's computation
+        (generator; the §8 offloading extension)."""
+        sim = self.sim
+        plan = self.plan
+        target = int(plan.total_alloc_bytes * self.decode_param_residency)
+        keep_groups = plan.groups_for_bytes(target)
+        keep_bytes = plan.cached_prefix_bytes(keep_groups)
+        streamed_nominal = sum(
+            g.nominal_bytes for g in plan.groups[keep_groups:]
+        )
+        t0 = sim.now
+        yield from self.backend.release_to(keep_bytes)
+        record.release_time += sim.now - t0
+        record.streamed_bytes_per_token = streamed_nominal
+        fs = self.stack.kernel.fs
+        decrypt_seconds = self.backend.decrypt_duration(streamed_nominal, 4)
+
+        def stream_once():
+            # Flash I/O for the evicted suffix (one sweep), then decrypt.
+            yield from fs.read(self.file_path, 0, 0, nominal=streamed_nominal)
+            request = self.cpu.request()
+            yield request
+            try:
+                yield sim.timeout(decrypt_seconds)
+            finally:
+                self.cpu.release(request)
+
+        state = {"pending": None}
+
+        def streaming_hook(kv):
+            yield from grow_kv(kv)
+            if streamed_nominal == 0:
+                return
+            # This token needs its sweep complete before computing: the
+            # first token fetches synchronously; later tokens wait on the
+            # prefetch issued during the previous token.
+            if state["pending"] is None:
+                yield sim.process(stream_once(), name="decode-stream")
+            else:
+                yield state["pending"]
+            # Prefetch the next token's sweep so it overlaps computation.
+            state["pending"] = sim.process(stream_once(), name="decode-stream")
+            record.stream_sweeps += 1
+
+        return streaming_hook
+
+    def _recover(self):
+        """Error-path cleanup (generator): drop the data region and all
+        parameter memory.  A failed restoration may have protected a
+        group whose decryption never ran, so no prefix can be trusted as
+        plaintext cache — release everything and start clean."""
+        yield from self.data_region.shrink_all()
+        yield from self.params_region.release_unprotected_tail()
+        yield from self.backend.release_to(0)
+
+    def _init_framework(self):
+        timing = self.platform.timing
+        fs = self.stack.kernel.fs
+        if self.use_checkpoint:
+            if not self._checkpoint_saved:
+                # First-ever start: cold init, then persist the state.
+                yield from cold_init(self.sim, timing)
+                yield from save_checkpoint(
+                    self.sim,
+                    timing,
+                    fs,
+                    self.model.model_id,
+                    self.model_key,
+                    len(self.container.tensors),
+                )
+                self._checkpoint_saved = True
+            else:
+                yield from restore_checkpoint(
+                    self.sim, timing, fs, self.model.model_id, self.model_key
+                )
+        else:
+            yield from cold_init(self.sim, timing)
+        self._initialized = True
+
+    # ------------------------------------------------------------------
+    # memory-pressure interface (the REE may ask for memory back, §4.1)
+    # ------------------------------------------------------------------
+    def revoke_cache(self, target_bytes: int):
+        """Shrink the cached parameter prefix to ``target_bytes``
+        (generator; called on REE memory pressure)."""
+        groups = self.plan.groups_for_bytes(target_bytes)
+        keep = self.plan.cached_prefix_bytes(groups)
+        yield from self.backend.release_to(keep)

@@ -1,0 +1,375 @@
+"""Pipelined parameter restoration (§4.1): the prefill executor.
+
+Hardware rows, as in Fig. 5: the **CPU** (the big cluster, one worker that
+runs computation, allocation and decryption operators), the **I/O engine**
+(flash loads, issued in topological order), and the **NPU** (matmul jobs
+through whatever backend the system wired in).
+
+Scheduling implements the paper's greedy, priority-based, preemptive
+policy:
+
+* a ready CPU *computation* operator always wins (it is on the critical
+  chain);
+* otherwise the restoration operator belonging to the earliest
+  computation operator runs — a ready decryption (its group is already
+  loaded, so its compute op is earliest) before an allocation;
+* allocation and decryption are split into micro-operators
+  (``slice_bytes``); between micro-ops the worker checks for a newly
+  ready computation operator and yields to it (preemption, Fig. 5d) —
+  disable with ``preemptive=False`` for the Fig. 13 ablation, or set
+  ``pipelined=False`` for the strawman's sequential restore-then-compute.
+
+Partial parameter caching (§4.1/Fig. 14): ``cached_groups`` leading
+groups are assumed resident (allocated, protected, decrypted) from a
+previous inference; their restoration operators vanish and computation
+starts immediately.
+
+The run returns :class:`PipelineMetrics`, including the three critical-
+path totals of §7.2.1 whose maximum lower-bounds any schedule (Fig. 12).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..config import MiB, PlatformSpec
+from ..errors import ConfigurationError
+from ..llm.graph import ComputationGraph
+from ..llm.ops import Engine, op_duration
+from ..llm.runtime import NPUBackend
+from ..sim import Event, Simulator
+from ..sim.trace import NULL_TRACER
+from .backends import RestoreBackend
+from .restore_graph import RestorationPlan
+
+__all__ = ["PipelineConfig", "PipelineMetrics", "PrefillPipeline"]
+
+
+@dataclass
+class PipelineConfig:
+    pipelined: bool = True
+    preemptive: bool = True
+    slice_bytes: int = 32 * MiB
+    #: the prototype migrates CMA pages on one thread (the paper measures
+    #: 1.9 GB/s single-thread; multi-threading is the §2.4.2 option).
+    alloc_threads: int = 1
+    decrypt_threads: int = 4
+
+    def __post_init__(self):
+        if self.slice_bytes <= 0:
+            raise ConfigurationError("slice_bytes must be positive")
+
+
+@dataclass
+class PipelineMetrics:
+    ttft: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    # critical-path totals (§7.2.1)
+    io_time: float = 0.0
+    alloc_time: float = 0.0
+    decrypt_time: float = 0.0
+    cpu_compute_time: float = 0.0
+    npu_compute_time: float = 0.0
+    # bookkeeping
+    loaded_bytes: int = 0
+    preemptions: int = 0
+    cpu_idle_time: float = 0.0
+
+    @property
+    def cpu_path(self) -> float:
+        """All CPU-row work: compute + allocation + decryption."""
+        return self.cpu_compute_time + self.alloc_time + self.decrypt_time
+
+    @property
+    def computation_path(self) -> float:
+        return self.cpu_compute_time + self.npu_compute_time
+
+    @property
+    def io_path(self) -> float:
+        return self.io_time
+
+    @property
+    def lower_bound(self) -> float:
+        """No schedule can beat the slowest hardware row (§7.2.1)."""
+        return max(self.io_path, self.cpu_path, self.computation_path)
+
+
+class PrefillPipeline:
+    """One prefill run: restoration and computation, co-scheduled."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        platform: PlatformSpec,
+        graph: ComputationGraph,
+        plan: RestorationPlan,
+        backend: RestoreBackend,
+        npu_backend: Optional[NPUBackend],
+        cached_groups: int = 0,
+        config: Optional[PipelineConfig] = None,
+        tracer=NULL_TRACER,
+    ):
+        if cached_groups < 0 or cached_groups > len(plan.groups):
+            raise ConfigurationError("cached_groups out of range")
+        self.tracer = tracer
+        self.sim = sim
+        self.platform = platform
+        self.graph = graph
+        self.plan = plan
+        self.backend = backend
+        self.npu_backend = npu_backend
+        self.cached_groups = cached_groups
+        self.config = config or PipelineConfig()
+        self.metrics = PipelineMetrics()
+        n = len(plan.groups)
+        self._alloc_done: List[Event] = [sim.event() for _ in range(n)]
+        self._load_done: List[Event] = [sim.event() for _ in range(n)]
+        self._decrypt_done: List[Event] = [sim.event() for _ in range(n)]
+        for g in range(cached_groups):
+            self._alloc_done[g].succeed()
+            self._load_done[g].succeed()
+            self._decrypt_done[g].succeed()
+        self._decrypt_ready: List[int] = []  # min-heap of loaded groups
+        self._alloc_cursor = cached_groups
+        self._pending_compute = None  # (op, duration, done_event)
+        self._worker_wake: Optional[Event] = None
+        self._finished = False
+        self._failure: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    def run(self):
+        """Execute the whole prefill (generator; returns metrics).
+
+        On failure (I/O error, Iago detection) the pipeline quiesces its
+        worker and I/O processes *before* re-raising, so the caller can
+        release memory without a zombie worker re-ballooning it.
+        """
+        self.metrics.started_at = self.sim.now
+        if not self.config.pipelined:
+            yield from self._run_sequential()
+        else:
+            io_proc = self.sim.process(self._io_driver(), name="pipeline-io")
+            worker_proc = self.sim.process(self._cpu_worker(), name="pipeline-cpu")
+            compute = self.sim.process(self._compute_driver(), name="pipeline-compute")
+            failure: Optional[BaseException] = None
+            try:
+                yield compute
+            except Exception as exc:
+                failure = exc
+            self._finished = True
+            self._kick_worker()
+            if failure is not None or self._failure is not None:
+                cause = self._failure or failure
+                for event in self._alloc_done + self._load_done:
+                    if not event.triggered:
+                        event.fail(cause)
+            yield worker_proc
+            yield io_proc
+            if failure is not None:
+                raise failure
+        self.metrics.finished_at = self.sim.now
+        self.metrics.ttft = self.sim.now - self.metrics.started_at
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    # sequential (non-pipelined) mode: the strawman's restore-then-compute
+    # ------------------------------------------------------------------
+    def _run_sequential(self):
+        groups = self.plan.groups
+        for g in range(self.cached_groups, len(groups)):
+            t0 = self.sim.now
+            yield from self.backend.alloc_to(groups[g].region_end, self.config.alloc_threads)
+            self.metrics.alloc_time += self.sim.now - t0
+            self._alloc_done[g].succeed()
+        for g in range(self.cached_groups, len(groups)):
+            t0 = self.sim.now
+            yield from self.backend.load_group(groups[g])
+            self.metrics.io_time += self.sim.now - t0
+            self.metrics.loaded_bytes += groups[g].nominal_bytes
+            self._load_done[g].succeed()
+        for g in range(self.cached_groups, len(groups)):
+            t0 = self.sim.now
+            yield from self.backend.protect_to(groups[g].region_end)
+            duration = self.backend.decrypt_duration(
+                groups[g].nominal_bytes, self.config.decrypt_threads
+            )
+            if duration:
+                yield self.sim.timeout(duration)
+            self.backend.decrypt_group_data(groups[g])
+            self.metrics.decrypt_time += self.sim.now - t0
+            self._decrypt_done[g].succeed()
+        yield from self._compute_driver(sequential=True)
+
+    # ------------------------------------------------------------------
+    # I/O engine: loads in topological order
+    # ------------------------------------------------------------------
+    def _io_driver(self):
+        try:
+            for g in range(self.cached_groups, len(self.plan.groups)):
+                yield self._alloc_done[g]
+                if self._failure is not None:
+                    return
+                group = self.plan.groups[g]
+                t0 = self.sim.now
+                yield from self.backend.load_group(group)
+                self.tracer.record("load", "load g%d" % g, t0, lane="I/O engine")
+                self.metrics.io_time += self.sim.now - t0
+                self.metrics.loaded_bytes += group.nominal_bytes
+                self._load_done[g].succeed()
+                heapq.heappush(self._decrypt_ready, g)
+                self._kick_worker()
+        except Exception as exc:  # I/O failure: abort the whole prefill
+            self._abort(exc)
+
+    def _abort(self, exc: BaseException) -> None:
+        """Fail the pipeline cleanly: wake everything with the error so
+        the compute chain unblocks and the caller can release memory."""
+        if self._failure is not None:
+            return
+        self._failure = exc
+        self._finished = True
+        for event in self._decrypt_done:
+            if not event.triggered:
+                event.fail(exc)
+        if self._pending_compute is not None:
+            _op, _duration, done = self._pending_compute
+            self._pending_compute = None
+            if not done.triggered:
+                done.fail(exc)
+        self._kick_worker()
+
+    # ------------------------------------------------------------------
+    # computation chain
+    # ------------------------------------------------------------------
+    def _compute_driver(self, sequential: bool = False):
+        for op in self.graph.ops:
+            if self._failure is not None:
+                raise self._failure
+            gid = self.plan.group_for_op.get(op.op_id)
+            if gid is not None and not self._decrypt_done[gid].triggered:
+                yield self._decrypt_done[gid]
+            duration = op_duration(op.flops, op.bytes_touched, self.platform, op.engine)
+            if op.engine == Engine.CPU:
+                if sequential:
+                    yield self.sim.timeout(duration)
+                else:
+                    done = self.sim.event()
+                    self._pending_compute = (op, duration, done)
+                    self._kick_worker()
+                    yield done
+                self.metrics.cpu_compute_time += duration
+            else:
+                if self.npu_backend is None:
+                    raise ConfigurationError("graph has NPU ops but no NPU backend")
+                t0 = self.sim.now
+                yield from self.npu_backend.run(op, duration)
+                self.tracer.record("compute", op.name, t0, lane="NPU")
+                self.metrics.npu_compute_time += self.sim.now - t0
+
+    # ------------------------------------------------------------------
+    # CPU worker: the scheduler of Fig. 5
+    # ------------------------------------------------------------------
+    def _kick_worker(self):
+        if self._worker_wake is not None and not self._worker_wake.triggered:
+            self._worker_wake.succeed()
+
+    def _cpu_worker(self):
+        idle_since = None
+        while True:
+            if self._finished:
+                return
+            task = self._pick_task()
+            if task is None:
+                idle_since = self.sim.now
+                self._worker_wake = self.sim.event()
+                yield self._worker_wake
+                self._worker_wake = None
+                if idle_since is not None:
+                    self.metrics.cpu_idle_time += self.sim.now - idle_since
+                continue
+            kind, payload = task
+            try:
+                if kind == "compute":
+                    yield from self._do_compute(payload)
+                elif kind == "decrypt":
+                    yield from self._do_decrypt(payload)
+                else:
+                    yield from self._do_alloc(payload)
+            except Exception as exc:  # decrypt checksum / alloc failures
+                self._abort(exc)
+                return
+
+    def _pick_task(self):
+        """The greedy priority rule of §4.1."""
+        if self._pending_compute is not None:
+            return ("compute", None)
+        if self._decrypt_ready:
+            return ("decrypt", heapq.heappop(self._decrypt_ready))
+        if self._alloc_cursor < len(self.plan.groups):
+            return ("alloc", self._alloc_cursor)
+        return None
+
+    def _do_compute(self, _payload):
+        op, duration, done = self._pending_compute
+        self._pending_compute = None
+        t0 = self.sim.now
+        yield self.sim.timeout(duration)
+        self.tracer.record("compute", op.name, t0, lane="CPU")
+        done.succeed()
+
+    def _maybe_preempt(self):
+        """Between micro-operators: run a newly ready compute op now."""
+        if self.config.preemptive and self._pending_compute is not None:
+            self.metrics.preemptions += 1
+            yield from self._do_compute(None)
+
+    def _do_alloc(self, g: int):
+        group = self.plan.groups[g]
+        target = group.region_end
+        t0 = self.sim.now
+        compute_stolen = 0.0
+        while self.backend.allocated < target:
+            if self._failure is not None:
+                return  # aborted mid-task: stop ballooning memory
+            step_target = min(target, self.backend.allocated + self.config.slice_bytes)
+            s0 = self.sim.now
+            yield from self.backend.alloc_to(step_target, self.config.alloc_threads)
+            self.tracer.record("alloc", "alloc g%d" % g, s0, lane="CPU")
+            c0 = self.sim.now
+            yield from self._maybe_preempt()
+            compute_stolen += self.sim.now - c0
+        self.metrics.alloc_time += self.sim.now - t0 - compute_stolen
+        self._alloc_cursor = g + 1
+        if not self._alloc_done[g].triggered:
+            self._alloc_done[g].succeed()
+
+    def _do_decrypt(self, g: int):
+        group = self.plan.groups[g]
+        t0 = self.sim.now
+        compute_stolen = 0.0
+        yield from self.backend.protect_to(group.region_end)
+        total = self.backend.decrypt_duration(group.nominal_bytes, self.config.decrypt_threads)
+        slice_time = self.backend.decrypt_duration(
+            self.config.slice_bytes, self.config.decrypt_threads
+        )
+        remaining = total
+        while remaining > 0:
+            if self._failure is not None:
+                return  # aborted mid-task
+            step = remaining if slice_time <= 0 else min(slice_time, remaining)
+            s0 = self.sim.now
+            if step > 0:
+                yield self.sim.timeout(step)
+                self.tracer.record("decrypt", "decrypt g%d" % g, s0, lane="CPU")
+            remaining -= step
+            if remaining > 0:
+                c0 = self.sim.now
+                yield from self._maybe_preempt()
+                compute_stolen += self.sim.now - c0
+        self.backend.decrypt_group_data(group)
+        self.metrics.decrypt_time += self.sim.now - t0 - compute_stolen
+        if not self._decrypt_done[g].triggered:
+            self._decrypt_done[g].succeed()

@@ -1,0 +1,287 @@
+"""The evaluated systems (§7 baselines), wired end to end.
+
+* :class:`TZLLM` — the paper's system: LLM TA in the TEE, pipelined
+  restoration over CMA-ballooned secure memory, co-driver NPU, framework
+  checkpointing, partial parameter caching.  Feature flags expose every
+  ablation the evaluation needs; :func:`strawman` builds the cold-start
+  baseline (no pipeline, no NPU, no checkpoint).
+* :class:`REELLM` — the unprotected llama.cpp baselines: ``memory`` mode
+  (parameters resident; the theoretical best) and ``flash`` mode
+  (pipelined restoration from flash with buddy pages, no decryption).
+
+All systems speak one interface: ``run_infer(prompt_tokens,
+output_tokens)`` returns an :class:`~repro.core.llm_ta.InferenceRecord`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..config import GiB, MiB, PlatformSpec, RK3588
+from ..crypto import derive_key
+from ..errors import ConfigurationError
+from ..hw.common import AddrRange, World
+from ..llm.gguf import ModelContainer, container_path, pack_model, parse_container
+from ..llm.graph import build_prefill_graph
+from ..llm.kv_cache import KVCache
+from ..llm.models import ModelSpec
+from ..llm.runtime import GraphExecutor, REEDriverNPUBackend, decode_tokens
+from ..sim import Resource
+from ..stack import Stack, build_stack
+from ..workloads.stress import MemoryStress
+from .backends import REERestoreBackend
+from .caching import FractionCachePolicy
+from .llm_ta import InferenceRecord, LLMTA
+from .pipeline import PipelineConfig, PrefillPipeline
+from .restore_graph import build_restoration_plan
+
+__all__ = ["TZLLM", "REELLM", "strawman", "PAPER_PRESSURE", "provision_model"]
+
+#: §7: worst-case stress-ng pressure per model (bytes).
+PAPER_PRESSURE = {
+    "tinyllama-1.1b-q8": 13 * 10 ** 9,
+    "qwen2.5-3b-q8": 11 * 10 ** 9,
+    "phi-3-mini-3.8b-q8": 10 * 10 ** 9,
+    "llama-3-8b-q8": 6 * 10 ** 9,
+}
+
+#: resident system footprint used in the evaluation configs (OS + services
+#: + foreground apps on a production OpenHarmony image).
+DEFAULT_OS_FOOTPRINT = 3 * GiB
+
+
+def provision_model(stack: Stack, model: ModelSpec, provider_seed: bytes = b"model-provider") -> ModelContainer:
+    """Provider-side provisioning: pack, encrypt, and install the model."""
+    hardware_key = stack.keystore.hardware_key(World.SECURE)
+    model_key = derive_key(provider_seed, model.model_id)
+    data = pack_model(model, model_key, hardware_key)
+    stack.kernel.fs.create(container_path(model.model_id), data)
+    return parse_container(data)
+
+
+class _SystemBase:
+    """Shared conveniences for the evaluated systems."""
+
+    stack: Stack
+
+    @property
+    def sim(self):
+        return self.stack.sim
+
+    def run_infer(self, prompt_tokens: int, output_tokens: int = 0) -> InferenceRecord:
+        proc = self.sim.process(self.infer(prompt_tokens, output_tokens))
+        return self.sim.run_until(proc)
+
+    def infer(self, prompt_tokens: int, output_tokens: int = 0):
+        raise NotImplementedError
+
+    def apply_pressure(self, n_bytes: int) -> MemoryStress:
+        stress = MemoryStress(self.stack.kernel, n_bytes)
+        stress.start()
+        return stress
+
+
+class TZLLM(_SystemBase):
+    """The paper's system, end to end, with every ablation flag."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        platform: PlatformSpec = RK3588,
+        granule: int = 1 * MiB,
+        max_tokens: int = 1024,
+        os_footprint: int = DEFAULT_OS_FOOTPRINT,
+        use_npu: Union[bool, str] = True,
+        decode_use_npu: Union[bool, str] = "auto",
+        use_checkpoint: bool = True,
+        pipeline_config: Optional[PipelineConfig] = None,
+        cache_fraction: float = 0.0,
+        npu_reinit_on_switch: bool = False,
+        size_obfuscation=None,
+        npu_duration_quantum: float = 0.0,
+        decode_param_residency: float = 1.0,
+        trace: bool = False,
+        name: str = "TZ-LLM",
+    ):
+        self.model = model
+        self.name = name
+        # Sizing the boot-time CMA reservations needs the container's
+        # tensor table, which is independent of the device stack — build
+        # the container first against a scratch key schedule, then build
+        # the stack, then provision for real.
+        probe_container = parse_container(
+            pack_model(model, derive_key(b"probe", model.model_id), derive_key(b"probe", "hw"))
+        )
+        params_bytes, data_bytes = LLMTA.cma_requirements(
+            model, probe_container, granule, max_tokens, size_obfuscation=size_obfuscation
+        )
+        self.stack = build_stack(
+            spec=platform,
+            granule=granule,
+            os_footprint=os_footprint,
+            cma_regions={
+                "%s:params" % model.model_id: params_bytes,
+                "%s:data" % model.model_id: data_bytes,
+            },
+            npu_reinit_on_switch=npu_reinit_on_switch,
+        )
+        self.container = provision_model(self.stack, model)
+        self.stack.tee_os.grant_model_access(model.model_id, "llm-ta:" + model.model_id)
+        self.ta = LLMTA(
+            self.stack,
+            model,
+            self.container,
+            max_tokens=max_tokens,
+            use_checkpoint=use_checkpoint,
+            use_npu=use_npu,
+            decode_use_npu=decode_use_npu,
+            pipeline_config=pipeline_config,
+            cache_policy=FractionCachePolicy(cache_fraction),
+            size_obfuscation=size_obfuscation,
+            npu_duration_quantum=npu_duration_quantum,
+            decode_param_residency=decode_param_residency,
+        )
+        self.ta.setup()
+        self.tracer = None
+        if trace:
+            from ..sim.trace import Tracer
+
+            self.tracer = Tracer(self.stack.sim)
+            self.ta.tracer = self.tracer
+        self.stack.board.monitor.register("tee.llm.infer", self.ta.infer)
+
+    def infer(self, prompt_tokens: int, output_tokens: int = 0):
+        """The client application's request path (generator)."""
+        yield self.sim.timeout(self.stack.spec.timing.ta_invoke_latency)
+        record = yield from self.stack.tz_driver.invoke_ta(
+            "tee.llm.infer", prompt_tokens, output_tokens
+        )
+        return record
+
+    def warm_cache(self, fraction: float) -> None:
+        """Set the cache policy fraction for subsequent releases."""
+        self.ta.cache_policy = FractionCachePolicy(fraction)
+
+
+def strawman(model: ModelSpec, platform: PlatformSpec = RK3588, **kwargs) -> TZLLM:
+    """The §2.3 cold-start baseline: secure but unoptimized.
+
+    Every request performs the full cold start (framework init, bulk
+    allocation, load, decrypt) and computes on the CPU only.
+    """
+    kwargs.setdefault("use_npu", False)
+    kwargs.setdefault("decode_use_npu", False)
+    kwargs.setdefault("use_checkpoint", False)
+    kwargs.setdefault("pipeline_config", PipelineConfig(pipelined=False, preemptive=False))
+    kwargs.setdefault("cache_fraction", 0.0)
+    kwargs.setdefault("name", "Strawman")
+    return TZLLM(model, platform, **kwargs)
+
+
+class REELLM(_SystemBase):
+    """The unprotected baselines: ``mode="memory"`` or ``mode="flash"``."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        mode: str = "memory",
+        platform: PlatformSpec = RK3588,
+        granule: int = 1 * MiB,
+        max_tokens: int = 1024,
+        os_footprint: int = DEFAULT_OS_FOOTPRINT,
+        use_npu: Union[bool, str] = True,
+        decode_use_npu: Union[bool, str] = "auto",
+        pipeline_config: Optional[PipelineConfig] = None,
+        release_after: Optional[bool] = None,
+    ):
+        if mode not in ("memory", "flash"):
+            raise ConfigurationError("mode must be 'memory' or 'flash'")
+        self.model = model
+        self.mode = mode
+        self.name = "REE-LLM-Memory" if mode == "memory" else "REE-LLM-Flash"
+        self.use_npu = use_npu
+        self.decode_use_npu = decode_use_npu
+        self.pipeline_config = pipeline_config or PipelineConfig()
+        self.release_after = (mode == "flash") if release_after is None else release_after
+        self.max_tokens = max_tokens
+        self.stack = build_stack(
+            spec=platform, granule=granule, os_footprint=os_footprint, cma_regions={}
+        )
+        self.container = provision_model(self.stack, model)
+        planning_graph = build_prefill_graph(model, self.container.tensors, 1, use_npu=False)
+        self.plan = build_restoration_plan(planning_graph, granule)
+        self.backend = REERestoreBackend(
+            self.sim,
+            platform,
+            self.stack.kernel,
+            self.container,
+            container_path(model.model_id),
+        )
+        self.cpu = Resource(self.sim, capacity=1, priority=True, name="ree-llm-cpu")
+        ctx_alloc = self.stack.kernel.alloc_unmovable(4096, tag="npu-ctx")
+        ctx_addr = self.stack.kernel.db.frame_addr(min(ctx_alloc.frames))
+        self.npu_backend = REEDriverNPUBackend(self.stack.ree_npu, AddrRange(ctx_addr, 4096))
+        if mode == "memory":
+            self._preload()
+        self.records = []
+
+    def _preload(self) -> None:
+        """Place all parameters in memory before the experiment starts."""
+        total = self.plan.total_alloc_bytes
+        alloc = self.stack.kernel.map_anonymous(total, tag="ree-llm-resident")
+        self.backend._allocations.append(alloc)
+        self.backend._allocated = total
+
+    @property
+    def cached_groups(self) -> int:
+        return self.plan.groups_for_bytes(self.backend.allocated)
+
+    def infer(self, prompt_tokens: int, output_tokens: int = 0):
+        sim = self.sim
+        record = InferenceRecord(
+            prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens,
+            started_at=sim.now,
+            cached_groups=self.cached_groups,
+            cached_bytes=self.backend.allocated,
+        )
+        if self.mode == "flash":
+            # Resident framework state is restored, not cold-initialized.
+            yield sim.timeout(self.stack.spec.timing.checkpoint_restore)
+            record.init_time = self.stack.spec.timing.checkpoint_restore
+        yield sim.timeout(self.stack.spec.timing.kv_activation_alloc)
+        graph = build_prefill_graph(
+            self.model,
+            self.container.tensors,
+            prompt_tokens,
+            use_npu=self.use_npu,
+            platform=self.stack.spec,
+        )
+        pipeline = PrefillPipeline(
+            sim,
+            self.stack.spec,
+            graph,
+            self.plan,
+            self.backend,
+            self.npu_backend,
+            cached_groups=record.cached_groups,
+            config=self.pipeline_config,
+        )
+        record.pipeline = yield from pipeline.run()
+        record.ttft = sim.now - record.started_at
+        if output_tokens > 0:
+            executor = GraphExecutor(sim, self.stack.spec, self.cpu, self.npu_backend)
+            kv = KVCache(self.model, self.max_tokens)
+            kv.init_prompt(prompt_tokens)
+            record.decode = yield from decode_tokens(
+                executor,
+                self.model,
+                self.container.tensors,
+                kv,
+                output_tokens,
+                use_npu=self.decode_use_npu,
+            )
+        if self.release_after:
+            yield from self.backend.release_to(0)
+        self.records.append(record)
+        return record

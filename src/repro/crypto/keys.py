@@ -1,0 +1,62 @@
+"""Key hierarchy: hardware-rooted TEE key wrapping per-model keys.
+
+The model provider encrypts the model file with a *model key*.  The model
+key itself is stored on flash wrapped (encrypted) under a device-unique
+*hardware key* that only the TEE can read (§6: "The model key in flash is
+encrypted with a hardware-protected TEE key.  It can only be decrypted by
+the TEE OS.").  The simulated key store enforces the world check, and the
+TEE OS additionally enforces per-TA access control on unwrapped keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from ..errors import IntegrityError, SecurityViolation
+from ..hw.common import World
+from .cipher import KEY_SIZE, NONCE_SIZE, keystream_xor
+
+__all__ = ["derive_key", "HardwareKeyStore", "wrap_model_key", "unwrap_model_key"]
+
+_WRAP_NONCE = b"tzllm-key-wrap!!"
+assert len(_WRAP_NONCE) == NONCE_SIZE
+
+
+def derive_key(seed: bytes, label: str) -> bytes:
+    """Deterministic KEY_SIZE-byte key from a seed and a label."""
+    return hashlib.sha256(b"tzllm-kdf:" + seed + b":" + label.encode()).digest()[:KEY_SIZE]
+
+
+class HardwareKeyStore:
+    """Device-unique root key, readable only from the secure world."""
+
+    def __init__(self, device_seed: bytes):
+        self._root = derive_key(device_seed, "hardware-root")
+        self.reads = 0
+
+    def hardware_key(self, world: World) -> bytes:
+        if not world.is_secure:
+            raise SecurityViolation("hardware key read from non-secure world")
+        self.reads += 1
+        return self._root
+
+
+def wrap_model_key(hardware_key: bytes, model_key: bytes, model_id: str) -> bytes:
+    """Encrypt + authenticate ``model_key`` under the hardware key."""
+    wrap_key = derive_key(hardware_key, "wrap:" + model_id)
+    body = keystream_xor(wrap_key, _WRAP_NONCE, model_key)
+    mac = hmac.new(wrap_key, body, hashlib.sha256).digest()[:16]
+    return body + mac
+
+
+def unwrap_model_key(hardware_key: bytes, wrapped: bytes, model_id: str) -> bytes:
+    """Recover the model key; raises :class:`IntegrityError` on tamper."""
+    if len(wrapped) != KEY_SIZE + 16:
+        raise IntegrityError("wrapped key blob has wrong length")
+    wrap_key = derive_key(hardware_key, "wrap:" + model_id)
+    body, mac = wrapped[:KEY_SIZE], wrapped[KEY_SIZE:]
+    expect = hmac.new(wrap_key, body, hashlib.sha256).digest()[:16]
+    if not hmac.compare_digest(mac, expect):
+        raise IntegrityError("wrapped model key failed authentication")
+    return keystream_xor(wrap_key, _WRAP_NONCE, body)

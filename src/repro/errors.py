@@ -1,0 +1,82 @@
+"""Exception hierarchy for the TZ-LLM reproduction.
+
+Every model-level failure derives from :class:`TZLLMError` so callers can
+distinguish "the simulated system rejected this" from Python-level bugs.
+Security-relevant denials derive from :class:`SecurityViolation`; the
+security test-suite asserts these are raised when attacks run.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TZLLMError",
+    "ConfigurationError",
+    "SecurityViolation",
+    "AccessDenied",
+    "DMAViolation",
+    "MMIODenied",
+    "IagoViolation",
+    "IntegrityError",
+    "MemoryError_",
+    "OutOfMemory",
+    "ContiguityError",
+    "DeviceError",
+    "ProtocolError",
+    "ModelFormatError",
+]
+
+
+class TZLLMError(Exception):
+    """Base class for all model-level errors."""
+
+
+class ConfigurationError(TZLLMError):
+    """Invalid platform or system configuration."""
+
+
+class SecurityViolation(TZLLMError):
+    """An access-control or integrity check rejected an operation."""
+
+
+class AccessDenied(SecurityViolation):
+    """CPU memory access blocked (TZASC or address-space isolation)."""
+
+
+class DMAViolation(SecurityViolation):
+    """Device DMA to memory it may not touch (TZASC DMA filter)."""
+
+
+class MMIODenied(SecurityViolation):
+    """MMIO to a secure device from a non-secure master (TZPC)."""
+
+
+class IagoViolation(SecurityViolation):
+    """The untrusted REE returned results that failed TEE validation."""
+
+
+class IntegrityError(SecurityViolation):
+    """Checksum or sequence-number verification failed."""
+
+
+class MemoryError_(TZLLMError):
+    """Base for simulated memory-management failures."""
+
+
+class OutOfMemory(MemoryError_):
+    """Allocation failed: not enough (suitable) page frames."""
+
+
+class ContiguityError(MemoryError_):
+    """A contiguity requirement (TZASC region, CMA range) was violated."""
+
+
+class DeviceError(TZLLMError):
+    """Simulated device misuse (e.g. launching a job on a busy NPU)."""
+
+
+class ProtocolError(TZLLMError):
+    """REE/TEE co-driver protocol misuse that is not an attack."""
+
+
+class ModelFormatError(TZLLMError):
+    """Malformed model container file."""

@@ -1,0 +1,38 @@
+"""Simulated RK3588-class hardware with Arm TrustZone.
+
+Blocks: :class:`TZASC` (secure-region memory filter), :class:`TZPC`
+(peripheral MMIO security), :class:`GIC` (interrupt routing with the
+security extension), :class:`SecureMonitor` (EL3 SMC path),
+:class:`PhysicalMemory` (sparse real-byte RAM behind the TZASC),
+:class:`Flash` (NVMe blob store with a 2 GB/s shared pipe), and
+:class:`NPU` (MMIO-launched jobs doing real TZASC-filtered DMA).
+:class:`Board` wires them all to one simulator.
+"""
+
+from .common import AddrRange, Master, World
+from .flash import Flash
+from .gic import GIC
+from .memory import PhysicalMemory
+from .monitor import SecureMonitor
+from .npu import NPU, NPU_DEVICE, NPU_IRQ, NPUJob
+from .platform import Board
+from .tzasc import TZASC, TZASCRegion
+from .tzpc import TZPC
+
+__all__ = [
+    "AddrRange",
+    "Board",
+    "Flash",
+    "GIC",
+    "Master",
+    "NPU",
+    "NPU_DEVICE",
+    "NPU_IRQ",
+    "NPUJob",
+    "PhysicalMemory",
+    "SecureMonitor",
+    "TZASC",
+    "TZASCRegion",
+    "TZPC",
+    "World",
+]

@@ -1,0 +1,150 @@
+"""Physical memory: a sparse byte store with TrustZone filtering.
+
+Every read/write names its bus master (CPU in a world, or a DMA device)
+and is filtered through the TZASC before touching bytes.  This is what
+makes the security tests *functional*: a compromised-REE attack is a
+real ``cpu_read`` in the non-secure world, and it really raises
+:class:`~repro.errors.AccessDenied` instead of returning parameter bytes.
+
+Pages are materialized lazily (16 GiB of simulated RAM costs nothing
+until written).  There is no timing here — callers charge simulated time
+through their own cost models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..config import PAGE_SIZE
+from ..errors import ConfigurationError
+from .common import AddrRange, World
+from .tzasc import TZASC
+
+__all__ = ["PhysicalMemory"]
+
+
+class PhysicalMemory:
+    """Sparse real-byte RAM; every access is TZASC-filtered."""
+
+    def __init__(self, total_bytes: int, tzasc: Optional[TZASC] = None):
+        if total_bytes <= 0 or total_bytes % PAGE_SIZE != 0:
+            raise ConfigurationError("total_bytes must be a positive page multiple")
+        self.total_bytes = total_bytes
+        self.tzasc = tzasc if tzasc is not None else TZASC()
+        self._pages: Dict[int, bytearray] = {}
+
+    # ------------------------------------------------------------------
+    # bounds + raw access
+    # ------------------------------------------------------------------
+    def _check_bounds(self, base: int, size: int) -> None:
+        if base < 0 or size < 0 or base + size > self.total_bytes:
+            raise ConfigurationError(
+                "access [0x%x, 0x%x) outside RAM of %d bytes" % (base, base + size, self.total_bytes)
+            )
+
+    def _page(self, index: int) -> bytearray:
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[index] = page
+        return page
+
+    def _raw_read(self, base: int, size: int) -> bytes:
+        self._check_bounds(base, size)
+        out = bytearray(size)
+        pos = 0
+        addr = base
+        while pos < size:
+            page_index, offset = divmod(addr, PAGE_SIZE)
+            chunk = min(size - pos, PAGE_SIZE - offset)
+            page = self._pages.get(page_index)
+            if page is not None:
+                out[pos : pos + chunk] = page[offset : offset + chunk]
+            pos += chunk
+            addr += chunk
+        return bytes(out)
+
+    def _raw_write(self, base: int, data: bytes) -> None:
+        self._check_bounds(base, len(data))
+        pos = 0
+        addr = base
+        size = len(data)
+        while pos < size:
+            page_index, offset = divmod(addr, PAGE_SIZE)
+            chunk = min(size - pos, PAGE_SIZE - offset)
+            self._page(page_index)[offset : offset + chunk] = data[pos : pos + chunk]
+            pos += chunk
+            addr += chunk
+
+    # ------------------------------------------------------------------
+    # filtered access
+    # ------------------------------------------------------------------
+    def cpu_read(self, base: int, size: int, world: World) -> bytes:
+        """CPU load; TZASC-filtered against ``world``."""
+        self.tzasc.check_cpu(AddrRange(base, size), world)
+        return self._raw_read(base, size)
+
+    def cpu_write(self, base: int, data: bytes, world: World) -> None:
+        """CPU store; TZASC-filtered against ``world``."""
+        self.tzasc.check_cpu(AddrRange(base, len(data)), world)
+        self._raw_write(base, data)
+
+    def dma_read(self, base: int, size: int, device: str) -> bytes:
+        """Device DMA read; TZASC DMA-filtered for ``device``."""
+        self.tzasc.check_dma(AddrRange(base, size), device)
+        return self._raw_read(base, size)
+
+    def dma_write(self, base: int, data: bytes, device: str) -> None:
+        """Device DMA write; TZASC DMA-filtered for ``device``."""
+        self.tzasc.check_dma(AddrRange(base, len(data)), device)
+        self._raw_write(base, data)
+
+    def scrub(self, base: int, size: int, world: World) -> None:
+        """Zero a range (TEE OS clears sensitive data before release).
+
+        Only materialized pages hold data, so only they need touching —
+        scrubbing gigabytes of never-written simulated RAM is free.
+        """
+        self.tzasc.check_cpu(AddrRange(base, size), world)
+        self._zero_raw(base, size)
+
+    def _zero_raw(self, base: int, size: int) -> None:
+        if size <= 0:
+            return
+        first_page, first_off = divmod(base, PAGE_SIZE)
+        last_page = (base + size - 1) // PAGE_SIZE
+        span_pages = last_page - first_page + 1
+        if span_pages > len(self._pages):
+            candidates = [p for p in self._pages if first_page <= p <= last_page]
+        else:
+            candidates = [p for p in range(first_page, last_page + 1) if p in self._pages]
+        for page_index in candidates:
+            page = self._pages[page_index]
+            start = first_off if page_index == first_page else 0
+            end = (base + size) - page_index * PAGE_SIZE
+            end = min(PAGE_SIZE, end)
+            page[start:end] = b"\x00" * (end - start)
+
+    def copy_range(self, src: int, dst: int, size: int) -> None:
+        """Raw copy that skips never-materialized (all-zero) source pages.
+
+        Used by page migration: copying a mostly-untouched granule costs
+        nothing, exactly like copying zero pages costs the real kernel a
+        memset it would do anyway.
+        """
+        self._check_bounds(src, size)
+        self._check_bounds(dst, size)
+        # Clear stale destination content first: absent source pages are
+        # logically zero, and the copy must not leak a prior occupant.
+        self._zero_raw(dst, size)
+        first_page = src // PAGE_SIZE
+        last_page = (src + size - 1) // PAGE_SIZE if size else first_page - 1
+        for page_index in range(first_page, last_page + 1):
+            page = self._pages.get(page_index)
+            if page is None:
+                continue
+            page_base = page_index * PAGE_SIZE
+            start = max(src, page_base)
+            end = min(src + size, page_base + PAGE_SIZE)
+            data = bytes(page[start - page_base : end - page_base])
+            self._raw_write(dst + (start - src), data)

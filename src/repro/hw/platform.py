@@ -1,0 +1,51 @@
+"""Board assembly: one object wiring every hardware block together.
+
+A :class:`Board` owns the simulator-facing hardware: TrustZone controllers
+(TZASC/TZPC/GIC), the EL3 monitor, physical memory, flash, the NPU, and
+the CPU clusters (modelled as priority resources — the LLM TA runs on the
+big cluster, per the paper's deployment).
+"""
+
+from __future__ import annotations
+
+from ..config import RK3588, PlatformSpec
+from ..sim import Resource, Simulator
+from .flash import Flash
+from .gic import GIC
+from .memory import PhysicalMemory
+from .monitor import SecureMonitor
+from .npu import NPU
+from .tzasc import TZASC
+from .tzpc import TZPC
+
+__all__ = ["Board"]
+
+
+class Board:
+    """All hardware blocks of one device, wired to one simulator."""
+
+    def __init__(self, sim: Simulator, spec: PlatformSpec = RK3588):
+        self.sim = sim
+        self.spec = spec
+        tz = spec.trustzone
+        self.tzasc = TZASC(tz.tzasc_regions, tz.tzasc_config_time)
+        self.tzpc = TZPC(tz.tzpc_config_time)
+        self.gic = GIC(tz.gic_config_time)
+        self.monitor = SecureMonitor(sim, tz.smc_latency)
+        self.memory = PhysicalMemory(spec.memory.total_bytes, self.tzasc)
+        self.flash = Flash(sim, spec.flash)
+        self.npu = NPU(sim, spec.npu, self.memory, self.tzpc, self.gic)
+        #: big cluster: the LLM TA's compute + restoration CPU pool.
+        self.big_cpus = Resource(sim, spec.cpu.big_cores, priority=True, name="big-cpus")
+        #: little cluster: REE background applications (pinned apart, §7).
+        self.little_cpus = Resource(
+            sim, spec.cpu.little_cores, priority=True, name="little-cpus"
+        )
+
+    @property
+    def page_size(self) -> int:
+        return self.spec.memory.page_size
+
+    @property
+    def total_memory(self) -> int:
+        return self.spec.memory.total_bytes

@@ -1,0 +1,52 @@
+"""TrustZone Protection Controller: MMIO security for peripherals.
+
+The TZPC marks each peripheral as a secure or non-secure device.  MMIO
+transactions from non-secure masters to a secure device are rejected at
+the bus.  The TEE NPU co-driver flips the NPU to secure before launching
+secure jobs and back afterwards (§4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import ConfigurationError, MMIODenied, SecurityViolation
+from .common import World
+
+__all__ = ["TZPC"]
+
+
+class TZPC:
+    """Peripheral security states: filters MMIO by the master's world."""
+
+    def __init__(self, config_time: float = 20e-6):
+        self.config_time = config_time
+        self._device_world: Dict[str, World] = {}
+        self.config_ops = 0
+
+    def register_device(self, name: str, world: World = World.NONSECURE) -> None:
+        """Declare a peripheral and its boot-time security state."""
+        if name in self._device_world:
+            raise ConfigurationError("device %r already registered" % name)
+        self._device_world[name] = world
+
+    def set_secure(self, world: World, name: str, secure: bool) -> None:
+        """Reprogram a device's security state (secure world only)."""
+        if not world.is_secure:
+            raise SecurityViolation("TZPC programming from non-secure world")
+        if name not in self._device_world:
+            raise ConfigurationError("unknown device %r" % name)
+        self._device_world[name] = World.SECURE if secure else World.NONSECURE
+        self.config_ops += 1
+
+    def device_world(self, name: str) -> World:
+        try:
+            return self._device_world[name]
+        except KeyError:
+            raise ConfigurationError("unknown device %r" % name)
+
+    def check_mmio(self, device: str, world: World) -> None:
+        """Filter an MMIO access to ``device`` from a master in ``world``."""
+        target = self.device_world(device)
+        if target.is_secure and not world.is_secure:
+            raise MMIODenied("non-secure MMIO to secure device %r" % device)

@@ -1,0 +1,49 @@
+"""KV-cache bookkeeping for the second TZASC region (§4.2).
+
+The KV cache is initialized to the prompt size at prefill, grows by one
+token per decode step, and is fully released after the inference — which
+is what lets it share a contiguous region with the fixed-size activation
+buffers without fragmenting it.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError, OutOfMemory
+from .models import ModelSpec
+
+__all__ = ["KVCache"]
+
+
+class KVCache:
+    """Token-count bookkeeping for the KV cache's memory footprint."""
+
+    def __init__(self, model: ModelSpec, capacity_tokens: int):
+        if capacity_tokens < 1:
+            raise ConfigurationError("capacity must be positive")
+        self.model = model
+        self.capacity_tokens = capacity_tokens
+        self.tokens = 0
+
+    @property
+    def bytes_used(self) -> int:
+        return self.model.kv_bytes(self.tokens)
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.model.kv_bytes(self.capacity_tokens)
+
+    def init_prompt(self, prompt_tokens: int) -> None:
+        if prompt_tokens > self.capacity_tokens:
+            raise OutOfMemory(
+                "prompt of %d tokens exceeds KV capacity %d"
+                % (prompt_tokens, self.capacity_tokens)
+            )
+        self.tokens = prompt_tokens
+
+    def append_token(self) -> None:
+        if self.tokens + 1 > self.capacity_tokens:
+            raise OutOfMemory("KV cache full at %d tokens" % self.tokens)
+        self.tokens += 1
+
+    def reset(self) -> None:
+        self.tokens = 0

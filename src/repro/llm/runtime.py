@@ -1,0 +1,211 @@
+"""Graph execution: CPU ops on the big cluster, matmuls on an NPU backend.
+
+The executor walks a computation graph in topological order (the chain
+llama.cpp schedules), charging each operator's roofline duration on its
+engine.  NPU operators are dispatched through a pluggable backend:
+
+* :class:`DirectNPUBackend` — idealized device (launch latency only); the
+  REE-LLM-Memory theoretical baseline.
+* :class:`REEDriverNPUBackend` — jobs go through the full REE driver's
+  unified queue (so concurrent NN apps really contend; Fig. 15).
+* :class:`TEECoDriverNPUBackend` — secure jobs through the co-driver
+  (shadow scheduling, world switches, sequence checks; §4.3).
+
+The decode loop generates tokens one at a time, resizing the attention
+operators as the KV cache grows, and samples a deterministic next token
+so end-to-end output text is reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..config import PlatformSpec
+from ..errors import ConfigurationError
+from ..hw.common import AddrRange
+from ..hw.npu import NPUJob
+from ..sim import Resource, Simulator
+from .graph import ComputationGraph, ComputeOp, build_decode_step_graph
+from .kv_cache import KVCache
+from .models import ModelSpec
+from .ops import Engine, op_duration
+from .tensors import TensorMeta
+
+__all__ = [
+    "NPUBackend",
+    "DirectNPUBackend",
+    "REEDriverNPUBackend",
+    "TEECoDriverNPUBackend",
+    "GraphExecutor",
+    "DecodeResult",
+    "decode_tokens",
+    "sample_token",
+]
+
+
+class NPUBackend:
+    """Strategy for running one NPU operator."""
+
+    def run(self, op: ComputeOp, duration: float):
+        raise NotImplementedError
+
+
+class DirectNPUBackend(NPUBackend):
+    """Idealized NPU: exclusive device, launch latency only."""
+
+    def __init__(self, sim: Simulator, platform: PlatformSpec):
+        self.sim = sim
+        self.platform = platform
+
+    def run(self, op: ComputeOp, duration: float):
+        yield self.sim.timeout(self.platform.npu.job_launch_latency + duration)
+
+
+def _job_for(op: ComputeOp, duration: float, ctx: AddrRange, tag: str) -> NPUJob:
+    """Build a hardware job whose execution context lives at ``ctx``."""
+    quarter = max(64, ctx.size // 4)
+    return NPUJob(
+        duration=duration,
+        commands=AddrRange(ctx.base, quarter),
+        io_pagetable=AddrRange(ctx.base + quarter, quarter),
+        inputs=[AddrRange(ctx.base + 2 * quarter, quarter)],
+        outputs=[AddrRange(ctx.base + 3 * quarter, quarter)],
+        tag="%s:%s" % (tag, op.name),
+    )
+
+
+class REEDriverNPUBackend(NPUBackend):
+    """Jobs through the full REE driver's unified scheduling queue."""
+
+    def __init__(self, ree_driver, ctx: AddrRange):
+        self.driver = ree_driver
+        self.ctx = ctx
+
+    def run(self, op: ComputeOp, duration: float):
+        job = _job_for(op, duration, self.ctx, "ree")
+        completion = self.driver.submit(job)
+        yield completion
+
+
+class TEECoDriverNPUBackend(NPUBackend):
+    """Secure jobs through the TEE data-plane co-driver (§4.3).
+
+    ``duration_quantum`` rounds every job's runtime up to a fixed quantum
+    (dummy computation, the §6 timing-side-channel mitigation): the REE
+    scheduler then observes uniform secure-job lengths.
+    """
+
+    def __init__(self, tee_driver, ctx: AddrRange, duration_quantum: float = 0.0):
+        self.driver = tee_driver
+        self.ctx = ctx
+        self.duration_quantum = duration_quantum
+
+    def run(self, op: ComputeOp, duration: float):
+        if self.duration_quantum > 0:
+            import math
+
+            duration = math.ceil(duration / self.duration_quantum - 1e-12) * self.duration_quantum
+        job = _job_for(op, duration, self.ctx, "tee")
+        yield from self.driver.submit_secure_job(job)
+
+
+class GraphExecutor:
+    """Sequentially executes a graph's operator chain."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        platform: PlatformSpec,
+        cpu: Resource,
+        npu_backend: Optional[NPUBackend] = None,
+    ):
+        self.sim = sim
+        self.platform = platform
+        self.cpu = cpu
+        self.npu_backend = npu_backend
+        self.cpu_busy_time = 0.0
+        self.npu_wait_time = 0.0
+
+    def op_time(self, op: ComputeOp) -> float:
+        return op_duration(op.flops, op.bytes_touched, self.platform, op.engine)
+
+    def run_op(self, op: ComputeOp, cpu_priority: float = 0.0):
+        """Execute a single operator (generator)."""
+        duration = self.op_time(op)
+        if op.engine == Engine.CPU:
+            request = self.cpu.request(priority=cpu_priority)
+            yield request
+            try:
+                yield self.sim.timeout(duration)
+                self.cpu_busy_time += duration
+            finally:
+                self.cpu.release(request)
+        else:
+            if self.npu_backend is None:
+                raise ConfigurationError("graph has NPU ops but no NPU backend")
+            start = self.sim.now
+            yield from self.npu_backend.run(op, duration)
+            self.npu_wait_time += self.sim.now - start
+
+    def execute(self, graph: ComputationGraph, cpu_priority: float = 0.0):
+        """Run the whole chain (generator)."""
+        for op in graph.ops:
+            yield from self.run_op(op, cpu_priority=cpu_priority)
+
+
+def sample_token(model_id: str, step: int, vocab: int) -> int:
+    """Deterministic "sampling": reproducible outputs without an RNG."""
+    digest = hashlib.sha256(("sample:%s:%d" % (model_id, step)).encode()).digest()
+    return int.from_bytes(digest[:4], "big") % vocab
+
+
+@dataclass
+class DecodeResult:
+    token_ids: List[int] = field(default_factory=list)
+    step_times: List[float] = field(default_factory=list)
+
+    @property
+    def tokens_per_second(self) -> float:
+        total = sum(self.step_times)
+        return len(self.step_times) / total if total > 0 else 0.0
+
+
+def decode_tokens(
+    executor: GraphExecutor,
+    model: ModelSpec,
+    tensors: List[TensorMeta],
+    kv: KVCache,
+    n_tokens: int,
+    use_npu: Union[bool, str] = "auto",
+    cpu_priority: float = 0.0,
+    grow_hook=None,
+):
+    """The decode loop (generator; returns a :class:`DecodeResult`).
+
+    Engine choice is made once (it depends on weight sizes, not KV size);
+    the attention operators are resized each step as the cache grows.
+    ``grow_hook(kv)`` — a generator-producing callable — runs before each
+    step so the caller can extend KV-cache backing memory as it grows
+    (the §4.2 behaviour: the KV region scales during decoding).
+    """
+    sim = executor.sim
+    result = DecodeResult()
+    graph = build_decode_step_graph(
+        model, tensors, kv.tokens, use_npu=use_npu, platform=executor.platform
+    )
+    attention_ops = [op for op in graph.ops if op.name.endswith(".attention")]
+    for step in range(n_tokens):
+        start = sim.now
+        if grow_hook is not None:
+            yield from grow_hook(kv)
+        kv_bytes = kv.tokens * model.kv_dim * 2 * model.kv_bytes_per_element
+        for op in attention_ops:
+            op.flops = 4.0 * kv.tokens * model.hidden
+            op.bytes_touched = kv_bytes
+        yield from executor.execute(graph, cpu_priority=cpu_priority)
+        result.step_times.append(sim.now - start)
+        result.token_ids.append(sample_token(model.model_id, step, model.vocab))
+        kv.append_token()
+    return result

@@ -1,0 +1,137 @@
+"""Tensor metadata: full-size semantics over scaled-down real payloads.
+
+Every tensor carries its *nominal* byte size (what the real q8 model would
+occupy — this drives all timing and memory-footprint accounting) and a
+small *payload* of real bytes (what is actually stored, encrypted,
+checksummed and copied — this keeps the functional data path honest
+without materializing gigabytes).  Payload content is deterministic in
+(model, tensor), so decryption results are verifiable end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List
+
+from .models import ModelSpec
+
+__all__ = ["TensorRole", "TensorMeta", "build_tensor_table", "tensor_plaintext"]
+
+
+class TensorRole:
+    """Role labels for tensors in the container's table."""
+
+    EMBED = "embed"
+    ATTN_NORM = "attn_norm"
+    ATTN = "attn"
+    FFN_NORM = "ffn_norm"
+    FFN = "ffn"
+    OUTPUT_NORM = "output_norm"
+    LM_HEAD = "lm_head"
+
+
+#: one payload byte per this many nominal bytes (bounded below/above).
+PAYLOAD_SCALE = 1 << 17
+PAYLOAD_MIN = 64
+PAYLOAD_MAX = 8192
+
+
+def payload_size(nominal_bytes: int) -> int:
+    return max(PAYLOAD_MIN, min(PAYLOAD_MAX, nominal_bytes // PAYLOAD_SCALE))
+
+
+@dataclass
+class TensorMeta:
+    """One tensor (or fused tensor group) in the model file."""
+
+    name: str
+    role: str
+    layer: int  # -1 for global tensors
+    nominal_bytes: int
+    payload_bytes: int = 0
+    #: byte offset of the payload within the container's payload section
+    #: (also the cipher keystream offset), filled at pack time.
+    offset: int = -1
+    #: index in topological load order, filled at table build time.
+    index: int = -1
+    #: MoE expert id (-1 for dense tensors).
+    expert: int = -1
+
+    def __post_init__(self):
+        if self.payload_bytes == 0:
+            self.payload_bytes = payload_size(self.nominal_bytes)
+
+
+def build_tensor_table(spec: ModelSpec) -> List[TensorMeta]:
+    """Tensor table in topological (load) order.
+
+    Tensors are fused at operator granularity — one attention group and
+    one FFN group (or one per expert for MoE) per layer — matching the
+    restoration granularity of §4.1.
+    """
+    bpp = spec.bytes_per_param
+    table: List[TensorMeta] = [
+        TensorMeta("token_embd", TensorRole.EMBED, -1, int(spec.embed_params * bpp))
+    ]
+    for layer in range(spec.n_layers):
+        table.append(
+            TensorMeta(
+                "blk.%d.attn_norm" % layer,
+                TensorRole.ATTN_NORM,
+                layer,
+                int(spec.hidden * bpp),
+            )
+        )
+        table.append(
+            TensorMeta(
+                "blk.%d.attn" % layer, TensorRole.ATTN, layer, int(spec.attn_params * bpp)
+            )
+        )
+        table.append(
+            TensorMeta(
+                "blk.%d.ffn_norm" % layer,
+                TensorRole.FFN_NORM,
+                layer,
+                int(spec.hidden * bpp),
+            )
+        )
+        if spec.n_experts == 1:
+            table.append(
+                TensorMeta(
+                    "blk.%d.ffn" % layer,
+                    TensorRole.FFN,
+                    layer,
+                    int(spec.ffn_params_per_expert * bpp),
+                )
+            )
+        else:
+            for expert in range(spec.n_experts):
+                table.append(
+                    TensorMeta(
+                        "blk.%d.ffn.expert.%d" % (layer, expert),
+                        TensorRole.FFN,
+                        layer,
+                        int(spec.ffn_params_per_expert * bpp),
+                        expert=expert,
+                    )
+                )
+    table.append(
+        TensorMeta("output_norm", TensorRole.OUTPUT_NORM, -1, int(spec.hidden * bpp))
+    )
+    if not spec.tied_embeddings:
+        table.append(
+            TensorMeta("output", TensorRole.LM_HEAD, -1, int(spec.lm_head_params * bpp))
+        )
+    for index, tensor in enumerate(table):
+        tensor.index = index
+    return table
+
+
+def tensor_plaintext(model_id: str, tensor: TensorMeta) -> bytes:
+    """The deterministic "weights" of a tensor (real payload bytes)."""
+    seed = hashlib.sha256(
+        ("weights:%s:%s" % (model_id, tensor.name)).encode()
+    ).digest()
+    reps = tensor.payload_bytes // len(seed) + 1
+    return (seed * reps)[: tensor.payload_bytes]

@@ -1,0 +1,84 @@
+"""A deterministic toy tokenizer (the functional stand-in for the real one).
+
+Word/punctuation segmentation with hashed ids into the model's vocab.
+Round-trips exactly (ids decode back to the original text) because the
+decoder keeps a reverse map per instance.  Token *counts* — the only
+property the evaluation depends on — behave like a real tokenizer's:
+roughly one token per short word plus punctuation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+
+__all__ = ["Tokenizer"]
+
+_SPLIT = re.compile(r"\s+|([^\w\s])")
+
+BOS_ID = 1
+_RESERVED = 8  # ids below this are special tokens
+
+#: decode fallback for ids this instance never produced (e.g. sampled
+#: output tokens): a deterministic pseudo-vocabulary keeps generated
+#: text readable instead of emitting <unk> markers.
+_FALLBACK_WORDS = (
+    "the and for with from this that have will would could about where "
+    "model device secure memory token layer prompt answer context reply "
+    "system request schedule result detail option update follow check"
+).split()
+
+
+class Tokenizer:
+    """Deterministic word-level tokenizer with exact round-tripping."""
+
+    def __init__(self, model_id: str, vocab_size: int):
+        if vocab_size <= _RESERVED:
+            raise ConfigurationError("vocab too small")
+        self.model_id = model_id
+        self.vocab_size = vocab_size
+        self._reverse: Dict[int, str] = {}
+
+    def _token_id(self, piece: str) -> int:
+        digest = hashlib.sha256(("tok:%s:%s" % (self.model_id, piece)).encode()).digest()
+        token_id = _RESERVED + int.from_bytes(digest[:4], "big") % (self.vocab_size - _RESERVED)
+        existing = self._reverse.get(token_id)
+        if existing is not None and existing != piece:
+            # Hash collision: salt linearly until a free slot appears.
+            salt = 0
+            while True:
+                salted = hashlib.sha256(
+                    ("tok:%s:%s:%d" % (self.model_id, piece, salt)).encode()
+                ).digest()
+                token_id = _RESERVED + int.from_bytes(salted[:4], "big") % (
+                    self.vocab_size - _RESERVED
+                )
+                other = self._reverse.get(token_id)
+                if other is None or other == piece:
+                    break
+                salt += 1
+        self._reverse[token_id] = piece
+        return token_id
+
+    def encode(self, text: str, add_bos: bool = True) -> List[int]:
+        pieces = [p for p in _SPLIT.split(text) if p]
+        ids = [BOS_ID] if add_bos else []
+        ids.extend(self._token_id(piece) for piece in pieces)
+        return ids
+
+    def decode(self, ids: List[int]) -> str:
+        words = []
+        for token_id in ids:
+            if token_id < _RESERVED:
+                continue
+            piece = self._reverse.get(token_id)
+            if piece is None:
+                piece = _FALLBACK_WORDS[token_id % len(_FALLBACK_WORDS)]
+            words.append(piece)
+        return " ".join(words)
+
+    def count(self, text: str) -> int:
+        return len(self.encode(text))

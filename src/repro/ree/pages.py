@@ -1,0 +1,189 @@
+"""Page-frame database for the simulated REE kernel.
+
+Physical RAM is divided into fixed-size *granules* (the bookkeeping unit;
+4 KiB in the real kernel, configurable here so 16 GiB platforms stay cheap
+to simulate).  Each granule is free or owned by an :class:`Allocation`,
+which is either *movable* (page-cache/anonymous pages the CMA may migrate)
+or *unmovable* (kernel objects — never placed inside a CMA region, per the
+Linux rule the paper relies on).
+
+The database is purely functional bookkeeping; allocators charge simulated
+time themselves.  Allocations hold their granules as a set so migration
+(retargeting one granule) is O(1) even for multi-GB allocations.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..config import PAGE_SIZE
+from ..errors import ConfigurationError, MemoryError_
+
+__all__ = ["FrameState", "Allocation", "FrameDB"]
+
+
+class FrameState(enum.Enum):
+    """Occupancy state of one granule."""
+
+    FREE = "free"
+    MOVABLE = "movable"
+    UNMOVABLE = "unmovable"
+
+
+class Allocation:
+    """A set of granules owned by one allocation (possibly discontiguous)."""
+
+    __slots__ = ("alloc_id", "frames", "movable", "tag", "contiguous", "freed")
+
+    def __init__(
+        self,
+        alloc_id: int,
+        frames: Iterable[int],
+        movable: bool,
+        tag: str = "",
+        contiguous: bool = False,
+    ):
+        self.alloc_id = alloc_id
+        self.frames: Set[int] = set(frames)
+        self.movable = movable
+        self.tag = tag
+        self.contiguous = contiguous
+        self.freed = False
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.frames)
+
+    def sorted_frames(self) -> List[int]:
+        return sorted(self.frames)
+
+    def replace_frame(self, old: int, new: int) -> None:
+        """Swap one granule for another (migration bookkeeping)."""
+        if old not in self.frames:
+            raise MemoryError_("frame %d not in allocation %d" % (old, self.alloc_id))
+        self.frames.discard(old)
+        self.frames.add(new)
+
+    def owns(self, frame: int) -> bool:
+        return frame in self.frames
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Allocation(id=%d, frames=%d, movable=%s, tag=%r)" % (
+            self.alloc_id,
+            len(self.frames),
+            self.movable,
+            self.tag,
+        )
+
+
+class FrameDB:
+    """Ownership and state of every granule of physical RAM."""
+
+    def __init__(self, total_bytes: int, granule: int = PAGE_SIZE):
+        if granule % PAGE_SIZE != 0 or granule <= 0:
+            raise ConfigurationError("granule must be a positive multiple of PAGE_SIZE")
+        if total_bytes % granule != 0:
+            raise ConfigurationError("total_bytes must be a granule multiple")
+        self.total_bytes = total_bytes
+        self.granule = granule
+        self.n_frames = total_bytes // granule
+        self._state: List[FrameState] = [FrameState.FREE] * self.n_frames
+        self._owner: List[Optional[int]] = [None] * self.n_frames
+        self._allocations: Dict[int, Allocation] = {}
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # address mapping
+    # ------------------------------------------------------------------
+    def frame_addr(self, frame: int) -> int:
+        return frame * self.granule
+
+    def addr_frame(self, addr: int) -> int:
+        return addr // self.granule
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def state(self, frame: int) -> FrameState:
+        return self._state[frame]
+
+    def owner(self, frame: int) -> Optional[Allocation]:
+        alloc_id = self._owner[frame]
+        return self._allocations.get(alloc_id) if alloc_id is not None else None
+
+    def allocation(self, alloc_id: int) -> Allocation:
+        return self._allocations[alloc_id]
+
+    @property
+    def free_frames(self) -> int:
+        return sum(1 for s in self._state if s is FrameState.FREE)
+
+    @property
+    def used_bytes(self) -> int:
+        return (self.n_frames - self.free_frames) * self.granule
+
+    # ------------------------------------------------------------------
+    # mutation (used by the allocators only)
+    # ------------------------------------------------------------------
+    def claim(
+        self, frames: Iterable[int], movable: bool, tag: str, contiguous: bool = False
+    ) -> Allocation:
+        frames = list(frames)
+        for frame in frames:
+            if self._state[frame] is not FrameState.FREE:
+                raise MemoryError_("frame %d is not free" % frame)
+        alloc = Allocation(
+            alloc_id=next(self._ids),
+            frames=frames,
+            movable=movable,
+            tag=tag,
+            contiguous=contiguous,
+        )
+        new_state = FrameState.MOVABLE if movable else FrameState.UNMOVABLE
+        for frame in frames:
+            self._state[frame] = new_state
+            self._owner[frame] = alloc.alloc_id
+        self._allocations[alloc.alloc_id] = alloc
+        return alloc
+
+    def release(self, alloc: Allocation) -> None:
+        if alloc.freed:
+            raise MemoryError_("allocation %d already freed" % alloc.alloc_id)
+        for frame in alloc.frames:
+            if self._owner[frame] != alloc.alloc_id:
+                raise MemoryError_(
+                    "frame %d not owned by allocation %d" % (frame, alloc.alloc_id)
+                )
+            self._state[frame] = FrameState.FREE
+            self._owner[frame] = None
+        alloc.freed = True
+        del self._allocations[alloc.alloc_id]
+
+    def release_frames(self, alloc: Allocation, frames: Iterable[int]) -> None:
+        """Release a subset of an allocation's granules (CMA shrink path)."""
+        frames = set(frames)
+        for frame in frames:
+            if not alloc.owns(frame):
+                raise MemoryError_("frame %d not in allocation %d" % (frame, alloc.alloc_id))
+            self._state[frame] = FrameState.FREE
+            self._owner[frame] = None
+        alloc.frames -= frames
+        if not alloc.frames:
+            alloc.freed = True
+            del self._allocations[alloc.alloc_id]
+
+    def move_frame(self, alloc: Allocation, old: int, new: int) -> None:
+        """Retarget one granule of a movable allocation (after a copy)."""
+        if not alloc.movable:
+            raise MemoryError_("cannot migrate unmovable allocation %d" % alloc.alloc_id)
+        if self._state[new] is not FrameState.FREE:
+            raise MemoryError_("migration destination %d not free" % new)
+        if self._owner[old] != alloc.alloc_id:
+            raise MemoryError_("frame %d not owned by allocation %d" % (old, alloc.alloc_id))
+        self._state[new] = FrameState.MOVABLE
+        self._owner[new] = alloc.alloc_id
+        self._state[old] = FrameState.FREE
+        self._owner[old] = None
+        alloc.replace_frame(old, new)

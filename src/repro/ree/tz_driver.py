@@ -1,0 +1,119 @@
+"""The REE TrustZone driver (the +197 LoC the paper adds to Linux).
+
+Bridges three delegations between worlds:
+
+* **CMA ballooning** — handles the TEE's ``ree.cma_alloc`` /
+  ``ree.cma_release`` SMCs by carving/releasing contiguous runs from the
+  named CMA region.  Being REE code it is *untrusted*: adversary hooks can
+  forge the returned address (the CMA Iago attack the TEE's contiguity
+  check must catch) or refuse service (DoS, out of scope).
+* **TA invocation** — forwards client-application requests into the TEE.
+* **Delegated file I/O** — the LLM TA's model reads are issued here as
+  asynchronous I/O against the REE filesystem, landing directly in
+  allocated-but-unprotected secure-region memory (no bounce buffer, §4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError, MemoryError_
+from ..hw.common import World
+from ..ree.pages import Allocation
+from ..sim import Simulator
+from .kernel import REEKernel
+
+__all__ = ["TZDriver"]
+
+
+class TZDriver:
+    """The kernel's TrustZone driver: CMA ballooning + TA invocation."""
+
+    def __init__(self, sim: Simulator, kernel: REEKernel):
+        self.sim = sim
+        self.kernel = kernel
+        self.monitor = kernel.board.monitor
+        #: contiguous allocations per CMA region, in allocation order
+        #: (released strictly from the tail, matching extend-and-shrink).
+        self._allocs: Dict[str, List[Allocation]] = {}
+        #: adversary hook: forge the address returned to the TEE.
+        self.alloc_result_hook: Optional[Callable[[int], int]] = None
+        self.cma_alloc_calls = 0
+        self.cma_release_calls = 0
+        #: everything the REE *observes* about secure-memory scaling:
+        #: (region, size) per allocation — the §6 size side channel.
+        self.alloc_observations: List[Tuple[str, int]] = []
+        self.monitor.register("ree.cma_alloc", self._handle_cma_alloc)
+        self.monitor.register("ree.cma_release", self._handle_cma_release)
+
+    # ------------------------------------------------------------------
+    # CMA ballooning handlers (called via SMC from the TEE)
+    # ------------------------------------------------------------------
+    def _region(self, name: str):
+        region = self.kernel.cma_regions.get(name)
+        if region is None:
+            raise ConfigurationError("no CMA region %r" % name)
+        return region
+
+    def _handle_cma_alloc(self, region_name: str, expected_addr: int, n_bytes: int, threads: int):
+        region = self._region(region_name)
+        db = self.kernel.db
+        if expected_addr % db.granule != 0 or n_bytes % db.granule != 0:
+            raise ConfigurationError("unaligned CMA request")
+        start_frame = db.addr_frame(expected_addr)
+        n_frames = n_bytes // db.granule
+        alloc = yield from region.allocate_range(
+            start_frame, n_frames, threads=threads, tag="tee:" + region_name
+        )
+        self._allocs.setdefault(region_name, []).append(alloc)
+        self.cma_alloc_calls += 1
+        self.alloc_observations.append((region_name, n_bytes))
+        addr = db.frame_addr(min(alloc.frames))
+        if self.alloc_result_hook is not None:
+            addr = self.alloc_result_hook(addr)
+        return addr
+
+    def _handle_cma_release(self, region_name: str, n_bytes: int):
+        region = self._region(region_name)
+        db = self.kernel.db
+        if n_bytes % db.granule != 0:
+            raise ConfigurationError("unaligned CMA release")
+        remaining = n_bytes // db.granule
+        allocs = self._allocs.get(region_name, [])
+        self.cma_release_calls += 1
+        while remaining > 0:
+            if not allocs:
+                raise MemoryError_("TEE released more CMA memory than allocated")
+            tail = allocs[-1]
+            take = min(remaining, tail.n_frames)
+            if take == tail.n_frames:
+                region.release(tail)
+                allocs.pop()
+            else:
+                region.release_tail(tail, take)
+            remaining -= take
+        # Releasing is cheap (page-free fast path).
+        yield self.sim.timeout(self.kernel.buddy.alloc_seconds(n_bytes, self.kernel.spec.memory) / 2)
+        return None
+
+    # ------------------------------------------------------------------
+    # client-application side
+    # ------------------------------------------------------------------
+    def invoke_ta(self, func: str, *args, **kwargs):
+        """A CA invokes a TEE service through the driver (generator)."""
+        result = yield from self.monitor.smc(World.NONSECURE, func, *args, **kwargs)
+        return result
+
+    def delegated_read_into(
+        self, path: str, offset: int, size: int, phys_addr: int, nominal: float = None
+    ):
+        """Delegated model-file read: aio into physical memory (generator).
+
+        The destination must still be *non-secure* (allocated but not yet
+        protected); the write goes through the TZASC as a non-secure CPU
+        store, so a protocol bug that protected the memory first really
+        faults.
+        """
+        data = yield from self.kernel.fs.read(path, offset, size, nominal=nominal)
+        self.kernel.board.memory.cpu_write(phys_addr, data, World.NONSECURE)
+        return len(data)

@@ -1,0 +1,39 @@
+"""Deterministic discrete-event simulation engine.
+
+The simulator is the substrate under every hardware and OS model in this
+repository: components are generator coroutines scheduled on a shared
+virtual clock.  See :mod:`repro.sim.core` for the event loop and
+:mod:`repro.sim.resources` for semaphores and bandwidth-shared pipes.
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import BandwidthResource, Request, Resource, Transfer
+from .trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "AllOf",
+    "AnyOf",
+    "BandwidthResource",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "Transfer",
+]

@@ -1,0 +1,407 @@
+"""Discrete-event simulation core.
+
+This module implements a small, deterministic, generator-based
+discrete-event simulator in the style of SimPy.  Every other subsystem in
+the TZ-LLM reproduction (hardware devices, OS kernels, the inference
+pipeline) is expressed as :class:`Process` coroutines that yield *events*
+(timeouts, resource grants, completions of other processes) and are resumed
+by the :class:`Simulator` when those events trigger.
+
+Design notes
+------------
+* Determinism: the event queue breaks time ties with a monotonically
+  increasing sequence number, so two runs of the same model produce the
+  same schedule.  No wall-clock time is consulted anywhere.
+* Time is a ``float`` in *seconds* of simulated time.
+* Failure propagation: an event may *fail* with an exception; a process
+  waiting on it has the exception thrown into its generator at the yield
+  point, so ordinary ``try/except`` works across simulated waits.
+* Interrupts: a process can be interrupted from the outside (used by the
+  preemptive pipeline scheduler), which raises :class:`Interrupt` inside
+  the generator at its current yield point.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "Simulator",
+    "AllOf",
+    "AnyOf",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation API (not model-level errors)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that has been interrupted.
+
+    ``cause`` carries an arbitrary, caller-supplied payload describing why
+    the interrupt happened (e.g. "preempted-by-compute").
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, becomes *triggered* when :meth:`succeed` or
+    :meth:`fail` is called, and is then *processed* by the simulator, which
+    runs its callbacks (resuming any processes waiting on it).
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("event not yet triggered")
+        return self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event not yet triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._post(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Any process waiting on this event has ``exception`` raised at its
+        yield point.
+        """
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        # Mark handled pre-emptively; re-raised when a waiter observes it.
+        self.sim._post(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately (still inside simulated time ``sim.now``).
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return "<%s %s at t=%.9g>" % (type(self).__name__, state, self.sim.now)
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` seconds after its creation."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError("negative timeout delay: %r" % (delay,))
+        super().__init__(sim)
+        self._delay = delay
+        self._value = value
+        sim._schedule_at(sim.now + delay, self)
+
+    @property
+    def delay(self) -> float:
+        return self._delay
+
+
+class _Initialize(Event):
+    """Internal event that starts a new process on the next step."""
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._schedule_at(sim.now, self)
+
+
+class Process(Event):
+    """A running coroutine; also an event that triggers on completion.
+
+    The wrapped generator yields :class:`Event` instances.  When a yielded
+    event triggers, the generator is resumed with the event's value (or the
+    event's exception is thrown in).  The value of a ``return`` statement
+    becomes the process's own event value.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError("process requires a generator, got %r" % (generator,))
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point."""
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self is self.sim.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.sim)
+        event._interrupt_target = self  # type: ignore[attr-defined]
+        event.callbacks.append(self._deliver_interrupt)
+        event._interrupt_cause = cause  # type: ignore[attr-defined]
+        self.sim._schedule_at(self.sim.now, event, urgent=True)
+
+    def _deliver_interrupt(self, event: Event) -> None:
+        if self._triggered:
+            return  # finished in the meantime; interrupt is a no-op
+        cause = getattr(event, "_interrupt_cause", None)
+        # Detach from whatever we were waiting for.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self._step(Interrupt(cause), throw=True)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event._exception is not None:
+            self._step(event._exception, throw=True)
+        else:
+            self._step(event._value, throw=False)
+
+    def _step(self, payload: Any, throw: bool) -> None:
+        sim = self.sim
+        previous = sim.active_process
+        sim.active_process = self
+        try:
+            if throw:
+                target = self._generator.throw(payload)
+            else:
+                target = self._generator.send(payload)
+        except StopIteration as stop:
+            sim.active_process = previous
+            self.succeed(getattr(stop, "value", None))
+            return
+        except Interrupt as exc:
+            # An un-caught interrupt terminates the process "successfully"
+            # with the interrupt cause; this keeps preemption non-fatal.
+            sim.active_process = previous
+            self.succeed(exc.cause)
+            return
+        except BaseException as exc:
+            sim.active_process = previous
+            self.fail(exc)
+            return
+        sim.active_process = previous
+        if not isinstance(target, Event):
+            self._step(
+                SimulationError("process %r yielded non-event %r" % (self.name, target)),
+                throw=True,
+            )
+            return
+        if target.sim is not sim:
+            self._step(SimulationError("yielded event from another simulator"), throw=True)
+            return
+        self._target = target
+        target.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        for event in self._events:
+            if event.sim is not sim:
+                raise SimulationError("condition mixes simulators")
+        self._pending = 0
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            self._pending += 1
+            event.add_callback(self._check)
+
+    def _collect(self) -> dict:
+        return {
+            index: event._value
+            for index, event in enumerate(self._events)
+            if event.triggered and event._exception is None
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every child event has triggered (fails fast on error)."""
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as one child event triggers."""
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self.succeed(self._collect())
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, priority, seq, event)."""
+
+    #: queue priorities — urgent events (interrupt delivery) run before
+    #: normal events scheduled for the same instant.
+    _URGENT = 0
+    _NORMAL = 1
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List = []
+        self._seq = itertools.count()
+        self.active_process: Optional[Process] = None
+        self._step_count = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def steps(self) -> int:
+        """Number of events processed so far (useful for loop guards)."""
+        return self._step_count
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def run(self, until: Optional[float] = None, max_steps: int = 50_000_000) -> None:
+        """Run until the queue drains, or simulated time reaches ``until``.
+
+        ``max_steps`` guards against accidental infinite event loops in
+        model code; exceeding it raises :class:`SimulationError`.
+        """
+        steps = 0
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return
+            self._dispatch()
+            steps += 1
+            if steps > max_steps:
+                raise SimulationError("exceeded max_steps=%d" % max_steps)
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_until(self, event: Event, max_steps: int = 50_000_000) -> Any:
+        """Run until ``event`` has been processed; return its value."""
+        steps = 0
+        while not event.processed:
+            if not self._queue:
+                raise SimulationError("deadlock: event queue empty but %r pending" % event)
+            self._dispatch()
+            steps += 1
+            if steps > max_steps:
+                raise SimulationError("exceeded max_steps=%d" % max_steps)
+        return event.value
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _schedule_at(self, when: float, event: Event, urgent: bool = False) -> None:
+        priority = self._URGENT if urgent else self._NORMAL
+        heapq.heappush(self._queue, (when, priority, next(self._seq), event))
+
+    def _post(self, event: Event) -> None:
+        """Schedule an already-triggered event for immediate processing."""
+        self._schedule_at(self._now, event)
+
+    def _dispatch(self) -> None:
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        if when < self._now - 1e-12:
+            raise SimulationError("time went backwards")
+        self._now = max(self._now, when)
+        self._step_count += 1
+        event._triggered = True
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            return  # already processed (e.g. cancelled timeout)
+        for callback in callbacks:
+            callback(event)
+        if event._exception is not None and isinstance(event, Process):
+            # A process failing with nobody waiting is a real model bug:
+            # surface it instead of swallowing it.
+            if not callbacks:
+                raise event._exception

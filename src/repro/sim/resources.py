@@ -1,0 +1,213 @@
+"""Resources for the discrete-event simulator.
+
+Three resource flavours cover everything the TZ-LLM models need:
+
+* :class:`Resource` — counting semaphore with FIFO or priority queueing
+  (CPU core pools, the NPU, driver locks).
+* :class:`BandwidthResource` — processor-sharing pipe: concurrent transfers
+  split a fixed byte rate equally (flash I/O, memory-bus migration traffic).
+* :class:`TokenBucket` is intentionally absent: the paper's devices are all
+  rate-limited, not burst-limited.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, List, Optional
+
+from .core import Event, SimulationError, Simulator
+
+__all__ = ["Request", "Resource", "BandwidthResource", "Transfer"]
+
+
+class Request(Event):
+    """Event granted when the resource admits the requester.
+
+    Usable as a handle: pass it back to :meth:`Resource.release`.  Cancel a
+    queued request with :meth:`cancel` (used when a waiter times out).
+    """
+
+    def __init__(self, resource: "Resource", priority: float, data: Any):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+        self.data = data
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Withdraw a queued request; no-op if already granted."""
+        if self.triggered:
+            return
+        self.cancelled = True
+        self.resource._drop(self)
+
+
+class Resource:
+    """Counting semaphore over ``capacity`` identical slots.
+
+    With ``priority=True``, waiters are admitted lowest-priority-value
+    first (ties FIFO); otherwise strictly FIFO.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, priority: bool = False, name: str = ""):
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._prioritized = priority
+        self._users: List[Request] = []
+        self._queue: List = []
+        self._seq = itertools.count()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def request(self, priority: float = 0.0, data: Any = None) -> Request:
+        req = Request(self, priority, data)
+        key = priority if self._prioritized else 0.0
+        heapq.heappush(self._queue, (key, next(self._seq), req))
+        self._admit()
+        return req
+
+    def release(self, request: Request) -> None:
+        try:
+            self._users.remove(request)
+        except ValueError:
+            raise SimulationError("releasing a request that does not hold %s" % self.name)
+        self._admit()
+
+    def _drop(self, request: Request) -> None:
+        self._queue = [entry for entry in self._queue if entry[2] is not request]
+        heapq.heapify(self._queue)
+
+    def _admit(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            _key, _seq, req = heapq.heappop(self._queue)
+            if req.cancelled:
+                continue
+            self._users.append(req)
+            req.succeed(req)
+
+
+class Transfer(Event):
+    """A transfer in flight on a :class:`BandwidthResource`.
+
+    Triggers (with the transfer itself as value) when the last byte moves.
+    ``remaining`` is kept up to date lazily by the owning resource.
+    """
+
+    def __init__(self, resource: "BandwidthResource", size: float, tag: Any):
+        super().__init__(resource.sim)
+        if size < 0:
+            raise SimulationError("negative transfer size")
+        self.resource = resource
+        self.size = float(size)
+        self.remaining = float(size)
+        self.tag = tag
+        self.started_at = resource.sim.now
+        self.finished_at: Optional[float] = None
+
+
+class BandwidthResource:
+    """A pipe with fixed aggregate bandwidth, processor-shared.
+
+    ``n`` concurrent transfers each progress at ``bandwidth / n`` bytes per
+    second, optionally capped at ``per_stream`` (models flash controllers
+    whose single-queue throughput is below the aggregate).  Completion
+    times are recomputed whenever the set of active transfers changes,
+    which makes sharing exact rather than approximate.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float,
+        per_stream: Optional[float] = None,
+        name: str = "",
+    ):
+        if bandwidth <= 0:
+            raise SimulationError("bandwidth must be positive")
+        self.sim = sim
+        self.bandwidth = float(bandwidth)
+        self.per_stream = float(per_stream) if per_stream else None
+        self.name = name
+        self._active: List[Transfer] = []
+        self._last_update = sim.now
+        self._wake_generation = 0
+        self.total_bytes = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def current_rate(self) -> float:
+        """Per-transfer byte rate right now (0 if idle)."""
+        if not self._active:
+            return 0.0
+        rate = self.bandwidth / len(self._active)
+        if self.per_stream is not None:
+            rate = min(rate, self.per_stream)
+        return rate
+
+    def transfer(self, size: float, tag: Any = None) -> Transfer:
+        """Start moving ``size`` bytes; returns the completion event."""
+        self._settle()
+        xfer = Transfer(self, size, tag)
+        self.total_bytes += xfer.size
+        if xfer.size == 0:
+            xfer.finished_at = self.sim.now
+            xfer.succeed(xfer)
+            return xfer
+        self._active.append(xfer)
+        self._rearm()
+        return xfer
+
+    # ------------------------------------------------------------------
+    def _settle(self) -> None:
+        """Account progress since the last queue change."""
+        now = self.sim.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed <= 0 or not self._active:
+            return
+        rate = self.current_rate()
+        # A transfer with less than a nanosecond of work left is done:
+        # float roundtrip error on large transfers leaves residues that
+        # would otherwise schedule unrepresentably small wake-ups.
+        epsilon = max(1e-9, rate * 1e-9)
+        done: List[Transfer] = []
+        for xfer in self._active:
+            xfer.remaining -= rate * elapsed
+            if xfer.remaining <= epsilon:
+                xfer.remaining = 0.0
+                done.append(xfer)
+        for xfer in done:
+            self._active.remove(xfer)
+            xfer.finished_at = now
+            xfer.succeed(xfer)
+
+    def _rearm(self) -> None:
+        """Schedule a wake-up at the next completion instant."""
+        self._wake_generation += 1
+        if not self._active:
+            return
+        generation = self._wake_generation
+        rate = self.current_rate()
+        next_done = min(xfer.remaining for xfer in self._active) / rate
+        wake = self.sim.timeout(next_done)
+        wake.add_callback(lambda _event: self._on_wake(generation))
+
+    def _on_wake(self, generation: int) -> None:
+        if generation != self._wake_generation:
+            return  # superseded by a later queue change
+        self._settle()
+        self._rearm()

@@ -1,0 +1,79 @@
+"""Full-platform assembly: hardware + REE kernel + TEE OS + drivers.
+
+:func:`build_stack` stands up everything below the LLM layer: the board,
+the REE kernel with its CMA regions, the TrustZone driver, the TEE OS with
+a hardware key store, and the two cooperating NPU drivers.  The LLM
+systems in :mod:`repro.core.system` build on top of this; unit tests and
+examples use it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .config import MiB, PlatformSpec, RK3588
+from .crypto.keys import HardwareKeyStore
+from .hw.platform import Board
+from .ree.kernel import REEKernel
+from .ree.npu_driver import REENPUDriver
+from .ree.tz_driver import TZDriver
+from .sim import Simulator
+from .tee.npu_driver import TEENPUDriver
+from .tee.os import TEEOS
+
+__all__ = ["Stack", "build_stack"]
+
+
+@dataclass
+class Stack:
+    sim: Simulator
+    spec: PlatformSpec
+    board: Board
+    kernel: REEKernel
+    tz_driver: TZDriver
+    tee_os: TEEOS
+    keystore: HardwareKeyStore
+    ree_npu: REENPUDriver
+    tee_npu: TEENPUDriver
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+
+def build_stack(
+    spec: PlatformSpec = RK3588,
+    granule: int = 1 * MiB,
+    os_footprint: Optional[int] = None,
+    cma_regions: Optional[Dict[str, int]] = None,
+    device_seed: bytes = b"rk3588-unit-0",
+    npu_reinit_on_switch: bool = False,
+) -> Stack:
+    """Build and boot a complete two-world platform.
+
+    ``cma_regions`` maps region name to size in bytes; reservations happen
+    before boot.  The TEE NPU driver starts with no TZASC grants — callers
+    add slots for the job-context regions they create.
+    """
+    sim = Simulator()
+    board = Board(sim, spec)
+    kernel = REEKernel(sim, board, granule=granule, os_footprint=os_footprint)
+    for name, size in (cma_regions or {}).items():
+        kernel.reserve_cma(name, size)
+    kernel.boot()
+    tz_driver = TZDriver(sim, kernel)
+    keystore = HardwareKeyStore(device_seed)
+    tee_os = TEEOS(sim, board, keystore)
+    ree_npu = REENPUDriver(sim, board)
+    tee_npu = TEENPUDriver(sim, board, reinit_on_switch=npu_reinit_on_switch)
+    return Stack(
+        sim=sim,
+        spec=spec,
+        board=board,
+        kernel=kernel,
+        tz_driver=tz_driver,
+        tee_os=tee_os,
+        keystore=keystore,
+        ree_npu=ree_npu,
+        tee_npu=tee_npu,
+    )

@@ -1,0 +1,37 @@
+"""The TEE software stack: TEE OS, TAs, secure memory, NPU co-driver.
+
+See :mod:`repro.tee.os` for the kernel, :mod:`repro.tee.secure_memory`
+for the extend-and-shrink interface (§4.2), :mod:`repro.tee.npu_driver`
+for the data-plane co-driver (§4.3), and :mod:`repro.tee.sync` for
+TEE-managed synchronization (§3.2).
+"""
+
+from .attestation import AttestationService, DeviceAttestor, ModelProvider, Quote
+from .boot import BootChain, BootImage, TAVerifier
+from .ipc import IPCPort, IPCRouter
+from .npu_driver import SecureJobRecord, SecureJobState, TEENPUDriver
+from .os import TEEOS
+from .secure_memory import SecureRegion
+from .sync import ShadowThreadPool, TEECondition, TEEMutex
+from .ta import TrustedApplication
+
+__all__ = [
+    "AttestationService",
+    "BootChain",
+    "BootImage",
+    "DeviceAttestor",
+    "IPCPort",
+    "IPCRouter",
+    "ModelProvider",
+    "Quote",
+    "SecureJobRecord",
+    "SecureJobState",
+    "SecureRegion",
+    "ShadowThreadPool",
+    "TAVerifier",
+    "TEECondition",
+    "TEEMutex",
+    "TEENPUDriver",
+    "TEEOS",
+    "TrustedApplication",
+]

@@ -1,0 +1,115 @@
+"""TEE inter-TA IPC: ports, capabilities, request/reply.
+
+The paper's base TEE OS provides "thread management, IPC, interrupt
+dispatching, and memory management" (§5).  This is the IPC piece: TAs
+register named ports; other TAs may call a port only if the TEE OS
+granted them a capability for it.  Messages are copied by the kernel
+(values, never shared secure memory), so IPC cannot be used to bypass
+address-space isolation — a malicious TA with no capability gets a
+SecurityViolation, and even with one it only sees what the server
+chooses to reply.
+
+Calls are synchronous request/reply with a serving process per port,
+built on the simulator's event primitives; each hop charges a small
+kernel-mediated copy cost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from ..errors import ConfigurationError, SecurityViolation
+from ..sim import Event, Simulator
+from .ta import TrustedApplication
+
+__all__ = ["IPCPort", "IPCRouter"]
+
+#: kernel-mediated message copy latency per hop.
+IPC_HOP_LATENCY = 6e-6
+
+
+class IPCPort:
+    """A named service endpoint owned by one TA."""
+
+    def __init__(self, router: "IPCRouter", name: str, owner: TrustedApplication):
+        self.router = router
+        self.name = name
+        self.owner = owner
+        self._queue = deque()  # (payload, reply_event, caller)
+        self._wake: Optional[Event] = None
+        self.served = 0
+
+    # ------------------------------------------------------------------
+    def _enqueue(self, payload: Any, reply: Event, caller: TrustedApplication) -> None:
+        self._queue.append((payload, reply, caller))
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+
+    def serve(self, handler: Callable[[TrustedApplication, Any], Any]):
+        """Generator: serve requests forever with ``handler(caller, msg)``.
+
+        Run it as a process: ``sim.process(port.serve(handler))``.
+        Handler exceptions become the caller's exception (the kernel
+        reflects faults back), and the server keeps running.
+        """
+        sim = self.router.sim
+        while True:
+            while not self._queue:
+                self._wake = sim.event()
+                yield self._wake
+                self._wake = None
+            payload, reply, caller = self._queue.popleft()
+            yield sim.timeout(IPC_HOP_LATENCY)  # kernel copies the reply
+            self.served += 1
+            try:
+                result = handler(caller, payload)
+            except Exception as exc:  # reflected to the caller
+                reply.fail(exc)
+                continue
+            reply.succeed(result)
+
+
+class IPCRouter:
+    """The TEE OS's IPC layer: port registry + capability table."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._ports: Dict[str, IPCPort] = {}
+        self._grants: Set[Tuple[str, str]] = set()  # (ta name, port name)
+        self.denied_calls = 0
+
+    # ------------------------------------------------------------------
+    def register_port(self, owner: TrustedApplication, name: str) -> IPCPort:
+        """A TA creates a service port (implicitly granted to itself)."""
+        if name in self._ports:
+            raise ConfigurationError("port %r already registered" % name)
+        port = IPCPort(self, name, owner)
+        self._ports[name] = port
+        self._grants.add((owner.name, name))
+        return port
+
+    def grant(self, ta: TrustedApplication, port_name: str) -> None:
+        """The TEE OS grants ``ta`` the capability to call a port."""
+        if port_name not in self._ports:
+            raise ConfigurationError("no port %r" % port_name)
+        self._grants.add((ta.name, port_name))
+
+    def revoke(self, ta: TrustedApplication, port_name: str) -> None:
+        self._grants.discard((ta.name, port_name))
+
+    def call(self, caller: TrustedApplication, port_name: str, payload: Any):
+        """Generator: synchronous IPC call; returns the server's reply."""
+        port = self._ports.get(port_name)
+        if port is None:
+            raise ConfigurationError("no port %r" % port_name)
+        if (caller.name, port_name) not in self._grants:
+            self.denied_calls += 1
+            raise SecurityViolation(
+                "TA %r has no capability for port %r" % (caller.name, port_name)
+            )
+        yield self.sim.timeout(IPC_HOP_LATENCY)  # kernel copies the request
+        reply = self.sim.event()
+        port._enqueue(payload, reply, caller)
+        result = yield reply
+        return result

@@ -1,0 +1,207 @@
+"""The TEE data-plane NPU co-driver (§4.3; ~1 kLoC in the prototype).
+
+The minimal closure integrated into the TEE: initializing secure job
+execution contexts, launching jobs over MMIO, and handling completion
+interrupts.  Everything else (scheduling, power, frequency) is outsourced
+to the untrusted REE control plane and *verified*:
+
+* a take-over is accepted only for a job that was **initialized but not
+  yet issued to the hardware** (blocks arbitrary-launch and replay);
+* each job carries a monotonic sequence number checked against the
+  execution counter (blocks reordering);
+* the secure-mode switch follows the paper's strict order — ❶ TZPC closes
+  the NPU's MMIO to the REE and the GIC reroutes its interrupt, ❷ the
+  driver waits for any in-flight non-secure job, ❸ only then does the
+  TZASC open the job-context regions to the NPU.  Running steps out of
+  order is possible via ``unsafe_skip_wait_idle`` so the security tests
+  can demonstrate the DMA attack the ordering prevents.
+
+The driver runs in TEE user mode: its only privileges are the NPU MMIO
+mapping and the TZASC grants on the job-context regions it is given.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import IagoViolation, ProtocolError
+from ..hw.common import World
+from ..hw.npu import NPU, NPUJob
+from ..hw.platform import Board
+from ..sim import Event, Simulator
+
+__all__ = ["SecureJobState", "SecureJobRecord", "TEENPUDriver"]
+
+
+class SecureJobState(enum.Enum):
+    """Lifecycle of a secure NPU job (the replay-prevention state)."""
+
+    INITIALIZED = "initialized"
+    ISSUED = "issued"  # shadow job handed to the REE scheduler
+    RUNNING = "running"
+    DONE = "done"
+
+
+@dataclass
+class SecureJobRecord:
+    shadow_id: int
+    seq: int
+    job: NPUJob
+    state: SecureJobState
+    completion: Event
+
+
+class TEENPUDriver:
+    """The TEE data-plane co-driver: launch, verify, switch worlds."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        board: Board,
+        allowed_slots: Optional[List[int]] = None,
+        reinit_on_switch: bool = False,
+    ):
+        """``allowed_slots``: TZASC slots the NPU may access during secure
+        jobs (the job-context regions of §4.2).  ``reinit_on_switch``
+        models the rejected detach-attach design (32 ms per hand-off)."""
+        self.sim = sim
+        self.board = board
+        self.npu: NPU = board.npu
+        self.allowed_slots: List[int] = list(allowed_slots or [])
+        self.reinit_on_switch = reinit_on_switch
+        self._records: Dict[int, SecureJobRecord] = {}
+        self._shadow_ids = itertools.count(1)
+        self._issue_seq = itertools.count(0)
+        self._exec_seq = 0
+        self._irq_done: Optional[Event] = None
+        self.secure_jobs_completed = 0
+        self.take_over_rejections = 0
+        self.world_switch_time = 0.0
+        self.world_switches = 0
+        #: attack/ablation switches
+        self.unsafe_skip_wait_idle = False
+        board.gic.attach_handler(World.SECURE, self.npu.irq, self._on_irq)
+        board.monitor.register("tee.npu_take_over", self._handle_take_over)
+
+    # ------------------------------------------------------------------
+    # TA-facing API
+    # ------------------------------------------------------------------
+    def submit_secure_job(self, job: NPUJob):
+        """Run ``job`` securely (generator; returns the completed job).
+
+        Initializes the execution context, issues a paired shadow job to
+        the REE scheduler, and waits for the take-over/completion cycle.
+        """
+        record = self.init_job(job)
+        yield from self.issue_job(record)
+        yield record.completion
+        return record.job
+
+    def init_job(self, job: NPUJob) -> SecureJobRecord:
+        """Step 1: register the execution context (not yet schedulable)."""
+        record = SecureJobRecord(
+            shadow_id=next(self._shadow_ids),
+            seq=next(self._issue_seq),
+            job=job,
+            state=SecureJobState.INITIALIZED,
+            completion=self.sim.event(),
+        )
+        self._records[record.shadow_id] = record
+        return record
+
+    def issue_job(self, record: SecureJobRecord):
+        """Step 2: hand the paired shadow job to the REE scheduler."""
+        if record.state is not SecureJobState.INITIALIZED:
+            raise ProtocolError("job %d issued twice" % record.shadow_id)
+        record.state = SecureJobState.ISSUED
+        yield from self.board.monitor.smc(
+            World.SECURE, "ree.npu_submit_shadow", record.shadow_id, record.seq
+        )
+
+    # ------------------------------------------------------------------
+    # take-over path (SMC handler, called by the REE scheduler)
+    # ------------------------------------------------------------------
+    def _handle_take_over(self, shadow_id: int, seq: int):
+        record = self._records.get(shadow_id)
+        if record is None:
+            self.take_over_rejections += 1
+            raise IagoViolation("take-over for unknown secure job %d" % shadow_id)
+        if record.state is not SecureJobState.ISSUED:
+            self.take_over_rejections += 1
+            raise IagoViolation(
+                "take-over for job %d in state %s (replay or premature launch)"
+                % (shadow_id, record.state.value)
+            )
+        if seq != record.seq or record.seq != self._exec_seq:
+            self.take_over_rejections += 1
+            raise IagoViolation(
+                "sequence check failed: presented %d, record %d, expected %d"
+                % (seq, record.seq, self._exec_seq)
+            )
+        record.state = SecureJobState.RUNNING
+        yield from self._enter_secure_mode()
+        self._irq_done = self.sim.event()
+        self.npu.launch(World.SECURE, record.job)
+        completed = yield self._irq_done
+        self._irq_done = None
+        yield from self._leave_secure_mode()
+        self._exec_seq += 1
+        record.state = SecureJobState.DONE
+        self.secure_jobs_completed += 1
+        record.completion.succeed(completed)
+        return shadow_id
+
+    def _on_irq(self, irq: int, job: NPUJob) -> None:
+        if self._irq_done is not None and not self._irq_done.triggered:
+            self._irq_done.succeed(job)
+
+    # ------------------------------------------------------------------
+    # secure-mode switching (ordering is the security argument)
+    # ------------------------------------------------------------------
+    def _enter_secure_mode(self):
+        sim = self.sim
+        tz = self.board.spec.trustzone
+        start = sim.now
+        if self.reinit_on_switch:
+            yield sim.timeout(self.npu.spec.driver_reinit_time)
+        # (1) Close the NPU's MMIO to the REE and reroute its interrupt:
+        # no *new* non-secure job can be launched from here on.
+        self.board.tzpc.set_secure(World.SECURE, self.npu.name, True)
+        yield sim.timeout(tz.tzpc_config_time)
+        self.board.gic.set_group(World.SECURE, self.npu.irq, World.SECURE)
+        yield sim.timeout(tz.gic_config_time)
+        if self.unsafe_skip_wait_idle:
+            # WRONG ORDER (attack demo): grant the NPU access to secure
+            # memory while a previously-launched non-secure job may still
+            # be in flight — its DMA will land in secure memory.
+            for slot in self.allowed_slots:
+                self.board.tzasc.allow_device(World.SECURE, slot, self.npu.name)
+            yield sim.timeout(tz.tzasc_config_time)
+            yield self.npu.wait_idle()
+        else:
+            # (2) Drain any job the REE launched before we closed the door.
+            yield self.npu.wait_idle()
+            # (3) Only now open the job-context regions to the NPU.
+            for slot in self.allowed_slots:
+                self.board.tzasc.allow_device(World.SECURE, slot, self.npu.name)
+            yield sim.timeout(tz.tzasc_config_time)
+        self.world_switch_time += sim.now - start
+        self.world_switches += 1
+
+    def _leave_secure_mode(self):
+        sim = self.sim
+        tz = self.board.spec.trustzone
+        start = sim.now
+        for slot in self.allowed_slots:
+            self.board.tzasc.revoke_device(World.SECURE, slot, self.npu.name)
+        yield sim.timeout(tz.tzasc_config_time)
+        self.board.gic.set_group(World.SECURE, self.npu.irq, World.NONSECURE)
+        yield sim.timeout(tz.gic_config_time)
+        self.board.tzpc.set_secure(World.SECURE, self.npu.name, False)
+        yield sim.timeout(tz.tzpc_config_time)
+        if self.reinit_on_switch:
+            yield sim.timeout(self.npu.spec.driver_reinit_time)
+        self.world_switch_time += sim.now - start

@@ -1,0 +1,27 @@
+"""Evaluation workloads: prompts, NN apps, Geekbench, memory stress."""
+
+from .geekbench import GEEKBENCH_SUITE, GeekbenchApp, migration_slowdown, run_suite
+from .nn_apps import MOBILENET_V1, NNAppRunner, NNAppSpec, YOLOV5S
+from .prompts import BENCHMARKS, Prompt, benchmark_names, generate_prompts
+from .stress import MemoryStress
+from .traces import PressurePhase, TraceEvent, generate_pressure_phases, generate_trace
+
+__all__ = [
+    "BENCHMARKS",
+    "GEEKBENCH_SUITE",
+    "GeekbenchApp",
+    "MemoryStress",
+    "MOBILENET_V1",
+    "NNAppRunner",
+    "NNAppSpec",
+    "PressurePhase",
+    "Prompt",
+    "TraceEvent",
+    "YOLOV5S",
+    "benchmark_names",
+    "generate_pressure_phases",
+    "generate_prompts",
+    "generate_trace",
+    "migration_slowdown",
+    "run_suite",
+]

@@ -1,0 +1,91 @@
+"""Benchmark prompt workloads: UltraChat, PersonaChat, DroidTask (§7).
+
+Real benchmark corpora are not redistributable here, so each benchmark is
+a seeded generator reproducing the property the evaluation depends on —
+its *prompt-length distribution*:
+
+* **UltraChat** — multi-turn dialogue turns; short prompts (the paper
+  attributes TZ-LLM's larger relative overhead on UltraChat to exactly
+  this).
+* **PersonaChat** — chat-summarization tasks over a persona + history;
+  medium prompts.
+* **DroidTask** — UI automation with serialized app state in context;
+  long prompts.
+
+Prompts are real text (deterministic word salad) so the tokenizer and the
+full request path run end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ConfigurationError
+
+__all__ = ["Prompt", "BENCHMARKS", "generate_prompts", "benchmark_names"]
+
+_WORDS = (
+    "please summarize the following conversation about travel plans and "
+    "budget options then suggest next steps for booking hotels flights "
+    "trains schedule meeting notes review document screen tap button open "
+    "settings wifi toggle scroll list select item confirm dialog assistant "
+    "user agent reply context history persona likes music hiking cooking"
+).split()
+
+
+@dataclass(frozen=True)
+class Prompt:
+    benchmark: str
+    index: int
+    text: str
+    tokens: int
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    name: str
+    description: str
+    min_tokens: int
+    max_tokens: int
+    mode_tokens: int  # triangular-distribution mode
+
+
+BENCHMARKS = {
+    "ultrachat": BenchmarkSpec(
+        "ultrachat", "multi-turn dialogues (short turns)", 16, 128, 48
+    ),
+    "personachat": BenchmarkSpec(
+        "personachat", "chat summarization (persona + history)", 128, 448, 256
+    ),
+    "droidtask": BenchmarkSpec(
+        "droidtask", "UI automation (serialized app state)", 256, 640, 448
+    ),
+}
+
+
+def benchmark_names() -> List[str]:
+    """The available prompt benchmarks, sorted."""
+    return sorted(BENCHMARKS)
+
+
+def generate_prompts(benchmark: str, count: int, seed: int = 2026) -> List[Prompt]:
+    """``count`` deterministic prompts drawn from the benchmark's
+    length distribution."""
+    spec = BENCHMARKS.get(benchmark)
+    if spec is None:
+        raise ConfigurationError(
+            "unknown benchmark %r (have: %s)" % (benchmark, ", ".join(benchmark_names()))
+        )
+    if count < 1:
+        raise ConfigurationError("count must be positive")
+    rng = random.Random("%s:%d" % (benchmark, seed))
+    prompts = []
+    for index in range(count):
+        tokens = int(rng.triangular(spec.min_tokens, spec.max_tokens, spec.mode_tokens))
+        tokens = max(spec.min_tokens, min(spec.max_tokens, tokens))
+        # One word per token beyond BOS.
+        words = [rng.choice(_WORDS) for _ in range(tokens - 1)]
+        prompts.append(Prompt(benchmark, index, " ".join(words), tokens))
+    return prompts

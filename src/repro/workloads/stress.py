@@ -1,0 +1,143 @@
+"""stress-ng-style memory pressure (§7 "Models and deployment").
+
+The stressor maps a configurable amount of movable, *reclaimable* memory
+and writes recognizable patterns into it.  When free memory outside the
+CMA regions runs out, further pressure spills into the CMA regions —
+which is exactly what forces page migration when the TEE later balloons
+secure memory (the worst case the paper evaluates).
+
+Two behaviours mirror the real tool:
+
+* **best effort** — under a full system stress-ng maps what it can
+  instead of dying on OOM;
+* **continuous pressure** — stress-ng's vm workers re-fault reclaimed
+  pages and re-map released memory in a loop, so freed memory (e.g. a
+  CMA region the TEE just revoked) fills right back up.  Call
+  :meth:`refresh` between experiment phases to model one sweep of that
+  loop.
+
+Functional checks: the stressor can verify its surviving pages still hold
+their patterns after migrations (migration must copy, not corrupt).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ConfigurationError
+from ..ree.kernel import REEKernel
+from ..ree.pages import Allocation
+
+__all__ = ["MemoryStress"]
+
+_PATTERN_STRIDE = 64
+
+
+class MemoryStress:
+    """stress-ng-style reclaimable memory pressure with pattern checks."""
+
+    def __init__(
+        self,
+        kernel: REEKernel,
+        n_bytes: int,
+        tag: str = "stress-ng",
+        best_effort: bool = True,
+        headroom: int = 64 * 1024 * 1024,
+    ):
+        if n_bytes <= 0:
+            raise ConfigurationError("stress size must be positive")
+        self.kernel = kernel
+        self.n_bytes = n_bytes
+        self.tag = tag
+        self.best_effort = best_effort
+        self.headroom = headroom
+        self.allocs: List[Allocation] = []
+        self._running = False
+
+    # ------------------------------------------------------------------
+    @property
+    def mapped_bytes(self) -> int:
+        return sum(a.n_frames for a in self.allocs if not a.freed) * self.kernel.db.granule
+
+    def start(self) -> None:
+        """Map the pressure memory and stamp patterns into it."""
+        if self._running:
+            raise ConfigurationError("stress already running")
+        self._running = True
+        self._map_up_to(self.n_bytes)
+
+    def refresh(self) -> int:
+        """One sweep of stress-ng's mmap/touch/munmap loop: drop the
+        current mappings and re-map the full target.  Fresh placement
+        follows the kernel's CMA-balancing heuristic, so a CMA region the
+        TEE just revoked fills right back up — the *continuous* worst
+        case of §7.  Returns the bytes now mapped."""
+        if not self._running:
+            raise ConfigurationError("stress not running")
+        for alloc in self.allocs:
+            self.kernel.buddy.unregister_reclaimable(alloc)
+            if not alloc.freed:
+                self.kernel.free(alloc)
+        self.allocs = []
+        self._map_up_to(self.n_bytes)
+        return self.mapped_bytes
+
+    def _map_up_to(self, target: int) -> None:
+        granule = self.kernel.db.granule
+        want = target - self.mapped_bytes
+        if want < granule:
+            return
+        if self.best_effort:
+            available = self.kernel.free_bytes - self.headroom
+            want = min(want, available)
+            if want < granule:
+                return
+        alloc = self.kernel.map_anonymous(want, tag=self.tag)
+        self.kernel.buddy.register_reclaimable(alloc)
+        self.allocs.append(alloc)
+        memory = self.kernel.board.memory
+        for frame in alloc.frames:
+            memory._raw_write(self.kernel.db.frame_addr(frame), self._pattern(frame))
+
+    def _pattern(self, frame: int) -> bytes:
+        return (b"S%07d" % (frame % 10_000_000)) * (_PATTERN_STRIDE // 8)
+
+    # ------------------------------------------------------------------
+    def frames_in_cma(self) -> int:
+        count = 0
+        for region in self.kernel.cma_regions.values():
+            for alloc in self.allocs:
+                if alloc.freed:
+                    continue
+                count += sum(
+                    1 for f in alloc.frames if region.start_frame <= f < region.end_frame
+                )
+        return count
+
+    def verify_surviving_pages(self) -> int:
+        """Check that every still-mapped page holds a valid stress pattern
+        (migration must have copied the data).  Returns pages checked."""
+        memory = self.kernel.board.memory
+        checked = 0
+        for alloc in self.allocs:
+            if alloc.freed:
+                continue
+            for frame in alloc.frames:
+                addr = self.kernel.db.frame_addr(frame)
+                data = memory._raw_read(addr, _PATTERN_STRIDE)
+                if not (data[:1] == b"S" and data[1:8].isdigit()):
+                    raise AssertionError(
+                        "stress page at frame %d corrupted: %r" % (frame, data[:16])
+                    )
+                checked += 1
+        return checked
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        for alloc in self.allocs:
+            self.kernel.buddy.unregister_reclaimable(alloc)
+            if not alloc.freed:
+                self.kernel.free(alloc)
+        self.allocs = []

@@ -1,0 +1,93 @@
+"""Request-arrival traces: a day in the life of an on-device assistant.
+
+Deterministic (seeded) arrival processes for driving multi-request
+experiments: bursts of short chat turns, occasional long summarization or
+UI-automation requests, and background memory-pressure phases — the
+operating regime the partial-caching and pressure policies are designed
+for.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from .prompts import BENCHMARKS
+
+__all__ = ["TraceEvent", "generate_trace", "PressurePhase", "generate_pressure_phases"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    at: float  # arrival time (simulated seconds)
+    kind: str  # benchmark name: ultrachat / personachat / droidtask
+    prompt_tokens: int
+    output_tokens: int
+
+
+@dataclass(frozen=True)
+class PressurePhase:
+    start: float
+    pressure_bytes: int
+    label: str
+
+
+def generate_trace(
+    duration: float,
+    rate_per_hour: float,
+    seed: int = 7,
+    mix: Optional[dict] = None,
+) -> List[TraceEvent]:
+    """Poisson-ish arrivals over ``duration`` seconds.
+
+    ``mix`` maps benchmark name to weight (default: chat-heavy).
+    """
+    if duration <= 0 or rate_per_hour <= 0:
+        raise ConfigurationError("duration and rate must be positive")
+    mix = mix or {"ultrachat": 0.7, "personachat": 0.2, "droidtask": 0.1}
+    unknown = set(mix) - set(BENCHMARKS)
+    if unknown:
+        raise ConfigurationError("unknown benchmarks in mix: %s" % sorted(unknown))
+    rng = random.Random(seed)
+    kinds = list(mix)
+    weights = [mix[k] for k in kinds]
+    mean_gap = 3600.0 / rate_per_hour
+    events: List[TraceEvent] = []
+    at = rng.expovariate(1.0 / mean_gap)
+    while at < duration:
+        kind = rng.choices(kinds, weights=weights)[0]
+        spec = BENCHMARKS[kind]
+        prompt = int(rng.triangular(spec.min_tokens, spec.max_tokens, spec.mode_tokens))
+        output = rng.randint(8, 48)
+        events.append(TraceEvent(at, kind, prompt, output))
+        at += rng.expovariate(1.0 / mean_gap)
+    return events
+
+
+def generate_pressure_phases(
+    duration: float,
+    low_bytes: int,
+    high_bytes: int,
+    period: float,
+    seed: int = 7,
+) -> List[PressurePhase]:
+    """Alternating background-memory phases (apps opening and closing)."""
+    if period <= 0:
+        raise ConfigurationError("period must be positive")
+    rng = random.Random(seed + 1)
+    phases: List[PressurePhase] = []
+    at = 0.0
+    high = False
+    while at < duration:
+        phases.append(
+            PressurePhase(
+                at,
+                high_bytes if high else low_bytes,
+                "apps-busy" if high else "apps-idle",
+            )
+        )
+        at += period * rng.uniform(0.7, 1.3)
+        high = not high
+    return phases

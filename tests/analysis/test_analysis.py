@@ -1,0 +1,78 @@
+"""Tests for metrics, table rendering, and the LoC inventory."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_LOC,
+    count_package_loc,
+    geomean,
+    mean,
+    percent_change,
+    reduction,
+    render_bars,
+    render_table,
+    speedup,
+)
+from repro.errors import ConfigurationError
+
+
+def test_mean_and_geomean():
+    assert mean([1, 2, 3]) == 2
+    assert geomean([1, 4]) == pytest.approx(2.0)
+    assert geomean([10, 10, 10]) == pytest.approx(10.0)
+
+
+def test_geomean_rejects_nonpositive_and_empty():
+    with pytest.raises(ConfigurationError):
+        geomean([])
+    with pytest.raises(ConfigurationError):
+        geomean([1, 0])
+    with pytest.raises(ConfigurationError):
+        mean([])
+
+
+def test_percent_change_and_reduction():
+    assert percent_change(110, 100) == pytest.approx(10.0)
+    assert percent_change(90, 100) == pytest.approx(-10.0)
+    assert reduction(100, 25) == pytest.approx(75.0)
+    assert speedup(10, 2) == pytest.approx(5.0)
+    with pytest.raises(ConfigurationError):
+        percent_change(1, 0)
+
+
+def test_render_table_alignment():
+    out = render_table(["sys", "ttft"], [["TZ-LLM", 1.234], ["Strawman", 10.5]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "sys" in lines[1] and "ttft" in lines[1]
+    assert len(lines) == 5
+    # Columns align.
+    assert lines[3].index("|") == lines[4].index("|")
+
+
+def test_render_bars():
+    out = render_bars(["a", "b"], [1.0, 2.0], width=10, unit="s")
+    lines = out.splitlines()
+    assert len(lines) == 2
+    assert lines[1].count("#") == 10  # the max fills the width
+    assert lines[0].count("#") == 5
+
+
+def test_render_bars_handles_zero():
+    out = render_bars(["z"], [0.0])
+    assert "0" in out
+
+
+def test_loc_inventory_counts_this_package():
+    counts = count_package_loc()
+    assert sum(counts.values()) > 3000  # the reproduction is substantial
+    tee = count_package_loc("tee")
+    assert 0 < sum(tee.values()) < sum(counts.values())
+    # The TEE NPU co-driver stays small, like the paper's ~1 kLoC driver.
+    npu_driver = [v for k, v in tee.items() if "npu_driver" in k]
+    assert npu_driver and npu_driver[0] < 400
+
+
+def test_paper_loc_reference_table():
+    assert PAPER_LOC["TEE OS additions (CMA mapping + TZASC/TZPC config)"] == 112
+    assert PAPER_LOC["Rockchip NPU driver stack avoided"] == 60_000

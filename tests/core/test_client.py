@@ -1,0 +1,77 @@
+"""Tests for the client-application session API."""
+
+import pytest
+
+from repro.core import TZLLM
+from repro.core.client import ClientApp
+from repro.errors import ConfigurationError
+from repro.llm import TINYLLAMA
+
+
+@pytest.fixture(scope="module")
+def app():
+    system = TZLLM(TINYLLAMA, cache_fraction=0.5)
+    system.run_infer(8, 0)  # cold start off the measured path
+    return ClientApp(system)
+
+
+def test_ask_returns_text_and_record(app):
+    session = app.open_session()
+    reply = session.ask_blocking("summarize my meeting notes please", max_new_tokens=8)
+    assert reply.session_id == session.session_id
+    assert len(reply.record.decode.token_ids) == 8
+    assert reply.text  # decoded output text
+    assert reply.ttft > 0
+    assert reply.tokens_per_second > 0
+    assert session.total_tokens_generated == 8
+
+
+def test_prompt_length_comes_from_tokenizer(app):
+    session = app.open_session()
+    short = session.ask_blocking("hi", max_new_tokens=0)
+    long = session.ask_blocking(" ".join(["word"] * 120), max_new_tokens=0)
+    assert long.record.prompt_tokens > short.record.prompt_tokens
+    assert long.record.prompt_tokens == 121  # BOS + 120 words
+
+
+def test_concurrent_requests_serialize_in_arrival_order(app):
+    sim = app.system.sim
+    a = app.open_session()
+    b = app.open_session()
+    order = []
+
+    def client(session, tag, delay):
+        yield sim.timeout(delay)
+        reply = yield from session.ask("request from %s" % tag, max_new_tokens=2)
+        order.append((tag, reply.record.started_at))
+
+    pa = sim.process(client(a, "a", 0.0))
+    pb = sim.process(client(b, "b", 0.001))
+    sim.run_until(pa)
+    sim.run_until(pb)
+    assert [tag for tag, _ in order] == ["a", "b"] or order[0][1] < order[1][1]
+    assert app.queue_wait_time > 0  # b waited for a
+
+
+def test_closed_session_rejects_requests(app):
+    session = app.open_session()
+    session.close()
+    proc = app.system.sim.process(session.ask("hello"))
+    with pytest.raises(ConfigurationError):
+        app.system.sim.run_until(proc)
+
+
+def test_negative_tokens_rejected(app):
+    session = app.open_session()
+    proc = app.system.sim.process(session.ask("hello", max_new_tokens=-1))
+    with pytest.raises(ConfigurationError):
+        app.system.sim.run_until(proc)
+
+
+def test_request_accounting(app):
+    served_before = app.requests_served
+    session = app.open_session()
+    session.ask_blocking("one", max_new_tokens=1)
+    session.ask_blocking("two", max_new_tokens=1)
+    assert app.requests_served == served_before + 2
+    assert session.mean_ttft > 0

@@ -1,0 +1,52 @@
+"""Tests for mid-decode KV-region growth (§4.2 data-region pattern)."""
+
+import pytest
+
+from repro.core import TZLLM
+from repro.llm import TINYLLAMA
+
+
+@pytest.fixture(scope="module")
+def system():
+    system = TZLLM(TINYLLAMA, cache_fraction=1.0)
+    system.run_infer(8, 0)
+    return system
+
+
+def test_kv_region_grows_during_long_decode(system):
+    # TinyLlama KV is ~22.5 KB/token; with a 1 MiB granule the region
+    # must extend at least once while decoding 64 tokens.
+    record = system.run_infer(32, 64)
+    assert record.kv_growth_extends >= 1
+    assert len(record.decode.token_ids) == 64
+    # The data region is fully released afterwards.
+    assert system.ta.data_region.allocated == 0
+
+
+def test_short_decode_needs_no_growth(system):
+    record = system.run_infer(32, 2)
+    assert record.kv_growth_extends == 0
+
+
+def test_growth_visible_to_ree_as_cma_extensions(system):
+    """The REE really serves the mid-decode extensions (ballooning)."""
+    data_region = "%s:data" % TINYLLAMA.model_id
+    before = [
+        size for name, size in system.stack.tz_driver.alloc_observations
+        if name == data_region
+    ]
+    record = system.run_infer(32, 64)
+    after = [
+        size for name, size in system.stack.tz_driver.alloc_observations
+        if name == data_region
+    ]
+    assert len(after) - len(before) == 1 + record.kv_growth_extends
+
+
+def test_initial_region_sized_for_prompt_not_output(system):
+    """The region starts at prompt-KV size: generating many tokens must
+    not reserve their memory up front."""
+    short = system.run_infer(32, 0)
+    long_prompt = system.run_infer(480, 0)
+    # Setup cost scales with prompt KV (long prompt allocates more now).
+    assert long_prompt.data_setup_time > short.data_setup_time

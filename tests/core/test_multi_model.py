@@ -1,0 +1,86 @@
+"""Tests for hosting multiple protected models on one device."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.multi import TZLLMMulti
+from repro.errors import AccessDenied, ConfigurationError, SecurityViolation
+from repro.llm import TINYLLAMA
+
+SECOND = replace(TINYLLAMA, model_id="tinyllama-clone-b", display_name="Clone-B")
+TINY = [
+    replace(TINYLLAMA, model_id="m%d" % i, display_name="M%d" % i) for i in range(5)
+]
+
+
+@pytest.fixture(scope="module")
+def multi():
+    system = TZLLMMulti([TINYLLAMA, SECOND], cache_fraction=1.0)
+    for model_id in (TINYLLAMA.model_id, SECOND.model_id):
+        system.run_infer(model_id, 8, 0)  # cold starts
+    return system
+
+
+def test_both_models_serve_requests(multi):
+    a = multi.run_infer(TINYLLAMA.model_id, 64, 4)
+    b = multi.run_infer(SECOND.model_id, 64, 4)
+    assert a.decode.token_ids and b.decode.token_ids
+    assert a.ttft > 0 and b.ttft > 0
+
+
+def test_models_have_disjoint_secure_regions(multi):
+    a = multi.ta(TINYLLAMA.model_id).params_region
+    b = multi.ta(SECOND.model_id).params_region
+    assert a.tzasc_slot != b.tzasc_slot
+    ranges_disjoint = (
+        a.base_addr + a.capacity <= b.base_addr
+        or b.base_addr + b.capacity <= a.base_addr
+    )
+    assert ranges_disjoint
+
+
+def test_cross_ta_isolation(multi):
+    """TA for model A cannot read model B's cached parameters or key."""
+    multi.run_infer(SECOND.model_id, 16, 0)  # B's cache is resident
+    ta_a = multi.ta(TINYLLAMA.model_id)
+    region_b = multi.ta(SECOND.model_id).params_region
+    assert region_b.protected > 0
+    with pytest.raises(AccessDenied):
+        multi.stack.tee_os.ta_read(ta_a, region_b.base_addr, 64)
+    with pytest.raises(SecurityViolation):
+        multi.stack.tee_os.unwrap_key_for(
+            ta_a, multi.ta(SECOND.model_id).container.wrapped_key, SECOND.model_id
+        )
+
+
+def test_npu_grants_cover_both_models(multi):
+    slots = set(multi.stack.tee_npu.allowed_slots)
+    for model_id in (TINYLLAMA.model_id, SECOND.model_id):
+        ta = multi.ta(model_id)
+        assert ta.params_region.tzasc_slot in slots
+        assert ta.data_region.tzasc_slot in slots
+
+
+def test_tzasc_slot_limit_enforced():
+    """Five models need ten regions; the TZC-400 has eight."""
+    with pytest.raises(ConfigurationError, match="TZASC"):
+        TZLLMMulti(TINY)
+
+
+def test_memory_budget_enforced():
+    from repro.llm import LLAMA3_8B
+
+    big = [
+        replace(LLAMA3_8B, model_id="big-%d" % i, display_name="Big%d" % i)
+        for i in range(3)
+    ]
+    with pytest.raises(ConfigurationError, match="CMA"):
+        TZLLMMulti(big)  # 3 x 8 GB cannot fit in 16 GB
+
+
+def test_duplicate_or_empty_model_lists_rejected():
+    with pytest.raises(ConfigurationError):
+        TZLLMMulti([])
+    with pytest.raises(ConfigurationError):
+        TZLLMMulti([TINYLLAMA, TINYLLAMA])

@@ -1,0 +1,146 @@
+"""Tests for the pipelined restoration executor (§4.1 / Fig. 5)."""
+
+import pytest
+
+from repro.config import MiB
+from repro.core import PipelineConfig, TZLLM, strawman
+from repro.core.caching import ThresholdProfiler
+from repro.errors import ConfigurationError
+from repro.llm import get_model
+
+SPEC = get_model("tinyllama-1.1b-q8")
+
+
+def make_system(**kwargs):
+    return TZLLM(SPEC, max_tokens=1024, **kwargs)
+
+
+def warm(system):
+    """First request pays cold init + checkpoint save; drop it."""
+    return system.run_infer(8, 0)
+
+
+def test_pipelined_beats_sequential_restoration():
+    pipelined = make_system()
+    warm(pipelined)
+    fast = pipelined.run_infer(128, 0)
+
+    sequential = make_system(pipeline_config=PipelineConfig(pipelined=False))
+    warm(sequential)
+    slow = sequential.run_infer(128, 0)
+
+    assert fast.ttft < slow.ttft
+    # Restoration was fully serialized in the sequential run: its TTFT is
+    # at least io + alloc + decrypt + compute.
+    m = slow.pipeline
+    assert slow.ttft >= m.io_time + m.alloc_time + m.decrypt_time
+
+
+def test_preemption_reduces_ttft_under_pressure():
+    config_np = PipelineConfig(preemptive=False)
+    with_p = make_system()
+    without_p = make_system(pipeline_config=config_np)
+    for system in (with_p, without_p):
+        system.apply_pressure(13 * 10 ** 9)
+        warm(system)
+    t_with = with_p.run_infer(512, 0).ttft
+    t_without = without_p.run_infer(512, 0).ttft
+    assert t_with <= t_without * 1.001
+
+
+def test_metrics_paths_accounted():
+    system = make_system()
+    warm(system)
+    record = system.run_infer(128, 0)
+    m = record.pipeline
+    assert m.io_time > 0
+    assert m.decrypt_time > 0
+    assert m.cpu_compute_time > 0
+    assert m.npu_compute_time > 0
+    assert m.loaded_bytes == pytest.approx(system.ta.plan.total_nominal_bytes)
+    assert m.lower_bound == max(m.io_path, m.cpu_path, m.computation_path)
+    # The achieved TTFT can never beat the lower bound.
+    assert m.ttft >= m.lower_bound * 0.999
+
+
+def test_ttft_close_to_lower_bound():
+    """§7.2.1: the greedy policy lands near the theoretical optimum."""
+    system = make_system(cache_fraction=0.2)
+    warm(system)
+    system.run_infer(128, 0)  # establishes the 20% cache
+    record = system.run_infer(128, 0)
+    m = record.pipeline
+    assert m.ttft <= m.lower_bound * 1.35
+
+
+def test_partial_caching_skips_restoration():
+    cached = make_system(cache_fraction=0.5)
+    uncached = make_system(cache_fraction=0.0)
+    for system in (cached, uncached):
+        warm(system)
+        system.run_infer(128, 0)  # establish the steady-state cache
+    hot = cached.run_infer(128, 0)
+    cold = uncached.run_infer(128, 0)
+    assert hot.cached_groups > 0
+    assert cold.cached_groups == 0
+    assert hot.cached_bytes >= 0.4 * cached.ta.plan.total_alloc_bytes
+    assert hot.ttft < cold.ttft
+    assert hot.pipeline.loaded_bytes < cold.pipeline.loaded_bytes
+
+
+def test_full_cache_eliminates_restoration():
+    system = make_system(cache_fraction=1.0)
+    warm(system)
+    system.run_infer(64, 0)
+    record = system.run_infer(64, 0)
+    assert record.cached_groups == len(system.ta.plan.groups)
+    assert record.pipeline.loaded_bytes == 0
+    assert record.pipeline.io_time == 0
+    assert record.pipeline.alloc_time == 0
+
+
+def test_cache_released_in_reverse_order_keeps_contiguity():
+    system = make_system(cache_fraction=0.3)
+    warm(system)
+    system.run_infer(64, 0)
+    region = system.ta.params_region
+    # The cached prefix is exactly the plan's leading groups.
+    cached = system.ta.cached_groups
+    assert region.protected == system.ta.plan.cached_prefix_bytes(cached)
+    assert region.allocated == region.protected
+
+
+def test_strawman_is_cold_every_time():
+    system = strawman(SPEC, max_tokens=512)
+    a = system.run_infer(32, 0)
+    b = system.run_infer(32, 0)
+    # No caching, cold init each request: both requests cost the same.
+    assert b.cached_groups == 0
+    assert b.init_time == pytest.approx(a.init_time, rel=0.2)
+    assert b.ttft == pytest.approx(a.ttft, rel=0.05)
+    # And the strawman prefill runs on the CPU only.
+    assert b.pipeline.npu_compute_time == 0
+
+
+def test_world_switch_overhead_small_fraction_of_ttft():
+    """§7.3: smc + TZASC/TZPC/GIC switching is a few percent."""
+    system = make_system()
+    warm(system)
+    record = system.run_infer(512, 8)
+    assert record.world_switch_time > 0
+    assert record.world_switch_time < 0.06 * (record.ttft + sum(record.decode.step_times))
+
+
+def test_threshold_profiler_finds_knee():
+    profiler = ThresholdProfiler(tolerance=0.05)
+    points = [(0.0, 10.0), (0.2, 8.0), (0.4, 6.0), (0.6, 5.05), (0.8, 5.0), (1.0, 5.0)]
+    assert profiler.find_knee(points) == 0.6
+    with pytest.raises(ConfigurationError):
+        profiler.find_knee([(0.0, 1.0)])
+
+
+def test_request_exceeding_max_tokens_rejected():
+    system = make_system()
+    warm(system)
+    with pytest.raises(ConfigurationError):
+        system.run_infer(1024, 1)

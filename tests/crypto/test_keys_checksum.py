@@ -1,0 +1,80 @@
+"""Unit tests for key wrapping and checksums."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    CHECKSUM_SIZE,
+    HardwareKeyStore,
+    checksum,
+    derive_key,
+    unwrap_model_key,
+    verify,
+    wrap_model_key,
+)
+from repro.errors import IntegrityError, SecurityViolation
+from repro.hw import World
+
+
+def test_hardware_key_secure_world_only():
+    store = HardwareKeyStore(b"device-0001")
+    key = store.hardware_key(World.SECURE)
+    assert len(key) == 32
+    with pytest.raises(SecurityViolation):
+        store.hardware_key(World.NONSECURE)
+    assert store.reads == 1
+
+
+def test_hardware_key_is_device_unique():
+    a = HardwareKeyStore(b"device-a").hardware_key(World.SECURE)
+    b = HardwareKeyStore(b"device-b").hardware_key(World.SECURE)
+    assert a != b
+
+
+def test_wrap_unwrap_roundtrip():
+    hw = derive_key(b"dev", "hw")
+    model_key = derive_key(b"provider", "llama-3-8b")
+    wrapped = wrap_model_key(hw, model_key, "llama-3-8b")
+    assert wrapped != model_key
+    assert unwrap_model_key(hw, wrapped, "llama-3-8b") == model_key
+
+
+def test_unwrap_detects_tampering():
+    hw = derive_key(b"dev", "hw")
+    wrapped = bytearray(wrap_model_key(hw, derive_key(b"p", "m"), "m"))
+    wrapped[0] ^= 0xFF
+    with pytest.raises(IntegrityError):
+        unwrap_model_key(hw, bytes(wrapped), "m")
+
+
+def test_unwrap_wrong_model_id_rejected():
+    hw = derive_key(b"dev", "hw")
+    wrapped = wrap_model_key(hw, derive_key(b"p", "m"), "model-a")
+    with pytest.raises(IntegrityError):
+        unwrap_model_key(hw, wrapped, "model-b")
+
+
+def test_unwrap_wrong_length_rejected():
+    hw = derive_key(b"dev", "hw")
+    with pytest.raises(IntegrityError):
+        unwrap_model_key(hw, b"short", "m")
+
+
+def test_checksum_properties():
+    digest = checksum(b"chunk")
+    assert len(digest) == CHECKSUM_SIZE
+    assert verify(b"chunk", digest)
+    assert not verify(b"chunk!", digest)
+
+
+@given(data=st.binary(max_size=200), flip=st.integers(min_value=0, max_value=199))
+@settings(max_examples=50, deadline=None)
+def test_checksum_detects_any_single_bitflip(data, flip):
+    if not data:
+        return
+    digest = checksum(data)
+    index = flip % len(data)
+    mutated = bytearray(data)
+    mutated[index] ^= 0x01
+    assert not verify(bytes(mutated), digest)

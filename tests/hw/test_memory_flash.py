@@ -1,0 +1,157 @@
+"""Unit tests for physical memory (TZASC-filtered) and flash."""
+
+import pytest
+
+from repro.config import PAGE_SIZE, FlashSpec
+from repro.errors import AccessDenied, ConfigurationError, DMAViolation
+from repro.hw import AddrRange, Flash, PhysicalMemory, TZASC, World
+from repro.sim import Simulator
+
+S = World.SECURE
+N = World.NONSECURE
+PG = PAGE_SIZE
+
+
+@pytest.fixture
+def mem():
+    return PhysicalMemory(64 * PG)
+
+
+def test_read_back_what_was_written(mem):
+    mem.cpu_write(100, b"hello world", N)
+    assert mem.cpu_read(100, 11, N) == b"hello world"
+
+
+def test_unwritten_memory_reads_zero(mem):
+    assert mem.cpu_read(0, 8, N) == b"\x00" * 8
+
+
+def test_cross_page_write_and_read(mem):
+    data = bytes(range(256)) * 40  # > 2 pages
+    base = PG - 100
+    mem.cpu_write(base, data, N)
+    assert mem.cpu_read(base, len(data), N) == data
+
+
+def test_out_of_bounds_rejected(mem):
+    with pytest.raises(ConfigurationError):
+        mem.cpu_read(64 * PG - 4, 8, N)
+    with pytest.raises(ConfigurationError):
+        mem.cpu_write(-1, b"x", N)
+
+
+def test_secure_region_blocks_nonsecure_cpu(mem):
+    mem.cpu_write(4 * PG, b"secret-weights", S)
+    mem.tzasc.configure(S, 0, 4 * PG, 2 * PG)
+    with pytest.raises(AccessDenied):
+        mem.cpu_read(4 * PG, 14, N)
+    with pytest.raises(AccessDenied):
+        mem.cpu_write(4 * PG, b"tamper", N)
+    assert mem.cpu_read(4 * PG, 14, S) == b"secret-weights"
+
+
+def test_dma_filtered_by_device_grants(mem):
+    mem.cpu_write(4 * PG, b"weights", S)
+    mem.tzasc.configure(S, 0, 4 * PG, 2 * PG)
+    with pytest.raises(DMAViolation):
+        mem.dma_read(4 * PG, 7, "npu")
+    mem.tzasc.allow_device(S, 0, "npu")
+    assert mem.dma_read(4 * PG, 7, "npu") == b"weights"
+    with pytest.raises(DMAViolation):
+        mem.dma_write(4 * PG, b"evil", "rogue-device")
+
+
+def test_scrub_zeroes_range(mem):
+    mem.cpu_write(10, b"abcdef", S)
+    mem.scrub(10, 6, S)
+    assert mem.cpu_read(10, 6, S) == b"\x00" * 6
+
+
+def test_scrub_respects_tzasc(mem):
+    mem.tzasc.configure(S, 0, 0, PG)
+    with pytest.raises(AccessDenied):
+        mem.scrub(0, 16, N)
+
+
+def test_memory_requires_page_multiple():
+    with pytest.raises(ConfigurationError):
+        PhysicalMemory(100)
+
+
+# ---------------------------------------------------------------------------
+# Flash
+# ---------------------------------------------------------------------------
+def test_flash_read_takes_bandwidth_time():
+    sim = Simulator()
+    flash = Flash(sim, FlashSpec(seq_read_bw=1000.0, read_latency=0.5))
+    flash.provision("model.bin", b"x" * 2000)
+
+    result = {}
+
+    def proc():
+        data = yield from flash.read("model.bin", 0, 2000)
+        result["data"] = data
+
+    done = sim.process(proc())
+    sim.run_until(done)
+    assert result["data"] == b"x" * 2000
+    assert sim.now == pytest.approx(0.5 + 2.0)
+
+
+def test_flash_concurrent_reads_share_bandwidth():
+    sim = Simulator()
+    flash = Flash(sim, FlashSpec(seq_read_bw=1000.0, read_latency=0.0))
+    flash.provision("a", b"a" * 1000)
+    flash.provision("b", b"b" * 1000)
+    finish = {}
+
+    def proc(name):
+        yield from flash.read(name, 0, 1000)
+        finish[name] = sim.now
+
+    sim.process(proc("a"))
+    sim.process(proc("b"))
+    sim.run()
+    assert finish["a"] == pytest.approx(2.0)
+    assert finish["b"] == pytest.approx(2.0)
+
+
+def test_flash_partial_read_and_bounds():
+    sim = Simulator()
+    flash = Flash(sim, FlashSpec())
+    flash.provision("f", b"0123456789")
+
+    def proc():
+        data = yield from flash.read("f", 3, 4)
+        return data
+
+    done = sim.process(proc())
+    assert sim.run_until(done) == b"3456"
+
+    def bad():
+        yield from flash.read("f", 8, 5)
+
+    bad_proc = sim.process(bad())
+    with pytest.raises(ConfigurationError):
+        sim.run_until(bad_proc)
+
+
+def test_flash_write_then_peek():
+    sim = Simulator()
+    flash = Flash(sim, FlashSpec())
+
+    def proc():
+        yield from flash.write("log", 0, b"hello")
+        yield from flash.write("log", 5, b" world")
+
+    done = sim.process(proc())
+    sim.run_until(done)
+    assert flash.peek("log") == b"hello world"
+    assert flash.size("log") == 11
+
+
+def test_flash_missing_blob_rejected():
+    sim = Simulator()
+    flash = Flash(sim, FlashSpec())
+    with pytest.raises(ConfigurationError):
+        flash.size("ghost")

@@ -1,0 +1,142 @@
+"""Unit tests for the NPU device: launch, DMA filtering, IRQ delivery."""
+
+import pytest
+
+from repro.config import PAGE_SIZE, RK3588, NPUSpec
+from repro.errors import DeviceError, MMIODenied
+from repro.hw import AddrRange, Board, NPUJob, World
+from repro.sim import Simulator
+
+S = World.SECURE
+N = World.NONSECURE
+PG = PAGE_SIZE
+
+
+@pytest.fixture
+def board():
+    sim = Simulator()
+    return Board(sim, RK3588.with_memory(256 * PG))
+
+
+def make_job(duration=0.01, base=0):
+    return NPUJob(
+        duration=duration,
+        commands=AddrRange(base, 64),
+        io_pagetable=AddrRange(base + PG, 64),
+        inputs=[AddrRange(base + 2 * PG, 128)],
+        outputs=[AddrRange(base + 3 * PG, 32)],
+    )
+
+
+def test_job_runs_and_raises_irq_to_ree(board):
+    sim = board.sim
+    done = []
+    board.gic.attach_handler(N, board.npu.irq, lambda irq, job: done.append(job))
+    board.memory.cpu_write(2 * PG, b"input-bytes", N)
+    job = board.npu.launch(N, make_job(duration=0.5))
+    assert board.npu.busy
+    sim.run()
+    assert done == [job]
+    assert job.faulted is None
+    assert job.completed_at == pytest.approx(0.5 + board.spec.npu.job_launch_latency)
+    assert not board.npu.busy
+    # Output buffer really written.
+    out = board.memory.cpu_read(3 * PG, 32, N)
+    assert out != b"\x00" * 32
+
+
+def test_output_is_deterministic_function_of_input(board):
+    sim = board.sim
+    board.gic.attach_handler(N, board.npu.irq, lambda irq, job: None)
+    board.memory.cpu_write(2 * PG, b"same-input", N)
+    board.npu.launch(N, make_job())
+    sim.run()
+    first = board.memory.cpu_read(3 * PG, 32, N)
+    board.npu.launch(N, make_job())
+    sim.run()
+    assert board.memory.cpu_read(3 * PG, 32, N) == first
+
+
+def test_busy_npu_rejects_second_launch(board):
+    board.gic.attach_handler(N, board.npu.irq, lambda irq, job: None)
+    board.npu.launch(N, make_job(duration=1.0))
+    with pytest.raises(DeviceError):
+        board.npu.launch(N, make_job())
+    board.sim.run()
+    board.npu.launch(N, make_job())  # fine once idle
+    board.sim.run()
+
+
+def test_secure_npu_blocks_nonsecure_launch(board):
+    board.tzpc.set_secure(S, board.npu.name, True)
+    with pytest.raises(MMIODenied):
+        board.npu.launch(N, make_job())
+    board.gic.attach_handler(S, board.npu.irq, lambda irq, job: None)
+    board.gic.set_group(S, board.npu.irq, S)
+    board.npu.launch(S, make_job())
+    board.sim.run()
+    assert board.npu.jobs_completed == 1
+
+
+def test_nonsecure_job_input_dma_to_secure_memory_faults(board):
+    board.tzasc.configure(S, 0, 2 * PG, PG)  # the input buffer is now secure
+    board.gic.attach_handler(N, board.npu.irq, lambda irq, job: None)
+    job = board.npu.launch(N, make_job())
+    board.sim.run()
+    assert job.faulted is not None and job.faulted.startswith("input:")
+    assert board.npu.jobs_faulted == 1
+
+
+def test_nonsecure_job_output_dma_to_secure_memory_faults(board):
+    board.tzasc.configure(S, 0, 3 * PG, PG)  # the *output* buffer is secure
+    board.gic.attach_handler(N, board.npu.irq, lambda irq, job: None)
+    job = board.npu.launch(N, make_job())
+    board.sim.run()
+    assert job.faulted is not None and job.faulted.startswith("output:")
+    # Secure memory was not written.
+    assert board.memory.cpu_read(3 * PG, 32, S) == b"\x00" * 32
+
+
+def test_wait_idle_event(board):
+    sim = board.sim
+    board.gic.attach_handler(N, board.npu.irq, lambda irq, job: None)
+    times = []
+
+    def waiter():
+        yield board.npu.wait_idle()  # idle now -> immediate
+        times.append(sim.now)
+        board.npu.launch(N, make_job(duration=0.2))
+        yield board.npu.wait_idle()
+        times.append(sim.now)
+
+    done = sim.process(waiter())
+    sim.run_until(done)
+    assert times[0] == 0.0
+    assert times[1] == pytest.approx(0.2 + board.spec.npu.job_launch_latency)
+
+
+def test_power_off_rejects_launch_and_busy_poweroff(board):
+    board.gic.attach_handler(N, board.npu.irq, lambda irq, job: None)
+    board.npu.set_power(False)
+    with pytest.raises(DeviceError):
+        board.npu.launch(N, make_job())
+    board.npu.set_power(True)
+    board.npu.launch(N, make_job(duration=1.0))
+    with pytest.raises(DeviceError):
+        board.npu.set_power(False)
+    board.sim.run()
+
+
+def test_busy_time_accumulates(board):
+    board.gic.attach_handler(N, board.npu.irq, lambda irq, job: None)
+
+    def run_two():
+        board.npu.launch(N, make_job(duration=0.3))
+        yield board.npu.wait_idle()
+        board.npu.launch(N, make_job(duration=0.2))
+        yield board.npu.wait_idle()
+
+    done = board.sim.process(run_two())
+    board.sim.run_until(done)
+    assert board.npu.busy_time == pytest.approx(0.5)
+    assert board.npu.jobs_completed == 2

@@ -1,0 +1,88 @@
+"""Failure injection: the TA must survive mid-restoration faults.
+
+A flash I/O error or a detected Iago attack aborts the pipeline; the TA
+must release every transient byte (data region, ballooned-but-unprotected
+tail, protected-but-untrusted parameters) and stay serviceable for the
+next request.
+"""
+
+import pytest
+
+from repro.core import TZLLM
+from repro.errors import DeviceError, IagoViolation
+from repro.llm import TINYLLAMA, container_path
+
+
+@pytest.fixture
+def system():
+    system = TZLLM(TINYLLAMA, cache_fraction=0.5)
+    system.run_infer(8, 0)  # cold start
+    return system
+
+
+def _fail_once_at(system, fail_offset_threshold):
+    """Inject one I/O failure partway through the model file."""
+    state = {"fired": False}
+    path = container_path(TINYLLAMA.model_id)
+
+    def hook(read_path, offset, size):
+        if read_path == path and offset > fail_offset_threshold and not state["fired"]:
+            state["fired"] = True
+            return DeviceError("simulated NVMe read failure")
+        return None
+
+    system.stack.kernel.fs.fail_hook = hook
+    return state
+
+
+def test_flash_error_mid_restoration_surfaces_and_cleans_up(system):
+    state = _fail_once_at(system, fail_offset_threshold=1000)
+    with pytest.raises(DeviceError, match="NVMe"):
+        system.run_infer(128, 0)
+    assert state["fired"]
+    # All transient memory was released.
+    assert system.ta.params_region.allocated == 0
+    assert system.ta.params_region.protected == 0
+    assert system.ta.data_region.allocated == 0
+    # The CMA regions are whole again.
+    for region in system.stack.kernel.cma_regions.values():
+        assert region.free_frames == region.n_frames
+
+
+def test_ta_serves_requests_after_a_flash_error(system):
+    _fail_once_at(system, fail_offset_threshold=1000)
+    with pytest.raises(DeviceError):
+        system.run_infer(128, 0)
+    system.stack.kernel.fs.fail_hook = None
+    record = system.run_infer(128, 4)
+    assert record.ttft > 0
+    assert len(record.decode.token_ids) == 4
+    # The post-recovery run restored everything from scratch (no stale
+    # "cache" of possibly-ciphertext groups survived the failure).
+    assert record.cached_groups == 0
+
+
+def test_ta_serves_requests_after_iago_attack_detected(system):
+    path = container_path(TINYLLAMA.model_id)
+    system.stack.kernel.fs.tamper_hook = lambda p, o, d: bytes(len(d)) if p == path else d
+    with pytest.raises(IagoViolation):
+        system.run_infer(64, 0)
+    assert system.ta.params_region.allocated == 0
+    system.stack.kernel.fs.tamper_hook = None
+    record = system.run_infer(64, 2)
+    assert record.decode.token_ids
+
+
+def test_failure_does_not_leak_memory_across_many_attempts(system):
+    path = container_path(TINYLLAMA.model_id)
+    for _ in range(3):
+        state = _fail_once_at(system, fail_offset_threshold=5000)
+        with pytest.raises(DeviceError):
+            system.run_infer(64, 0)
+        system.stack.kernel.fs.fail_hook = None
+    free = system.stack.kernel.free_bytes
+    record = system.run_infer(64, 0)
+    assert record.ttft > 0
+    # After the final successful run + cache release, free memory returns
+    # to within one cache prefix of the pre-run level.
+    assert system.stack.kernel.free_bytes >= free - system.ta.params_region.protected - 2 ** 22

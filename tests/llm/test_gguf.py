@@ -1,0 +1,86 @@
+"""Tests for the encrypted model container."""
+
+import pytest
+
+from repro.crypto import checksum, decrypt, derive_key, unwrap_model_key, verify
+from repro.errors import ModelFormatError
+from repro.llm import get_model, pack_model, parse_container, tensor_plaintext
+
+HW_KEY = derive_key(b"device", "hw")
+MODEL_KEY = derive_key(b"provider", "model")
+
+
+@pytest.fixture(scope="module")
+def packed():
+    spec = get_model("tinyllama-1.1b-q8")
+    data = pack_model(spec, MODEL_KEY, HW_KEY)
+    return spec, data, parse_container(data)
+
+
+def test_roundtrip_header(packed):
+    spec, _data, container = packed
+    assert container.model_id == spec.model_id
+    assert container.nominal_param_bytes == spec.param_bytes
+    assert len(container.tensors) == 1 + 4 * spec.n_layers + 2
+
+
+def test_payloads_encrypted_on_flash(packed):
+    spec, data, container = packed
+    tensor = container.tensor("blk.0.attn")
+    raw = data[container.file_offset(tensor) : container.file_offset(tensor) + tensor.payload_bytes]
+    plain = tensor_plaintext(spec.model_id, tensor)
+    assert raw != plain  # ciphertext at rest
+
+
+def test_tensor_decrypts_to_expected_weights(packed):
+    spec, data, container = packed
+    for name in ("token_embd", "blk.3.ffn", "output"):
+        tensor = container.tensor(name)
+        start = container.file_offset(tensor)
+        ciphertext = data[start : start + tensor.payload_bytes]
+        assert verify(ciphertext, tensor.checksum)
+        plain = decrypt(MODEL_KEY, container.nonce, ciphertext, offset=tensor.offset)
+        assert plain == tensor_plaintext(spec.model_id, tensor)
+
+
+def test_wrapped_key_unwraps_under_hardware_key(packed):
+    spec, _data, container = packed
+    assert unwrap_model_key(HW_KEY, container.wrapped_key, spec.model_id) == MODEL_KEY
+
+
+def test_ciphertext_checksum_catches_tamper(packed):
+    spec, data, container = packed
+    tensor = container.tensor("blk.1.attn")
+    start = container.file_offset(tensor)
+    mutated = bytearray(data[start : start + tensor.payload_bytes])
+    mutated[0] ^= 0xFF
+    assert not verify(bytes(mutated), tensor.checksum)
+
+
+def test_out_of_order_decryption_matches(packed):
+    """Tensors decrypt independently, in any order (pipeline requirement)."""
+    spec, data, container = packed
+    names = ["output", "blk.5.ffn", "token_embd", "blk.0.attn_norm"]
+    for name in names:
+        tensor = container.tensor(name)
+        start = container.file_offset(tensor)
+        ciphertext = data[start : start + tensor.payload_bytes]
+        plain = decrypt(MODEL_KEY, container.nonce, ciphertext, offset=tensor.offset)
+        assert plain == tensor_plaintext(spec.model_id, tensor)
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(ModelFormatError):
+        parse_container(b"NOPE" + b"\x00" * 64)
+
+
+def test_truncated_container_rejected(packed):
+    _spec, data, _container = packed
+    with pytest.raises(ModelFormatError):
+        parse_container(data[:100])
+
+
+def test_missing_tensor_lookup_rejected(packed):
+    _spec, _data, container = packed
+    with pytest.raises(ModelFormatError):
+        container.tensor("blk.99.attn")

@@ -1,0 +1,87 @@
+"""Tests for the model zoo and tensor tables."""
+
+import pytest
+
+from repro.config import GB
+from repro.errors import ConfigurationError
+from repro.llm import MODELS, ModelSpec, build_tensor_table, get_model, tensor_plaintext
+from repro.llm.models import PAPER_PARAM_BYTES
+from repro.llm.tensors import PAYLOAD_MAX, PAYLOAD_MIN, payload_size
+
+
+@pytest.mark.parametrize("model_id", sorted(MODELS))
+def test_param_bytes_match_paper_within_tolerance(model_id):
+    """Derived q8 sizes land near the paper's reported file sizes.
+
+    TinyLlama is a 1.1B-parameter model that the paper rounds to a
+    "1.0 GB" file, hence the slightly wider tolerance.
+    """
+    spec = get_model(model_id)
+    paper = PAPER_PARAM_BYTES[model_id]
+    assert abs(spec.param_bytes - paper) / paper < 0.11
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(ConfigurationError):
+        get_model("gpt-5")
+
+
+def test_invalid_shapes_rejected():
+    with pytest.raises(ConfigurationError):
+        ModelSpec("bad", "Bad", 2, 100, 256, 3, 1, 1000)  # hidden % heads != 0
+    with pytest.raises(ConfigurationError):
+        ModelSpec("bad", "Bad", 2, 96, 256, 4, 3, 1000)  # heads % kv != 0
+
+
+@pytest.mark.parametrize("model_id", sorted(MODELS))
+def test_tensor_table_accounts_all_parameter_bytes(model_id):
+    spec = get_model(model_id)
+    table = build_tensor_table(spec)
+    assert sum(t.nominal_bytes for t in table) == pytest.approx(spec.param_bytes, rel=1e-6)
+    # Topological indices are dense and ordered.
+    assert [t.index for t in table] == list(range(len(table)))
+    # Layers appear in order.
+    layers = [t.layer for t in table if t.layer >= 0]
+    assert layers == sorted(layers)
+
+
+def test_tensor_table_moe_has_per_expert_tensors():
+    from dataclasses import replace
+
+    moe = replace(get_model("tinyllama-1.1b-q8"), model_id="moe", n_experts=4, experts_per_token=2)
+    table = build_tensor_table(moe)
+    experts = [t for t in table if t.expert >= 0]
+    assert len(experts) == moe.n_layers * 4
+    # MoE file is ~4x the FFN weight volume of the dense model.
+    dense = sum(t.nominal_bytes for t in build_tensor_table(get_model("tinyllama-1.1b-q8")))
+    assert sum(t.nominal_bytes for t in table) > 2 * dense
+
+
+def test_payload_size_bounds():
+    assert payload_size(1) == PAYLOAD_MIN
+    assert payload_size(10 * GB) == PAYLOAD_MAX
+    assert PAYLOAD_MIN <= payload_size(100 * 1024 * 1024) <= PAYLOAD_MAX
+
+
+def test_tensor_plaintext_deterministic_and_distinct():
+    spec = get_model("tinyllama-1.1b-q8")
+    table = build_tensor_table(spec)
+    a1 = tensor_plaintext(spec.model_id, table[0])
+    a2 = tensor_plaintext(spec.model_id, table[0])
+    b = tensor_plaintext(spec.model_id, table[1])
+    assert a1 == a2
+    assert a1 != b
+    assert len(a1) == table[0].payload_bytes
+
+
+def test_kv_and_activation_footprints():
+    spec = get_model("llama-3-8b-q8")
+    # 8B GQA: kv_dim = 8 * 128 = 1024; per token = 2*32*1024*2 = 131072 B.
+    assert spec.kv_bytes_per_token() == 131072
+    assert spec.kv_bytes(512) == 512 * 131072
+    assert spec.activation_bytes(512) > 0
+
+
+def test_prefill_flops_scale_linearly_with_tokens():
+    spec = get_model("qwen2.5-3b-q8")
+    assert spec.prefill_flops(200) == pytest.approx(2 * spec.prefill_flops(100), rel=1e-9)

@@ -1,0 +1,95 @@
+"""Unit + property tests for q8_0 block quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ConfigurationError
+from repro.llm.quantization import (
+    BLOCK_SIZE,
+    BYTES_PER_WEIGHT,
+    dequantize_q8,
+    quantization_error_bound,
+    quantize_q8,
+)
+
+
+def test_roundtrip_error_within_half_step():
+    rng = np.random.default_rng(7)
+    weights = rng.normal(0, 0.02, size=(64, 128)).astype(np.float32)
+    q = quantize_q8(weights)
+    restored = dequantize_q8(q)
+    assert restored.shape == weights.shape
+    # Per-block error bound: |w - w'| <= scale/2 for that block.
+    flat = weights.reshape(-1)
+    pad = (-len(flat)) % BLOCK_SIZE
+    flat = np.concatenate([flat, np.zeros(pad, dtype=np.float32)])
+    err = np.abs(flat - np.concatenate([restored.reshape(-1), np.zeros(pad)]))
+    per_block_err = err.reshape(-1, BLOCK_SIZE).max(axis=1)
+    assert np.all(per_block_err <= q.scales / 2 + 1e-7)
+
+
+def test_zero_tensor_quantizes_to_zero():
+    q = quantize_q8(np.zeros(100, dtype=np.float32))
+    assert np.all(q.codes == 0)
+    assert np.all(q.scales == 0)
+    assert np.all(dequantize_q8(q) == 0)
+
+
+def test_empty_tensor_rejected():
+    with pytest.raises(ConfigurationError):
+        quantize_q8(np.zeros(0))
+
+
+def test_serialized_size_matches_bytes_per_weight():
+    weights = np.ones(1024, dtype=np.float32)
+    q = quantize_q8(weights)
+    assert q.nbytes == pytest.approx(1024 * BYTES_PER_WEIGHT)
+    assert len(q.to_bytes()) == q.nbytes
+
+
+def test_codes_within_int8_symmetric_range():
+    weights = np.array([1e6, -1e6, 0.5, -0.5] * 8, dtype=np.float32)
+    q = quantize_q8(weights)
+    assert q.codes.max() <= 127 and q.codes.min() >= -127
+
+
+def test_extreme_values_preserved_in_sign_and_magnitude():
+    weights = np.linspace(-1, 1, BLOCK_SIZE).astype(np.float32)
+    restored = dequantize_q8(quantize_q8(weights))
+    assert np.sign(restored[0]) == -1 and np.sign(restored[-1]) == 1
+    assert restored.max() == pytest.approx(1.0, abs=0.01)
+
+
+@given(
+    weights=hnp.arrays(
+        dtype=np.float32,
+        shape=st.integers(min_value=1, max_value=300),
+        elements=st.floats(min_value=-100, max_value=100, width=32),
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_error_bounded_by_half_max_scale(weights):
+    q = quantize_q8(weights)
+    restored = dequantize_q8(q)
+    bound = quantization_error_bound(q)
+    assert np.all(np.abs(weights - restored) <= bound + 1e-5)
+
+
+@given(
+    weights=hnp.arrays(
+        dtype=np.float32,
+        shape=st.integers(min_value=BLOCK_SIZE, max_value=4 * BLOCK_SIZE),
+        elements=st.floats(min_value=-10, max_value=10, width=32),
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_requantization_is_idempotent(weights):
+    """Quantize(dequantize(q)) reproduces q's values exactly."""
+    q1 = quantize_q8(weights)
+    r1 = dequantize_q8(q1)
+    q2 = quantize_q8(r1)
+    r2 = dequantize_q8(q2)
+    assert np.allclose(r1, r2, atol=1e-6)

@@ -1,0 +1,56 @@
+"""Tests for the deterministic sampler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.llm.sampler import Sampler, SamplerConfig
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        SamplerConfig(temperature=0)
+    with pytest.raises(ConfigurationError):
+        SamplerConfig(top_k=-1)
+    with pytest.raises(ConfigurationError):
+        Sampler("m", 10)
+
+
+def test_generation_deterministic():
+    a = Sampler("m", 32000).generate(16, [1, 2, 3])
+    b = Sampler("m", 32000).generate(16, [1, 2, 3])
+    assert a == b
+    assert all(0 <= t < 32000 for t in a)
+
+
+def test_context_changes_output():
+    s = Sampler("m", 32000)
+    assert s.generate(8, [1]) != s.generate(8, [2])
+
+
+def test_greedy_picks_argmax():
+    s = Sampler("m", 32000, SamplerConfig(greedy=True))
+    ids, logits = s.logits_window(0, [1])
+    assert s.sample(0, [1]) == ids[int(np.argmax(logits))]
+
+
+def test_top_k_restricts_candidates():
+    s = Sampler("m", 32000, SamplerConfig(top_k=3))
+    ids, logits = s.logits_window(0, [5])
+    allowed = set(int(ids[i]) for i in np.argsort(logits)[-3:])
+    assert s.sample(0, [5]) in allowed
+
+
+def test_low_temperature_approaches_greedy():
+    cold = Sampler("m", 32000, SamplerConfig(temperature=0.01))
+    greedy = Sampler("m", 32000, SamplerConfig(greedy=True))
+    matches = sum(
+        cold.sample(step, [9]) == greedy.sample(step, [9]) for step in range(20)
+    )
+    assert matches >= 17
+
+
+def test_high_temperature_diversifies():
+    hot = Sampler("m", 32000, SamplerConfig(temperature=8.0))
+    tokens = {hot.sample(step, [9]) for step in range(30)}
+    assert len(tokens) > 15

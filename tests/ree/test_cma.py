@@ -1,0 +1,154 @@
+"""Unit tests for the CMA region: contiguous allocation with migration."""
+
+import pytest
+
+from repro.config import RK3588, MemorySpec, PAGE_SIZE
+from repro.errors import ContiguityError, MemoryError_, OutOfMemory
+from repro.hw import Board
+from repro.ree.kernel import REEKernel
+from repro.sim import Simulator
+
+PG = PAGE_SIZE
+
+
+def make_kernel(total_frames=64, cma_frames=32, granule=PG, os_footprint=0):
+    sim = Simulator()
+    board = Board(sim, RK3588.with_memory(total_frames * granule))
+    kernel = REEKernel(sim, board, granule=granule, os_footprint=os_footprint)
+    region = kernel.reserve_cma("params", cma_frames * granule)
+    kernel.boot()
+    return sim, kernel, region
+
+
+def run_gen(sim, gen):
+    proc = sim.process(gen)
+    return sim.run_until(proc)
+
+
+def test_cma_region_placed_at_top_of_ram():
+    _sim, kernel, region = make_kernel(64, 32)
+    assert region.start_frame == 32
+    assert region.end_frame == 64
+
+
+def test_allocate_free_run_costs_only_fast_path():
+    sim, kernel, region = make_kernel()
+    alloc = run_gen(sim, region.allocate_range(region.start_frame, 8))
+    assert alloc.contiguous
+    assert sorted(alloc.frames) == list(range(32, 40))
+    expected = kernel.buddy.alloc_seconds(8 * PG, kernel.spec.memory)
+    assert sim.now == pytest.approx(expected)
+    assert region.total_migrated_bytes == 0
+
+
+def test_allocate_occupied_run_migrates_and_preserves_data():
+    sim, kernel, region = make_kernel(64, 32)
+    # Fill most of the outside with unmovable pages; the movable victim
+    # then lands (per the CMA-balancing heuristic) inside the region.
+    filler = kernel.alloc_unmovable(24 * PG, tag="filler")
+    victim = kernel.map_anonymous(16 * PG, tag="victim")
+    spilled = sorted(f for f in victim.frames if f >= region.start_frame)[:8]
+    assert len(spilled) == 8
+    # Write a pattern into the victim's spilled pages.
+    mem = kernel.board.memory
+    for index, frame in enumerate(sorted(spilled)):
+        mem._raw_write(kernel.db.frame_addr(frame), bytes([index + 1]) * 64)
+    kernel.free(filler)  # make room outside for migration destinations
+
+    start = sorted(spilled)[0]
+    alloc = run_gen(sim, region.allocate_range(start, 8, threads=1))
+    assert region.total_migrated_bytes == 8 * PG
+    assert len(region.migrations) == 1
+    # The victim still owns 16 frames and its data survived the copy.
+    assert victim.n_frames == 16
+    moved = sorted(f for f in victim.frames if f < region.start_frame)
+    payloads = {mem._raw_read(kernel.db.frame_addr(f), 64)[0] for f in moved}
+    assert set(range(1, 9)).issubset(payloads)
+    region.release(alloc)
+
+
+def test_migration_time_matches_bandwidth_model():
+    sim, kernel, region = make_kernel(64, 32)
+    filler = kernel.alloc_unmovable(24 * PG)
+    victim = kernel.map_anonymous(16 * PG)
+    kernel.free(filler)
+    start = min(f for f in victim.frames if f >= region.start_frame)
+    t0 = sim.now
+    run_gen(sim, region.allocate_range(start, 8, threads=1))
+    migration = 8 * PG / kernel.spec.memory.cma_migration_bw
+    fast_path = kernel.buddy.alloc_seconds(8 * PG, kernel.spec.memory)
+    assert sim.now - t0 == pytest.approx(migration + fast_path)
+
+
+def test_migration_scales_with_threads():
+    spec = MemorySpec()
+    _sim, _kernel, region = make_kernel()
+    one = region.migration_seconds(8 * spec.cma_migration_bw, 1)
+    four = region.migration_seconds(8 * spec.cma_migration_bw, 4)
+    assert one == pytest.approx(8.0)
+    assert four == pytest.approx(4.0)  # sqrt(4) = 2x aggregate
+
+
+def test_allocation_outside_region_rejected():
+    sim, _kernel, region = make_kernel()
+
+    def attempt():
+        yield from region.allocate_range(0, 4)
+
+    proc = sim.process(attempt())
+    with pytest.raises(ContiguityError):
+        sim.run_until(proc)
+
+
+def test_migration_without_destination_raises_oom():
+    sim, kernel, region = make_kernel(64, 32)
+    kernel.alloc_unmovable(32 * PG)  # fills all of outside (unreclaimable)
+    victim = kernel.map_anonymous(8 * PG)  # lands inside CMA
+    start = min(victim.frames)
+
+    def attempt():
+        yield from region.allocate_range(start, 8)
+
+    proc = sim.process(attempt())
+    with pytest.raises(OutOfMemory):
+        sim.run_until(proc)
+
+
+def test_release_tail_shrinks_from_end():
+    sim, _kernel, region = make_kernel()
+    alloc = run_gen(sim, region.allocate_range(region.start_frame, 8))
+    region.release_tail(alloc, 3)
+    assert alloc.n_frames == 5
+    assert max(alloc.frames) == region.start_frame + 4
+    assert region.free_frames == 32 - 5
+    region.release_tail(alloc, 5)
+    assert alloc.freed
+    assert region.free_frames == 32
+
+
+def test_release_tail_bounds_checked():
+    sim, _kernel, region = make_kernel()
+    alloc = run_gen(sim, region.allocate_range(region.start_frame, 4))
+    with pytest.raises(MemoryError_):
+        region.release_tail(alloc, 5)
+
+
+def test_spill_takes_highest_frames_first():
+    _sim, kernel, region = make_kernel(64, 32)
+    kernel.alloc_unmovable(32 * PG)  # fill outside
+    spilled = kernel.map_anonymous(4 * PG)
+    assert sorted(spilled.frames) == [60, 61, 62, 63]
+
+
+def test_migrated_bytes_between_window_accounting():
+    sim, kernel, region = make_kernel(64, 32)
+    filler = kernel.alloc_unmovable(24 * PG)
+    victim = kernel.map_anonymous(16 * PG)
+    kernel.free(filler)
+    start = min(f for f in victim.frames if f >= region.start_frame)
+    run_gen(sim, region.allocate_range(start, 8))
+    record = region.migrations[0]
+    # Full window covers everything; half window covers ~half the bytes.
+    assert region.migrated_bytes_between(0, sim.now) == pytest.approx(8 * PG)
+    mid = (record.start + record.end) / 2
+    assert region.migrated_bytes_between(record.start, mid) == pytest.approx(4 * PG)

@@ -1,0 +1,172 @@
+"""Unit tests for the frame database and buddy allocator."""
+
+import pytest
+
+from repro.config import PAGE_SIZE
+from repro.errors import ConfigurationError, MemoryError_, OutOfMemory
+from repro.ree.buddy import BuddyAllocator
+from repro.ree.pages import FrameDB, FrameState
+
+PG = PAGE_SIZE
+
+
+def make_db(n_frames=64, granule=PG):
+    return FrameDB(n_frames * granule, granule)
+
+
+def make_buddy(db):
+    buddy = BuddyAllocator(db)
+    buddy.finalize()
+    return buddy
+
+
+def test_framedb_validates_geometry():
+    with pytest.raises(ConfigurationError):
+        FrameDB(100, PG)  # not a granule multiple
+    with pytest.raises(ConfigurationError):
+        FrameDB(PG * 4, granule=100)  # granule not page multiple
+
+
+def test_claim_and_release_roundtrip():
+    db = make_db()
+    alloc = db.claim([1, 2, 3], movable=True, tag="t")
+    assert db.state(2) is FrameState.MOVABLE
+    assert db.owner(2) is alloc
+    db.release(alloc)
+    assert db.state(2) is FrameState.FREE
+    assert db.owner(2) is None
+    with pytest.raises(MemoryError_):
+        db.release(alloc)  # double free
+
+
+def test_claim_occupied_frame_rejected():
+    db = make_db()
+    db.claim([5], movable=False, tag="a")
+    with pytest.raises(MemoryError_):
+        db.claim([5], movable=True, tag="b")
+
+
+def test_move_frame_retargets_allocation():
+    db = make_db()
+    alloc = db.claim([10], movable=True, tag="app")
+    db.move_frame(alloc, 10, 20)
+    assert db.state(10) is FrameState.FREE
+    assert db.state(20) is FrameState.MOVABLE
+    assert alloc.owns(20) and not alloc.owns(10)
+
+
+def test_move_unmovable_rejected():
+    db = make_db()
+    alloc = db.claim([10], movable=False, tag="kernel")
+    with pytest.raises(MemoryError_):
+        db.move_frame(alloc, 10, 20)
+
+
+def test_release_frames_partial():
+    db = make_db()
+    alloc = db.claim([1, 2, 3, 4], movable=False, tag="x")
+    db.release_frames(alloc, [3, 4])
+    assert alloc.n_frames == 2
+    assert db.state(3) is FrameState.FREE
+    db.release_frames(alloc, [1, 2])
+    assert alloc.freed
+
+
+def test_buddy_prefers_outside_cma_when_plentiful():
+    db = make_db(64)
+    buddy = BuddyAllocator(db)
+
+    class FakeCMA:
+        start_frame, end_frame = 48, 64
+        free_frames = 16
+
+        def spill_frames(self, count):
+            raise AssertionError("should not spill")
+
+    buddy.attach_cma(FakeCMA())
+    buddy.finalize()
+    # Outside free (48) minus the request (16) still exceeds CMA free
+    # (16), so the balancing heuristic stays out of the region.
+    alloc = buddy.allocate(16, movable=True)
+    assert max(alloc.frames) < 48
+
+
+def test_buddy_balances_into_cma_when_it_dominates_free_memory():
+    db = make_db(64)
+    buddy = BuddyAllocator(db)
+
+    class FakeCMA:
+        start_frame, end_frame = 16, 64
+        free_frames = 48
+
+        def __init__(self):
+            self.given = []
+
+        def spill_frames(self, count):
+            take = list(range(self.end_frame - len(self.given) - count,
+                              self.end_frame - len(self.given)))
+            self.given.extend(take)
+            FakeCMA.free_frames -= count
+            return take
+
+    fake = FakeCMA()
+    buddy.attach_cma(fake)
+    buddy.finalize()
+    alloc = buddy.allocate(32, movable=True)
+    # CMA held 48 of 64 free frames: the movable allocation draws on it.
+    assert any(f >= 16 for f in alloc.frames)
+    assert fake.given
+
+
+def test_buddy_unmovable_never_spills():
+    db = make_db(64)
+    buddy = BuddyAllocator(db)
+
+    class FakeCMA:
+        start_frame, end_frame = 32, 64
+        free_frames = 32
+
+        def spill_frames(self, count):
+            raise AssertionError("unmovable must not spill")
+
+    buddy.attach_cma(FakeCMA())
+    buddy.finalize()
+    buddy.allocate(32, movable=False)  # exactly fills outside
+    with pytest.raises(OutOfMemory):
+        buddy.allocate(1, movable=False)
+
+
+def test_buddy_oom_reports_availability():
+    db = make_db(8)
+    buddy = make_buddy(db)
+    buddy.allocate(8, movable=True)
+    with pytest.raises(OutOfMemory):
+        buddy.allocate(1, movable=True)
+
+
+def test_buddy_free_returns_frames():
+    db = make_db(8)
+    buddy = make_buddy(db)
+    a = buddy.allocate(8, movable=True)
+    buddy.free(a)
+    b = buddy.allocate(8, movable=True)
+    assert b.n_frames == 8
+
+
+def test_buddy_alloc_seconds_linear():
+    from repro.config import MemorySpec
+
+    db = make_db(8)
+    buddy = make_buddy(db)
+    spec = MemorySpec()
+    assert buddy.alloc_seconds(2 * spec.buddy_alloc_bw, spec) == pytest.approx(2.0)
+
+
+def test_buddy_lowest_index_first_determinism():
+    db = make_db(16)
+    buddy = make_buddy(db)
+    a = buddy.allocate(4, movable=True)
+    assert sorted(a.frames) == [0, 1, 2, 3]
+    buddy.free(a)
+    b = buddy.allocate(4, movable=True)
+    assert sorted(b.frames) == [0, 1, 2, 3]

@@ -1,0 +1,146 @@
+"""Tests for the REE time-sliced scheduler."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ree.scheduler import REEScheduler
+from repro.sim import Simulator
+
+
+def compute_thread(seconds, chunks=1):
+    for _ in range(chunks):
+        yield ("compute", seconds / chunks)
+    return seconds
+
+
+def test_single_thread_runs_to_completion():
+    sim = Simulator()
+    sched = REEScheduler(sim, n_cores=1)
+    t = sched.spawn(compute_thread(0.05), name="t")
+    sim.run_until(t.done)
+    assert t.finished
+    assert t.result == 0.05
+    assert t.cpu_time == pytest.approx(0.05)
+
+
+def test_two_threads_share_one_core_fairly():
+    sim = Simulator()
+    sched = REEScheduler(sim, n_cores=1, time_slice=1e-3)
+    a = sched.spawn(compute_thread(0.02), name="a")
+    b = sched.spawn(compute_thread(0.02), name="b")
+    sim.run_until(a.done)
+    sim.run_until(b.done)
+    # Total wall time = 0.04 on one core; both finish near the end
+    # (interleaved), not one after the other.
+    assert sim.now == pytest.approx(0.04, rel=0.05)
+    assert abs(a.done.value - b.done.value) < 1e-9  # same compute demand
+
+
+def test_four_cores_run_four_threads_in_parallel():
+    sim = Simulator()
+    sched = REEScheduler(sim, n_cores=4)
+    threads = [sched.spawn(compute_thread(0.03), name="t%d" % i) for i in range(4)]
+    for t in threads:
+        sim.run_until(t.done)
+    assert sim.now == pytest.approx(0.03, rel=0.01)
+
+
+def test_blocking_on_event_releases_the_core():
+    sim = Simulator()
+    sched = REEScheduler(sim, n_cores=1, time_slice=1e-3)
+    gate = sim.event()
+
+    def blocker():
+        yield ("compute", 0.001)
+        yield gate
+        yield ("compute", 0.001)
+        return "done"
+
+    blocked = sched.spawn(blocker(), name="blocked")
+    runner = sched.spawn(compute_thread(0.01), name="runner")
+
+    def opener():
+        yield sim.timeout(0.05)
+        gate.succeed()
+
+    sim.process(opener())
+    sim.run_until(blocked.done)
+    assert blocked.result == "done"
+    assert blocked.wait_time == pytest.approx(0.05 - 0.001, rel=0.1)
+    # The runner was not starved by the blocked thread.
+    assert runner.done.triggered
+    assert runner.done.value == 0.01
+
+
+def test_malicious_order_hook_permutes_dispatch():
+    sim = Simulator()
+    sched = REEScheduler(sim, n_cores=1, time_slice=1e-3)
+    order = []
+
+    def tagged(tag):
+        yield ("compute", 1e-3)
+        order.append(tag)
+
+    sched.set_malicious_order(lambda q: list(reversed(q)))
+    first = sched.spawn(tagged("first"), name="first")
+    second = sched.spawn(tagged("second"), name="second")
+    sim.run_until(first.done)
+    sim.run_until(second.done)
+    assert order == ["second", "first"]  # the attacker reversed them
+
+
+def test_order_hook_must_be_a_permutation():
+    sim = Simulator()
+    sched = REEScheduler(sim, n_cores=1)
+    sched.set_malicious_order(lambda q: q[:-1])  # drops a thread
+    sched.spawn(compute_thread(0.01))
+    sched.spawn(compute_thread(0.01))
+    with pytest.raises(ConfigurationError):
+        sim.run()
+
+
+def test_invalid_yield_rejected():
+    sim = Simulator()
+    sched = REEScheduler(sim, n_cores=1)
+
+    def broken():
+        yield 42
+
+    sched.spawn(broken())
+    with pytest.raises(ConfigurationError):
+        sim.run()
+
+
+def test_bad_geometry_rejected():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        REEScheduler(sim, n_cores=0)
+    with pytest.raises(ConfigurationError):
+        REEScheduler(sim, time_slice=0)
+
+
+def test_malicious_schedule_cannot_break_tee_ordering():
+    """End-to-end §3.2/§6: shadow threads dispatched maliciously still
+    observe TEE-enforced ordering through a TEE condition variable."""
+    from repro.tee import TEECondition
+
+    sim = Simulator()
+    sched = REEScheduler(sim, n_cores=2, time_slice=1e-3)
+    sched.set_malicious_order(lambda q: list(reversed(q)))
+    produced = TEECondition(sim)
+    log = []
+
+    def producer():
+        yield ("compute", 0.01)
+        log.append("produced")
+        produced.notify_all()
+
+    def consumer():
+        yield produced.wait()  # blocks inside the TEE
+        yield ("compute", 0.001)
+        log.append("consumed")
+
+    consumer_thread = sched.spawn(consumer(), name="consumer")
+    sched.spawn(producer(), name="producer")
+    sim.run_until(consumer_thread.done)
+    assert log == ["produced", "consumed"]

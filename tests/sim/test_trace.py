@@ -1,0 +1,90 @@
+"""Tests for span tracing and Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import Simulator
+from repro.sim.trace import NULL_TRACER, Span, Tracer
+
+
+def test_record_and_totals():
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    def proc():
+        t0 = sim.now
+        yield sim.timeout(1.0)
+        tracer.record("alloc", "alloc g0", t0, lane="CPU")
+        t1 = sim.now
+        yield sim.timeout(0.5)
+        tracer.record("load", "load g0", t1, lane="I/O")
+
+    done = sim.process(proc())
+    sim.run_until(done)
+    assert tracer.total_time("alloc") == pytest.approx(1.0)
+    assert tracer.total_time("load") == pytest.approx(0.5)
+    assert tracer.lanes() == ["CPU", "I/O"]
+
+
+def test_span_handle():
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    def proc():
+        handle = tracer.span("compute", "matmul", lane="NPU")
+        yield sim.timeout(2.0)
+        handle.close()
+        handle.close()  # idempotent
+
+    sim.run_until(sim.process(proc()))
+    assert len(tracer.spans) == 1
+    assert tracer.spans[0].duration == pytest.approx(2.0)
+
+
+def test_backwards_span_rejected():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    with pytest.raises(ConfigurationError):
+        tracer.record("x", "y", start=5.0)
+
+
+def test_chrome_trace_json_structure():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.spans.append(Span("alloc", "alloc g0", 0.0, 0.5, "CPU"))
+    tracer.spans.append(Span("load", "load g0", 0.1, 0.7, "I/O"))
+    doc = json.loads(tracer.to_chrome_trace())
+    events = doc["traceEvents"]
+    names = {e["name"] for e in events if e["ph"] == "X"}
+    assert names == {"alloc g0", "load g0"}
+    lanes = {e["args"]["name"] for e in events if e["ph"] == "M"}
+    assert lanes == {"CPU", "I/O"}
+    x = next(e for e in events if e["ph"] == "X" and e["name"] == "alloc g0")
+    assert x["ts"] == 0.0 and x["dur"] == pytest.approx(0.5e6)
+
+
+def test_null_tracer_is_free():
+    NULL_TRACER.record("a", "b", 0.0)
+    NULL_TRACER.span("a", "b").close()
+    assert not NULL_TRACER.enabled
+
+
+def test_end_to_end_pipeline_trace(tmp_path):
+    from repro.core import TZLLM
+    from repro.llm import TINYLLAMA
+
+    system = TZLLM(TINYLLAMA, trace=True)
+    system.run_infer(8, 0)
+    system.run_infer(64, 0)
+    tracer = system.tracer
+    lanes = tracer.lanes()
+    assert "CPU" in lanes and "I/O engine" in lanes and "NPU" in lanes
+    # The Fig. 5 rows are all populated.
+    for category in ("alloc", "load", "decrypt", "compute"):
+        assert tracer.total_time(category) > 0
+    path = tmp_path / "trace.json"
+    tracer.write_chrome_trace(str(path))
+    doc = json.loads(path.read_text())
+    assert len(doc["traceEvents"]) > 50

@@ -1,0 +1,95 @@
+"""Tests for remote attestation and model-key provisioning."""
+
+import pytest
+
+from repro.crypto import HardwareKeyStore, derive_key
+from repro.errors import SecurityViolation
+from repro.tee.attestation import (
+    AttestationService,
+    DeviceAttestor,
+    ModelProvider,
+    device_unwrap_provisioned_key,
+)
+from repro.tee.boot import BootChain, BootImage
+
+MODEL_KEY = derive_key(b"provider", "llama")
+
+
+def make_device(device_id="dev-1", code=b"tee-os-v1"):
+    keystore = HardwareKeyStore(device_id.encode())
+    stages = BootChain.sign_chain(
+        [BootImage("bl2", b"bl2-v1"), BootImage("tee-os", code)]
+    )
+    chain = BootChain(rom_digest=stages[0].digest)
+    chain.boot(stages)
+    return keystore, chain, DeviceAttestor(device_id, keystore, chain), stages
+
+
+@pytest.fixture
+def setup():
+    keystore, chain, attestor, stages = make_device()
+    service = AttestationService()
+    service.enroll_device("dev-1", keystore)
+    provider = ModelProvider(service, chain.measurements, "llama", MODEL_KEY)
+    return keystore, attestor, service, provider
+
+
+def test_golden_device_gets_a_working_key(setup):
+    keystore, attestor, _service, provider = setup
+    quote = attestor.quote(provider.challenge())
+    wrapped = provider.provision(quote)
+    assert wrapped != MODEL_KEY
+    assert device_unwrap_provisioned_key(keystore, wrapped, "llama") == MODEL_KEY
+    assert "dev-1" in provider.provisioned
+
+
+def test_jailbroken_boot_chain_is_refused(setup):
+    _keystore, _attestor, service, provider = setup
+    # A device with a modified TEE OS: its (self-consistent) boot chain
+    # measures differently, so its honest quote fails the golden check.
+    keystore2, chain2, attestor2, _ = make_device("dev-2", code=b"tee-os-JAILBREAK")
+    service.enroll_device("dev-2", keystore2)
+    quote = attestor2.quote(provider.challenge())
+    with pytest.raises(SecurityViolation, match="non-golden"):
+        provider.provision(quote)
+    assert provider.rejections == 1
+
+
+def test_unknown_device_refused(setup):
+    _keystore, _attestor, _service, provider = setup
+    keystore3, _chain, attestor3, _ = make_device("dev-ghost")
+    quote = attestor3.quote(provider.challenge())
+    with pytest.raises(SecurityViolation, match="verification"):
+        provider.provision(quote)
+
+
+def test_forged_mac_refused(setup):
+    _keystore, attestor, _service, provider = setup
+    quote = attestor.quote(provider.challenge())
+    forged = type(quote)(quote.device_id, quote.measurements, quote.nonce, b"\x00" * 32)
+    with pytest.raises(SecurityViolation, match="verification"):
+        provider.provision(forged)
+
+
+def test_nonce_single_use(setup):
+    _keystore, attestor, _service, provider = setup
+    nonce = provider.challenge()
+    quote = attestor.quote(nonce)
+    provider.provision(quote)
+    with pytest.raises(SecurityViolation, match="nonce"):
+        provider.provision(quote)  # replay
+
+
+def test_foreign_nonce_refused(setup):
+    _keystore, attestor, _service, provider = setup
+    quote = attestor.quote(b"attacker-chosen!")
+    with pytest.raises(SecurityViolation, match="nonce"):
+        provider.provision(quote)
+
+
+def test_quote_requires_completed_boot():
+    keystore = HardwareKeyStore(b"dev-x")
+    chain = BootChain(rom_digest=b"\x00" * 32)  # never booted
+    attestor = DeviceAttestor("dev-x", keystore, chain)
+    with pytest.raises(SecurityViolation, match="secure boot"):
+        attestor.quote(b"n" * 16)

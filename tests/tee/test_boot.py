@@ -1,0 +1,80 @@
+"""Tests for the secure boot chain and TA image verification."""
+
+import pytest
+
+from repro.errors import IntegrityError, SecurityViolation
+from repro.tee.boot import BootChain, BootImage, TAVerifier
+
+
+def make_stages():
+    return BootChain.sign_chain(
+        [
+            BootImage("bl2", b"bl2-code-v1"),
+            BootImage("el3-monitor", b"monitor-code-v1"),
+            BootImage("tee-os", b"tee-os-code-v1"),
+        ]
+    )
+
+
+def test_clean_chain_boots_all_stages():
+    stages = make_stages()
+    chain = BootChain(rom_digest=stages[0].digest)
+    assert chain.boot(stages) == ["bl2", "el3-monitor", "tee-os"]
+    assert len(chain.measurements) == 3
+
+
+def test_tampered_middle_stage_detected():
+    stages = make_stages()
+    chain = BootChain(rom_digest=stages[0].digest)
+    evil = BootImage("el3-monitor", b"monitor-code-EVIL", stages[1].next_digest)
+    with pytest.raises(IntegrityError, match="el3-monitor"):
+        chain.boot([stages[0], evil, stages[2]])
+    # Nothing after the tamper point ever ran.
+    assert chain.booted_stages == ["bl2"]
+
+
+def test_tampered_first_stage_detected_by_rom():
+    stages = make_stages()
+    chain = BootChain(rom_digest=stages[0].digest)
+    evil_first = BootImage("bl2", b"bl2-code-EVIL", stages[0].next_digest)
+    with pytest.raises(IntegrityError, match="bl2"):
+        chain.boot([evil_first] + stages[1:])
+    assert chain.booted_stages == []
+
+
+def test_substituted_final_stage_detected():
+    stages = make_stages()
+    chain = BootChain(rom_digest=stages[0].digest)
+    rogue_tee = BootImage("tee-os", b"rogue-tee-os")
+    with pytest.raises(IntegrityError, match="tee-os"):
+        chain.boot(stages[:2] + [rogue_tee])
+
+
+def test_truncated_chain_detected():
+    stages = make_stages()
+    chain = BootChain(rom_digest=stages[0].digest)
+    with pytest.raises(IntegrityError):
+        chain.boot(stages[:2])  # bl2 vouches for a monitor that never ends the chain
+    with pytest.raises(IntegrityError):
+        chain.boot([])
+
+
+def test_ta_verifier_accepts_enrolled_image():
+    verifier = TAVerifier()
+    verifier.enroll("llm-ta", b"llm-ta-image-v1")
+    verifier.verify("llm-ta", b"llm-ta-image-v1")
+    assert verifier.rejections == 0
+
+
+def test_ta_verifier_rejects_modified_image():
+    verifier = TAVerifier()
+    verifier.enroll("llm-ta", b"llm-ta-image-v1")
+    with pytest.raises(IntegrityError):
+        verifier.verify("llm-ta", b"llm-ta-image-v1-BACKDOOR")
+    assert verifier.rejections == 1
+
+
+def test_ta_verifier_rejects_unknown_ta():
+    verifier = TAVerifier()
+    with pytest.raises(SecurityViolation):
+        verifier.verify("sneaky-ta", b"anything")

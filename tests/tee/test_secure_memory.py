@@ -1,0 +1,186 @@
+"""Tests for the extend-and-shrink secure memory interface (§4.2)."""
+
+import pytest
+
+from repro.config import MiB, RK3588
+from repro.errors import AccessDenied, ConfigurationError, IagoViolation, MemoryError_
+from repro.hw import World
+from repro.stack import build_stack
+from repro.tee import TrustedApplication
+
+GRANULE = 1 * MiB
+
+
+@pytest.fixture
+def world():
+    stack = build_stack(
+        spec=RK3588.with_memory(64 * MiB),
+        granule=GRANULE,
+        os_footprint=0,
+        cma_regions={"params": 16 * MiB},
+    )
+    ta = TrustedApplication("llm")
+    stack.tee_os.install_ta(ta)
+    cma = stack.kernel.cma_regions["params"]
+    region = stack.tee_os.create_secure_region(
+        ta, "params", "params", cma.base_addr, cma.size_bytes, GRANULE
+    )
+    return stack, ta, region
+
+
+def run(stack, gen):
+    proc = stack.sim.process(gen)
+    return stack.sim.run_until(proc)
+
+
+def test_extend_allocated_then_protected_flow(world):
+    stack, ta, region = world
+    rng = run(stack, region.extend_allocated(4 * MiB))
+    assert rng.base == region.base_addr
+    assert region.allocated == 4 * MiB
+    assert region.protected == 0
+    # Allocated but unprotected: the REE can still write (I/O lands here).
+    stack.board.memory.cpu_write(rng.base, b"encrypted", World.NONSECURE)
+    run(stack, region.extend_protected(4 * MiB))
+    assert region.protected == 4 * MiB
+    # Now the REE is locked out, the TA is mapped in.
+    with pytest.raises(AccessDenied):
+        stack.board.memory.cpu_read(rng.base, 9, World.NONSECURE)
+    assert stack.tee_os.ta_read(ta, rng.base, 9) == b"encrypted"
+
+
+def test_successive_extends_are_adjacent(world):
+    stack, _ta, region = world
+    first = run(stack, region.extend_allocated(2 * MiB))
+    second = run(stack, region.extend_allocated(3 * MiB))
+    assert second.base == first.end
+    assert region.allocated == 5 * MiB
+
+
+def test_forged_cma_address_detected(world):
+    stack, _ta, region = world
+    stack.tz_driver.alloc_result_hook = lambda addr: addr + GRANULE
+
+    def attack():
+        yield from region.extend_allocated(2 * MiB)
+
+    proc = stack.sim.process(attack())
+    with pytest.raises(IagoViolation):
+        stack.sim.run_until(proc)
+
+
+def test_protect_beyond_allocated_rejected(world):
+    stack, _ta, region = world
+    run(stack, region.extend_allocated(2 * MiB))
+
+    def too_much():
+        yield from region.extend_protected(3 * MiB)
+
+    proc = stack.sim.process(too_much())
+    with pytest.raises(MemoryError_):
+        stack.sim.run_until(proc)
+
+
+def test_extend_beyond_capacity_rejected(world):
+    stack, _ta, region = world
+
+    def too_big():
+        yield from region.extend_allocated(17 * MiB)
+
+    proc = stack.sim.process(too_big())
+    with pytest.raises(MemoryError_):
+        stack.sim.run_until(proc)
+
+
+def test_unaligned_sizes_rejected(world):
+    stack, _ta, region = world
+
+    def unaligned():
+        yield from region.extend_allocated(MiB + 1)
+
+    proc = stack.sim.process(unaligned())
+    with pytest.raises(ConfigurationError):
+        stack.sim.run_until(proc)
+
+
+def test_shrink_scrubs_and_returns_memory(world):
+    stack, ta, region = world
+    rng = run(stack, region.extend_allocated(4 * MiB))
+    run(stack, region.extend_protected(4 * MiB))
+    stack.tee_os.ta_write(ta, rng.base + 3 * MiB, b"plaintext-weights")
+    free_before = stack.kernel.cma_regions["params"].free_frames
+    run(stack, region.shrink(2 * MiB))
+    assert region.protected == 2 * MiB
+    assert region.allocated == 2 * MiB
+    # The released memory is REE-visible again — and zeroed.
+    data = stack.board.memory.cpu_read(rng.base + 3 * MiB, 17, World.NONSECURE)
+    assert data == b"\x00" * 17
+    assert stack.kernel.cma_regions["params"].free_frames == free_before + 2
+    # The TA lost its mapping on the shrunk tail.
+    with pytest.raises(AccessDenied):
+        stack.tee_os.ta_read(ta, rng.base + 3 * MiB, 4)
+    # But retains the still-protected head.
+    stack.tee_os.ta_read(ta, rng.base, 4)
+
+
+def test_shrink_all_releases_everything(world):
+    stack, _ta, region = world
+    run(stack, region.extend_allocated(6 * MiB))
+    run(stack, region.extend_protected(6 * MiB))
+    run(stack, region.shrink_all())
+    assert region.protected == 0
+    assert region.allocated == 0
+    # All CMA frames are free again.
+    assert stack.kernel.cma_regions["params"].free_frames == 16
+
+
+def test_shrink_with_unprotected_tail_rejected(world):
+    stack, _ta, region = world
+    run(stack, region.extend_allocated(4 * MiB))
+    run(stack, region.extend_protected(2 * MiB))
+
+    def bad():
+        yield from region.shrink(MiB)
+
+    proc = stack.sim.process(bad())
+    with pytest.raises(MemoryError_):
+        stack.sim.run_until(proc)
+
+
+def test_fifo_lifo_pattern_keeps_region_contiguous(world):
+    stack, _ta, region = world
+    for _ in range(4):
+        run(stack, region.extend_allocated(2 * MiB))
+        run(stack, region.extend_protected(2 * MiB))
+    run(stack, region.shrink(4 * MiB))
+    run(stack, region.shrink(2 * MiB))
+    # Extend again: must continue exactly at the new end.
+    rng = run(stack, region.extend_allocated(2 * MiB))
+    assert rng.base == region.base_addr + 2 * MiB
+
+
+def test_delegated_read_into_unprotected_memory(world):
+    stack, _ta, region = world
+    stack.kernel.fs.create("/model.enc", b"E" * (2 * MiB))
+    rng = run(stack, region.extend_allocated(2 * MiB))
+
+    def load():
+        n = yield from stack.tz_driver.delegated_read_into("/model.enc", 0, 2 * MiB, rng.base)
+        return n
+
+    assert run(stack, load()) == 2 * MiB
+    assert stack.board.memory.cpu_read(rng.base, 4, World.NONSECURE) == b"EEEE"
+
+
+def test_delegated_read_into_protected_memory_faults(world):
+    stack, _ta, region = world
+    stack.kernel.fs.create("/model.enc", b"E" * MiB)
+    rng = run(stack, region.extend_allocated(MiB))
+    run(stack, region.extend_protected(MiB))
+
+    def load():
+        yield from stack.tz_driver.delegated_read_into("/model.enc", 0, MiB, rng.base)
+
+    proc = stack.sim.process(load())
+    with pytest.raises(AccessDenied):
+        stack.sim.run_until(proc)

@@ -1,0 +1,63 @@
+"""Meta-tests on the public API surface.
+
+Guards the contract a downstream user sees: every name a package exports
+in ``__all__`` is importable, documented, and not accidentally removed.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.hw",
+    "repro.crypto",
+    "repro.ree",
+    "repro.tee",
+    "repro.llm",
+    "repro.core",
+    "repro.workloads",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), "%s has no __all__" % package
+    for name in module.__all__:
+        assert hasattr(module, name), "%s exports missing name %r" % (package, name)
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_packages_have_docstrings(package):
+    module = importlib.import_module(package)
+    assert module.__doc__ and len(module.__doc__.strip()) > 30
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_public_classes_and_functions_documented(package):
+    module = importlib.import_module(package)
+    undocumented = []
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+    assert not undocumented, "%s: undocumented public items: %s" % (package, undocumented)
+
+
+def test_top_level_quickstart_names():
+    import repro
+
+    for name in ("TZLLM", "REELLM", "strawman", "TINYLLAMA", "LLAMA3_8B", "RK3588"):
+        assert name in repro.__all__
+
+
+def test_version_is_a_string():
+    import repro
+
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") >= 1

@@ -1,0 +1,51 @@
+"""Tests for request traces and pressure phases."""
+
+import pytest
+
+from repro.config import GiB
+from repro.errors import ConfigurationError
+from repro.workloads.traces import generate_pressure_phases, generate_trace
+
+
+def test_trace_rate_and_ordering():
+    trace = generate_trace(3600.0, rate_per_hour=60, seed=1)
+    # Poisson-ish: within a loose band of the requested rate.
+    assert 30 <= len(trace) <= 100
+    times = [e.at for e in trace]
+    assert times == sorted(times)
+    assert all(0 <= t < 3600 for t in times)
+
+
+def test_trace_deterministic_per_seed():
+    a = generate_trace(1000, 30, seed=5)
+    b = generate_trace(1000, 30, seed=5)
+    c = generate_trace(1000, 30, seed=6)
+    assert [(e.at, e.kind) for e in a] == [(e.at, e.kind) for e in b]
+    assert [(e.at, e.kind) for e in a] != [(e.at, e.kind) for e in c]
+
+
+def test_trace_mix_respected():
+    trace = generate_trace(36000, 100, seed=2, mix={"droidtask": 1.0})
+    assert trace
+    assert all(e.kind == "droidtask" for e in trace)
+    for event in trace:
+        assert 256 <= event.prompt_tokens <= 640
+        assert 8 <= event.output_tokens <= 48
+
+
+def test_trace_validation():
+    with pytest.raises(ConfigurationError):
+        generate_trace(0, 10)
+    with pytest.raises(ConfigurationError):
+        generate_trace(100, 10, mix={"mmlu": 1.0})
+
+
+def test_pressure_phases_alternate():
+    phases = generate_pressure_phases(2000, 1 * GiB, 8 * GiB, period=300, seed=1)
+    assert phases[0].pressure_bytes == 1 * GiB
+    levels = [p.pressure_bytes for p in phases]
+    assert all(a != b for a, b in zip(levels, levels[1:]))
+    starts = [p.start for p in phases]
+    assert starts == sorted(starts)
+    with pytest.raises(ConfigurationError):
+        generate_pressure_phases(100, 1, 2, period=0)
