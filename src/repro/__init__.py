@@ -18,6 +18,7 @@ Sub-packages: :mod:`repro.sim` (discrete-event engine), :mod:`repro.hw`
 (TrustZone hardware), :mod:`repro.crypto`, :mod:`repro.ree` /
 :mod:`repro.tee` (the two OS worlds), :mod:`repro.llm` (inference
 substrate), :mod:`repro.core` (the paper's contribution),
+:mod:`repro.serve` (the multi-tenant serving gateway),
 :mod:`repro.workloads`, and :mod:`repro.analysis`.
 """
 

@@ -1,15 +1,25 @@
 """Measurement and reporting helpers for the benchmark harness."""
 
 from .loc import PAPER_LOC, count_package_loc
-from .metrics import geomean, mean, percent_change, reduction, speedup
+from .metrics import (
+    LatencySummary,
+    geomean,
+    mean,
+    percent_change,
+    percentile,
+    reduction,
+    speedup,
+)
 from .tables import render_bars, render_table
 
 __all__ = [
+    "LatencySummary",
     "PAPER_LOC",
     "count_package_loc",
     "geomean",
     "mean",
     "percent_change",
+    "percentile",
     "reduction",
     "render_bars",
     "render_table",

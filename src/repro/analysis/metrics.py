@@ -3,11 +3,20 @@
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Iterable, List, Sequence
 
 from ..errors import ConfigurationError
 
-__all__ = ["geomean", "mean", "percent_change", "speedup", "reduction"]
+__all__ = [
+    "LatencySummary",
+    "geomean",
+    "mean",
+    "percent_change",
+    "percentile",
+    "speedup",
+    "reduction",
+]
 
 
 def mean(values: Sequence[float]) -> float:
@@ -47,3 +56,55 @@ def reduction(old: float, new: float) -> float:
     if old == 0:
         raise ConfigurationError("reduction from zero")
     return (old - new) / old * 100.0
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (linear interpolation between ranks).
+
+    ``p`` is in [0, 100]; p=50 is the median.  Errors on empty input so a
+    silent 0.0 never masquerades as a measured latency.
+    """
+    if not 0.0 <= p <= 100.0:
+        raise ConfigurationError("percentile must be in [0, 100], got %r" % (p,))
+    ordered = sorted(values)
+    if not ordered:
+        raise ConfigurationError("percentile of empty sequence")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """The tail-latency quartet every serving metric reports."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "LatencySummary":
+        values = list(values)
+        if not values:
+            raise ConfigurationError("LatencySummary of empty sequence")
+        return cls(
+            count=len(values),
+            mean=mean(values),
+            p50=percentile(values, 50),
+            p95=percentile(values, 95),
+            p99=percentile(values, 99),
+            max=max(values),
+        )
+
+    def row(self, fmt: str = "%.3f") -> List[str]:
+        """[p50, p95, p99, max] formatted for a report table."""
+        return [fmt % self.p50, fmt % self.p95, fmt % self.p99, fmt % self.max]

@@ -16,7 +16,7 @@ from .caching import (
     PressureCachePolicy,
     ThresholdProfiler,
 )
-from .llm_ta import InferenceRecord, LLMTA
+from .llm_ta import InferenceRecord, LLMTA, PreemptionGate
 from .multi import TZLLMMulti
 from .obfuscation import apply_size_obfuscation, quantize_duration
 from .pipeline import PipelineConfig, PipelineMetrics, PrefillPipeline
@@ -34,6 +34,7 @@ __all__ = [
     "PAPER_PRESSURE",
     "PipelineConfig",
     "PipelineMetrics",
+    "PreemptionGate",
     "PrefillPipeline",
     "PressureCachePolicy",
     "REELLM",

@@ -9,6 +9,10 @@ statistics aggregate the records.
 
 This is also where the shadow-thread activation cost is charged: each
 request enters the TEE through one CA→TA invocation.
+
+For many concurrent tenants with priority classes, admission control and
+SLO accounting, see :mod:`repro.serve` — the serving gateway builds on
+this same submit path.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from typing import List, Optional
 
 from ..errors import ConfigurationError
 from ..sim import Event, Resource
+from ..sim.trace import NULL_TRACER
 from .llm_ta import InferenceRecord
 from .system import TZLLM
 
@@ -31,10 +36,26 @@ class ChatReply:
     request_id: int
     text: str
     record: InferenceRecord
+    #: when the request was submitted (entered the CA queue).
+    arrived_at: float = 0.0
+    #: when the CA→TA invocation actually started (queue grant).
+    dispatched_at: float = 0.0
+    #: when the last token (or the prefill, for 0-token requests) landed.
+    finished_at: float = 0.0
 
     @property
     def ttft(self) -> float:
         return self.record.ttft
+
+    @property
+    def queue_wait(self) -> float:
+        """Time spent waiting behind other requests for the TA."""
+        return self.dispatched_at - self.arrived_at
+
+    @property
+    def e2e_latency(self) -> float:
+        """Arrival to completion: queue wait + invocation + inference."""
+        return self.finished_at - self.arrived_at
 
     @property
     def tokens_per_second(self) -> float:
@@ -79,11 +100,17 @@ class ClientSession:
 
 
 class ClientApp:
-    """The client application: owns sessions and the TA request queue."""
+    """The client application: owns sessions and the TA request queue.
 
-    def __init__(self, system: TZLLM):
+    ``tracer`` (optional) records each request's queue wait and CA→TA
+    invocation as spans on the ``gateway`` lane, next to the prefill
+    pipeline's hardware-lane spans.
+    """
+
+    def __init__(self, system: TZLLM, tracer=None):
         self.system = system
         self.sim = system.sim
+        self.tracer = tracer or NULL_TRACER
         self._session_ids = itertools.count(1)
         self._request_ids = itertools.count(1)
         #: one request in the TEE at a time (single LLM TA instance).
@@ -110,17 +137,27 @@ class ClientApp:
         enqueued_at = self.sim.now
         grant = self._ta_lock.request()
         yield grant
-        self.queue_wait_time += self.sim.now - enqueued_at
+        dispatched_at = self.sim.now
+        self.queue_wait_time += dispatched_at - enqueued_at
+        self.tracer.record(
+            "gateway", "queue r%d" % request_id, enqueued_at, lane="gateway"
+        )
         try:
             record = yield from self.system.infer(len(prompt_tokens), max_new_tokens)
         finally:
             self._ta_lock.release(grant)
+        self.tracer.record(
+            "gateway", "invoke r%d" % request_id, dispatched_at, lane="gateway"
+        )
         text = tokenizer.decode(record.decode.token_ids) if record.decode else ""
         reply = ChatReply(
             session_id=session.session_id,
             request_id=request_id,
             text=text,
             record=record,
+            arrived_at=enqueued_at,
+            dispatched_at=dispatched_at,
+            finished_at=self.sim.now,
         )
         session.replies.append(reply)
         self.requests_served += 1

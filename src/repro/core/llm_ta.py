@@ -44,7 +44,40 @@ from .caching import CachePolicy, FractionCachePolicy
 from .pipeline import PipelineConfig, PipelineMetrics, PrefillPipeline
 from .restore_graph import RestorationPlan, build_restoration_plan
 
-__all__ = ["InferenceRecord", "LLMTA"]
+__all__ = ["InferenceRecord", "LLMTA", "PreemptionGate"]
+
+
+class PreemptionGate:
+    """One request's preemption surface (the serving-scale Fig. 13 path).
+
+    The gateway hands the TA a gate per dispatch; requesting it makes the
+    decode loop stop at the next token boundary, after which the TA runs
+    its normal release path (data region shrink, cache-policy parameter
+    release) and returns a record marked ``preempted``.  Preemption is
+    therefore always graceful: the TA stays serviceable and the cached
+    parameter prefix survives for the victim's retry.
+
+    The gate is callable so it can be passed directly as the decode
+    loop's ``stop_hook``.
+    """
+
+    __slots__ = ("requested", "cause", "requested_at")
+
+    def __init__(self):
+        self.requested = False
+        self.cause = None
+        self.requested_at: Optional[float] = None
+
+    def request(self, cause=None, at: Optional[float] = None) -> None:
+        """Ask the running request to yield the TA (idempotent)."""
+        if self.requested:
+            return
+        self.requested = True
+        self.cause = cause
+        self.requested_at = at
+
+    def __call__(self) -> bool:
+        return self.requested
 
 
 @dataclass
@@ -70,6 +103,10 @@ class InferenceRecord:
     #: number of prefetch sweeps issued.
     streamed_bytes_per_token: int = 0
     stream_sweeps: int = 0
+    #: the request was preempted at a token boundary before finishing its
+    #: decode (serving-gateway priority preemption); the partial decode is
+    #: in ``decode`` and the TA ran its normal release path.
+    preempted: bool = False
 
     @property
     def decode_tokens_per_second(self) -> float:
@@ -230,8 +267,13 @@ class LLMTA(TrustedApplication):
     # ------------------------------------------------------------------
     # the inference entry point
     # ------------------------------------------------------------------
-    def infer(self, prompt_tokens: int, output_tokens: int = 0):
-        """Serve one inference request (generator; returns the record)."""
+    def infer(self, prompt_tokens: int, output_tokens: int = 0, preempt: Optional[PreemptionGate] = None):
+        """Serve one inference request (generator; returns the record).
+
+        ``preempt`` — an optional :class:`PreemptionGate`; when requested
+        mid-decode, the request stops at the next token boundary, marks
+        its record ``preempted``, and releases transient memory normally.
+        """
         if self.plan is None:
             raise ConfigurationError("setup() was not called")
         if prompt_tokens + output_tokens > self.max_tokens:
@@ -319,7 +361,9 @@ class LLMTA(TrustedApplication):
                     output_tokens,
                     use_npu=self.decode_use_npu,
                     grow_hook=hook,
+                    stop_hook=preempt,
                 )
+                record.preempted = record.decode.stopped_early
         except Exception:
             # Failed restoration (I/O error, Iago detection): release all
             # transient memory so the TA stays serviceable, then surface

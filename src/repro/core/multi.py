@@ -42,6 +42,7 @@ class TZLLMMulti:
         use_npu: Union[bool, str] = True,
         decode_use_npu: Union[bool, str] = "auto",
         pipeline_config: Optional[PipelineConfig] = None,
+        trace: bool = False,
     ):
         if not models:
             raise ConfigurationError("need at least one model")
@@ -107,6 +108,15 @@ class TZLLMMulti:
             for ta in self.tas.values()
             for slot in (ta.params_region.tzasc_slot, ta.data_region.tzasc_slot)
         ]
+        # One shared tracer covers every TA (pipeline spans on the model's
+        # lanes, serving spans on the gateway lane).
+        self.tracer = None
+        if trace:
+            from ..sim.trace import Tracer
+
+            self.tracer = Tracer(self.stack.sim)
+            for ta in self.tas.values():
+                ta.tracer = self.tracer
 
     @property
     def sim(self):
@@ -118,9 +128,11 @@ class TZLLMMulti:
         except KeyError:
             raise ConfigurationError("no TA for model %r" % model_id)
 
-    def infer(self, model_id: str, prompt_tokens: int, output_tokens: int = 0):
+    def infer(self, model_id: str, prompt_tokens: int, output_tokens: int = 0, preempt=None):
         """Generator: serve a request on the named model's TA."""
-        record = yield from self.ta(model_id).infer(prompt_tokens, output_tokens)
+        record = yield from self.ta(model_id).infer(
+            prompt_tokens, output_tokens, preempt=preempt
+        )
         return record
 
     def run_infer(self, model_id: str, prompt_tokens: int, output_tokens: int = 0) -> InferenceRecord:

@@ -150,11 +150,11 @@ class TZLLM(_SystemBase):
             self.ta.tracer = self.tracer
         self.stack.board.monitor.register("tee.llm.infer", self.ta.infer)
 
-    def infer(self, prompt_tokens: int, output_tokens: int = 0):
+    def infer(self, prompt_tokens: int, output_tokens: int = 0, preempt=None):
         """The client application's request path (generator)."""
         yield self.sim.timeout(self.stack.spec.timing.ta_invoke_latency)
         record = yield from self.stack.tz_driver.invoke_ta(
-            "tee.llm.infer", prompt_tokens, output_tokens
+            "tee.llm.infer", prompt_tokens, output_tokens, preempt=preempt
         )
         return record
 

@@ -165,6 +165,9 @@ def sample_token(model_id: str, step: int, vocab: int) -> int:
 class DecodeResult:
     token_ids: List[int] = field(default_factory=list)
     step_times: List[float] = field(default_factory=list)
+    #: the loop was stopped by ``stop_hook`` before generating every token
+    #: (serving-level preemption; see :mod:`repro.serve`).
+    stopped_early: bool = False
 
     @property
     def tokens_per_second(self) -> float:
@@ -181,6 +184,7 @@ def decode_tokens(
     use_npu: Union[bool, str] = "auto",
     cpu_priority: float = 0.0,
     grow_hook=None,
+    stop_hook=None,
 ):
     """The decode loop (generator; returns a :class:`DecodeResult`).
 
@@ -189,6 +193,11 @@ def decode_tokens(
     ``grow_hook(kv)`` — a generator-producing callable — runs before each
     step so the caller can extend KV-cache backing memory as it grows
     (the §4.2 behaviour: the KV region scales during decoding).
+    ``stop_hook()`` — a plain callable — is checked at every token
+    boundary; when it returns true the loop stops early with
+    ``stopped_early`` set, the preemption point the serving gateway uses
+    to yield the TA to a higher-priority request (same micro-granularity
+    idea as the §4.1 pipeline preemption, at token scale).
     """
     sim = executor.sim
     result = DecodeResult()
@@ -197,6 +206,9 @@ def decode_tokens(
     )
     attention_ops = [op for op in graph.ops if op.name.endswith(".attention")]
     for step in range(n_tokens):
+        if stop_hook is not None and stop_hook():
+            result.stopped_early = True
+            break
         start = sim.now
         if grow_hook is not None:
             yield from grow_hook(kv)

@@ -56,6 +56,10 @@ class REENPUDriver:
         self._completions: Dict[int, Event] = {}  # job_id -> completion
         self._wake: Optional[Event] = None
         self._running_done: Optional[Event] = None
+        #: the item the scheduler has popped but not finished running —
+        #: the governor must treat this window as activity (the device
+        #: looks idle during the SMC hand-off, but a launch is imminent).
+        self._in_flight: Optional[Union[NPUJob, ShadowJob]] = None
         self.initialized = False
         self.power_management = power_management
         self.jobs_launched = 0
@@ -110,10 +114,12 @@ class REENPUDriver:
                 yield self._wake
             yield from self._ensure_powered()
             item = self._queue.popleft()
+            self._in_flight = item
             if isinstance(item, ShadowJob):
                 yield from self._run_shadow(item)
             else:
                 yield from self._run_nonsecure(item)
+            self._in_flight = None
             self._last_activity = self.sim.now
             if (
                 self.power_management
@@ -149,6 +155,7 @@ class REENPUDriver:
                 if (
                     not self.npu.busy
                     and not self._queue
+                    and self._in_flight is None
                     and idle_for >= self.IDLE_POWER_OFF_AFTER * 0.999
                 ):
                     self.npu.set_power(False)

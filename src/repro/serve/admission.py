@@ -1,0 +1,167 @@
+"""Admission control: bounded queues, TTFT prediction, load shedding.
+
+Two gates guard the door:
+
+1. **Backpressure** — each (model, class) queue is bounded by the class
+   policy's ``queue_capacity``; a full queue rejects with
+   :class:`QueueFull` instead of growing without limit.
+2. **Deadline shedding** — an EWMA service-time predictor estimates the
+   arriving request's TTFT (work ahead of it in queue + the model's
+   typical prefill); if that already exceeds the class's TTFT SLO the
+   request is rejected with :class:`SLOUnattainable` — rejecting at
+   arrival is strictly kinder than letting the request rot in queue past
+   its deadline and burning TA time on an answer nobody is waiting for.
+
+Everything here is deterministic: deques, monotonic ids, and an EWMA —
+no randomness, so the same trace sheds the same requests every run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .classes import ClassPolicy, PriorityClass
+from .errors import QueueFull, SLOUnattainable
+from .request import ServeRequest
+
+__all__ = ["ServiceTimePredictor", "AdmissionController"]
+
+
+class ServiceTimePredictor:
+    """EWMA per model of observed TTFT and whole-request service time.
+
+    Warm/cold asymmetry, prompt-length spread and preemption retries all
+    fold into the moving average — crude, but it only has to be good
+    enough to tell "will blow the SLO by seconds" from "fine", and it
+    needs no model-specific calibration.  Unknown models predict 0
+    (optimistically admit until the first completion seeds the average).
+    """
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._ttft: Dict[str, float] = {}
+        self._service: Dict[str, float] = {}
+        self.observations = 0
+
+    def observe(self, model_id: str, ttft: float, service_time: float) -> None:
+        """Fold one completed request's measurements into the averages."""
+        self.observations += 1
+        for store, value in ((self._ttft, ttft), (self._service, service_time)):
+            if model_id in store:
+                store[model_id] += self.alpha * (value - store[model_id])
+            else:
+                store[model_id] = value
+
+    def predicted_ttft(self, model_id: str) -> float:
+        return self._ttft.get(model_id, 0.0)
+
+    def predicted_service(self, model_id: str) -> float:
+        return self._service.get(model_id, 0.0)
+
+
+class AdmissionController:
+    """Owns the bounded per-(model, class) queues and the two gates."""
+
+    def __init__(
+        self,
+        model_ids: Iterable[str],
+        policies: Dict[PriorityClass, ClassPolicy],
+        predictor: Optional[ServiceTimePredictor] = None,
+        shedding: bool = True,
+    ):
+        self.policies = policies
+        self.predictor = predictor or ServiceTimePredictor()
+        self.shedding = shedding
+        self.queues: Dict[Tuple[str, PriorityClass], Deque[ServeRequest]] = {
+            (model_id, cls): deque()
+            for model_id in model_ids
+            for cls in PriorityClass
+        }
+        self.admitted = 0
+        self.rejected_queue_full = 0
+        self.rejected_slo = 0
+
+    # ------------------------------------------------------------------
+    def depth(self, model_id: str, cls: PriorityClass) -> int:
+        return len(self.queues[(model_id, cls)])
+
+    def total_depth(self, model_id: str) -> int:
+        return sum(len(self.queues[(model_id, cls)]) for cls in PriorityClass)
+
+    def queued_ahead(self, model_id: str, cls: PriorityClass, scheduling: str) -> List[ServeRequest]:
+        """Requests already queued that would dispatch before a new
+        arrival of class ``cls`` under the given scheduling mode."""
+        ahead: List[ServeRequest] = []
+        for other in PriorityClass:
+            if scheduling == "priority" and other > cls:
+                continue  # a lower-priority queue never runs first
+            ahead.extend(self.queues[(model_id, other)])
+        return ahead
+
+    # ------------------------------------------------------------------
+    def admit(self, request: ServeRequest, predicted_wait: float, scheduling: str) -> None:
+        """Enqueue ``request`` or raise a typed rejection.
+
+        ``predicted_wait`` is the gateway's estimate of time until this
+        request would reach the TA (running remainder + queued work
+        ahead); the predictor adds the model's typical prefill on top.
+        """
+        policy = self.policies[request.priority]
+        queue = self.queues[(request.model_id, request.priority)]
+        if len(queue) >= policy.queue_capacity:
+            request.state = "rejected"
+            request.rejected_reason = QueueFull.reason
+            self.rejected_queue_full += 1
+            raise QueueFull(
+                "%s queue for %s at capacity (%d)"
+                % (request.priority.label, request.model_id, policy.queue_capacity),
+                request=request,
+            )
+        if self.shedding and policy.ttft_slo is not None:
+            predicted_ttft = predicted_wait + self.predictor.predicted_ttft(request.model_id)
+            if predicted_ttft > policy.ttft_slo:
+                request.state = "rejected"
+                request.rejected_reason = SLOUnattainable.reason
+                self.rejected_slo += 1
+                raise SLOUnattainable(
+                    "predicted TTFT %.2fs exceeds the %.2fs %s SLO"
+                    % (predicted_ttft, policy.ttft_slo, request.priority.label),
+                    request=request,
+                )
+        queue.append(request)
+        self.admitted += 1
+
+    def requeue_front(self, request: ServeRequest) -> None:
+        """Put a preempted victim back at the head of its class queue
+        (it keeps its arrival-order claim within the class)."""
+        self.queues[(request.model_id, request.priority)].appendleft(request)
+
+    def pop_next(self, model_id: str, scheduling: str) -> Optional[ServeRequest]:
+        """The next request the lane should run, or None.
+
+        ``priority``: head of the most urgent non-empty class queue.
+        ``fifo``: the globally oldest queued request (by request id, which
+        is monotonically assigned at submission).
+        """
+        if scheduling == "priority":
+            for cls in PriorityClass:
+                queue = self.queues[(model_id, cls)]
+                if queue:
+                    return queue.popleft()
+            return None
+        if scheduling != "fifo":
+            raise ConfigurationError("scheduling must be 'priority' or 'fifo'")
+        best_cls: Optional[PriorityClass] = None
+        best_id: Optional[int] = None
+        for cls in PriorityClass:
+            queue = self.queues[(model_id, cls)]
+            if queue and (best_id is None or queue[0].request_id < best_id):
+                best_cls = cls
+                best_id = queue[0].request_id
+        if best_cls is None:
+            return None
+        return self.queues[(model_id, best_cls)].popleft()

@@ -1,0 +1,322 @@
+"""The multi-tenant serving gateway: routing, dispatch, preemption.
+
+The gateway sits between client tenants and the protected models — one
+:class:`~repro.core.system.TZLLM` (single model) or
+:class:`~repro.core.multi.TZLLMMulti` (one TA per model).  Each model is
+a *lane* that serves one request at a time (the single-TA constraint the
+paper's deployment has); the gateway's job is deciding **which** request
+that is:
+
+* ``scheduling="fifo"`` — global arrival order, the baseline every
+  serving paper measures against;
+* ``scheduling="priority"`` — most-urgent class first, FIFO within a
+  class; with ``preemption=True`` an arriving preemptor-class request
+  signals the running victim's :class:`~repro.core.llm_ta.PreemptionGate`
+  and the TA yields at the next token boundary (Fig. 13's preemption
+  lifted to request granularity).  The victim's partial decode is
+  discarded and the request re-queued at the head of its class — its
+  cached parameter prefix survives, so the retry skips restoration.
+
+Admission (bounded queues + deadline shedding) happens before anything
+queues; see :mod:`repro.serve.admission`.  All scheduling state lives in
+deques and counters — no RNG — so serving is deterministic end to end.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..core.llm_ta import PreemptionGate
+from ..core.multi import TZLLMMulti
+from ..core.system import TZLLM
+from ..errors import ConfigurationError
+from ..sim.trace import NULL_TRACER
+from ..workloads.traces import TenantRequest
+from .admission import AdmissionController, ServiceTimePredictor
+from .classes import ClassPolicy, PriorityClass, default_policies
+from .request import ServeRequest
+from .slo import SLOAccountant
+
+__all__ = ["GatewayConfig", "ServeGateway"]
+
+
+@dataclass
+class GatewayConfig:
+    """Gateway behaviour knobs (all orthogonal, for ablations)."""
+
+    scheduling: str = "priority"  # "priority" | "fifo"
+    preemption: bool = True
+    shedding: bool = True
+    policies: Dict[PriorityClass, ClassPolicy] = field(default_factory=default_policies)
+    predictor_alpha: float = 0.3
+
+    def __post_init__(self):
+        if self.scheduling not in ("priority", "fifo"):
+            raise ConfigurationError("scheduling must be 'priority' or 'fifo'")
+        for cls in PriorityClass:
+            if cls not in self.policies:
+                raise ConfigurationError("missing policy for class %s" % cls.label)
+
+
+class _Lane:
+    """One model's TA: at most one request running."""
+
+    __slots__ = ("model_id", "busy", "current", "gate", "dispatched_at")
+
+    def __init__(self, model_id: str):
+        self.model_id = model_id
+        self.busy = False
+        self.current: Optional[ServeRequest] = None
+        self.gate: Optional[PreemptionGate] = None
+        self.dispatched_at = 0.0
+
+
+class ServeGateway:
+    """Admission, routing and priority-preemptive dispatch for many tenants."""
+
+    def __init__(
+        self,
+        system: Union[TZLLM, TZLLMMulti],
+        config: Optional[GatewayConfig] = None,
+        tracer=None,
+    ):
+        self.system = system
+        self.sim = system.sim
+        self.config = config or GatewayConfig()
+        self.tracer = tracer if tracer is not None else (getattr(system, "tracer", None) or NULL_TRACER)
+        if isinstance(system, TZLLMMulti):
+            model_ids = list(system.tas)
+        else:
+            model_ids = [system.model.model_id]
+        self.lanes: Dict[str, _Lane] = {m: _Lane(m) for m in model_ids}
+        self.predictor = ServiceTimePredictor(alpha=self.config.predictor_alpha)
+        self.admission = AdmissionController(
+            model_ids,
+            self.config.policies,
+            predictor=self.predictor,
+            shedding=self.config.shedding,
+        )
+        self.accountant = SLOAccountant(self.sim, self.config.policies, tracer=self.tracer)
+        self._request_ids = itertools.count(1)
+        #: deterministic request log, one line per lifecycle transition.
+        self.log: List[str] = []
+        self.completed: List[ServeRequest] = []
+        self.preemption_signals = 0
+        self.wasted_time = 0.0
+        self.wasted_tokens = 0
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        prompt_tokens: int,
+        output_tokens: int = 0,
+        model_id: Optional[str] = None,
+        priority: Union[PriorityClass, str] = PriorityClass.INTERACTIVE,
+        tenant: str = "anon",
+    ) -> ServeRequest:
+        """Admit a request at the current simulated time.
+
+        Returns the queued :class:`ServeRequest` (its ``completion``
+        event triggers when served) or raises a typed
+        :class:`~repro.serve.errors.AdmissionRejected` subclass.
+        """
+        cls = PriorityClass.parse(priority)
+        if model_id is None:
+            if len(self.lanes) != 1:
+                raise ConfigurationError("model_id required with multiple models")
+            model_id = next(iter(self.lanes))
+        if model_id not in self.lanes:
+            raise ConfigurationError("no TA hosts model %r" % model_id)
+        if prompt_tokens < 1 or output_tokens < 0:
+            raise ConfigurationError("bad token counts for request")
+        now = self.sim.now
+        policy = self.config.policies[cls]
+        request = ServeRequest(
+            request_id=next(self._request_ids),
+            tenant=tenant,
+            model_id=model_id,
+            priority=cls,
+            prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens,
+            arrived_at=now,
+            deadline=None if policy.ttft_slo is None else now + policy.ttft_slo,
+            completion=self.sim.event(),
+        )
+        try:
+            self.admission.admit(request, self._predicted_wait(model_id, cls), self.config.scheduling)
+        except Exception as exc:
+            reason = getattr(exc, "reason", "rejected")
+            self.log.append(request.log_line("reject", now, "reason=%s" % reason))
+            self.accountant.note_rejected(cls, reason)
+            raise
+        self.log.append(
+            request.log_line("admit", now, "depth=%d" % self.admission.depth(model_id, cls))
+        )
+        self.accountant.note_queue_depth(cls, self.admission.depth(model_id, cls))
+        self._maybe_preempt_for(request)
+        self._maybe_dispatch(model_id)
+        return request
+
+    def submit_trace_request(self, event: TenantRequest) -> ServeRequest:
+        """Admit one multi-tenant trace arrival (see workloads.traces)."""
+        return self.submit(
+            prompt_tokens=event.prompt_tokens,
+            output_tokens=event.output_tokens,
+            model_id=event.model_id,
+            priority=event.priority,
+            tenant=event.tenant,
+        )
+
+    # ------------------------------------------------------------------
+    # prediction (admission input)
+    # ------------------------------------------------------------------
+    def _predicted_wait(self, model_id: str, cls: PriorityClass) -> float:
+        """Estimated time until a new arrival reaches the TA."""
+        lane = self.lanes[model_id]
+        wait = 0.0
+        if lane.busy:
+            elapsed = self.sim.now - lane.dispatched_at
+            wait += max(0.0, self.predictor.predicted_service(model_id) - elapsed)
+        for queued in self.admission.queued_ahead(model_id, cls, self.config.scheduling):
+            wait += self.predictor.predicted_service(queued.model_id)
+        return wait
+
+    # ------------------------------------------------------------------
+    # dispatch and preemption
+    # ------------------------------------------------------------------
+    def _maybe_preempt_for(self, request: ServeRequest) -> None:
+        """Signal the running victim's gate if ``request`` outranks it."""
+        if self.config.scheduling != "priority" or not self.config.preemption:
+            return
+        if not self.config.policies[request.priority].preemptor:
+            return
+        lane = self.lanes[request.model_id]
+        if not lane.busy or lane.current is None or lane.gate is None:
+            return
+        victim = lane.current
+        if victim.priority <= request.priority:
+            return  # equal or more urgent: no preemption
+        if not self.config.policies[victim.priority].preemptible:
+            return
+        if lane.gate.requested:
+            return  # one signal is enough; the lane is already yielding
+        lane.gate.request(cause="r%04d" % request.request_id, at=self.sim.now)
+        self.preemption_signals += 1
+        self.log.append(
+            victim.log_line("preempt", self.sim.now, "by=r%04d" % request.request_id)
+        )
+        self.tracer.instant(
+            "preempt",
+            "r%d preempts r%d" % (request.request_id, victim.request_id),
+            lane="gateway",
+        )
+
+    def _maybe_dispatch(self, model_id: str) -> None:
+        lane = self.lanes[model_id]
+        if lane.busy:
+            return
+        request = self.admission.pop_next(model_id, self.config.scheduling)
+        if request is None:
+            return
+        self.accountant.note_queue_depth(
+            request.priority, self.admission.depth(model_id, request.priority)
+        )
+        gate = PreemptionGate()
+        lane.busy = True
+        lane.current = request
+        lane.gate = gate
+        lane.dispatched_at = self.sim.now
+        self.sim.process(
+            self._run_attempt(lane, request, gate),
+            name="serve-r%d" % request.request_id,
+        )
+
+    def _run_attempt(self, lane: _Lane, request: ServeRequest, gate: PreemptionGate):
+        """One dispatch of one request on the lane's TA (a process)."""
+        now = self.sim.now
+        request.attempts += 1
+        request.state = "running"
+        if request.dispatched_at is None:
+            request.dispatched_at = now
+        self.log.append(request.log_line("dispatch", now, "attempt=%d" % request.attempts))
+        if request.attempts == 1:
+            self.tracer.record(
+                "gateway", "queue r%d" % request.request_id, request.arrived_at, lane="gateway"
+            )
+        self.accountant.note_dispatch(lane.model_id)
+        span_start = now
+        record = yield from self._infer(request, gate)
+        self.accountant.note_release(lane.model_id)
+        lane.busy = False
+        lane.current = None
+        lane.gate = None
+        elapsed = self.sim.now - span_start
+        self.tracer.record(
+            "gateway",
+            "serve r%d%s" % (request.request_id, " (preempted)" if record.preempted else ""),
+            span_start,
+            lane="gateway",
+        )
+        if record.preempted:
+            request.preemptions += 1
+            request.state = "queued"
+            self.wasted_time += elapsed
+            self.wasted_tokens += len(record.decode.token_ids) if record.decode else 0
+            self.accountant.note_preemption(request.priority)
+            self.admission.requeue_front(request)
+            self.accountant.note_queue_depth(
+                request.priority, self.admission.depth(lane.model_id, request.priority)
+            )
+            self.log.append(
+                request.log_line("requeue", self.sim.now, "preemptions=%d" % request.preemptions)
+            )
+        else:
+            request.record = record
+            request.state = "done"
+            request.first_token_at = record.started_at + record.ttft
+            request.finished_at = self.sim.now
+            self.predictor.observe(request.model_id, ttft=record.ttft, service_time=elapsed)
+            self.accountant.observe(request)
+            self.completed.append(request)
+            self.log.append(
+                request.log_line(
+                    "complete",
+                    self.sim.now,
+                    "ttft=%.6f e2e=%.6f tokens=%d"
+                    % (request.ttft, request.e2e_latency, request.tokens_generated),
+                )
+            )
+            request.completion.succeed(request)
+        self._maybe_dispatch(lane.model_id)
+
+    def _infer(self, request: ServeRequest, gate: PreemptionGate):
+        """Route the CA→TA invocation to the TA hosting the model."""
+        if isinstance(self.system, TZLLMMulti):
+            record = yield from self.system.infer(
+                request.model_id, request.prompt_tokens, request.output_tokens, preempt=gate
+            )
+        else:
+            record = yield from self.system.infer(
+                request.prompt_tokens, request.output_tokens, preempt=gate
+            )
+        return record
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def submit_blocking(self, *args, **kwargs) -> ServeRequest:
+        """Submit and drive the simulator until the request completes."""
+        request = self.submit(*args, **kwargs)
+        return self.sim.run_until(request.completion)
+
+    @property
+    def queue_depth(self) -> int:
+        return sum(self.admission.total_depth(m) for m in self.lanes)
+
+    def request_log(self) -> str:
+        """The full deterministic request log, newline-joined."""
+        return "\n".join(self.log)

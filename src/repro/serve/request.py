@@ -1,0 +1,112 @@
+"""The unit the gateway schedules: one tenant request and its lifecycle.
+
+States: ``queued`` → ``running`` → ``done`` (possibly looping back to
+``queued`` through preemption), or ``rejected`` at admission.  Every
+timestamp is simulated time; latency properties are derived from them so
+serving metrics never have to reconstruct anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.llm_ta import InferenceRecord
+from ..sim import Event
+from .classes import PriorityClass
+
+__all__ = ["ServeRequest"]
+
+
+@dataclass
+class ServeRequest:
+    """One request flowing through the serving gateway."""
+
+    request_id: int
+    tenant: str
+    model_id: str
+    priority: PriorityClass
+    prompt_tokens: int
+    output_tokens: int
+    arrived_at: float
+    #: arrival + the class TTFT SLO (None when the class has no SLO).
+    deadline: Optional[float] = None
+    state: str = "queued"
+    #: dispatch count (1 + number of preemptions, once done).
+    attempts: int = 0
+    preemptions: int = 0
+    dispatched_at: Optional[float] = None
+    first_token_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    record: Optional[InferenceRecord] = None
+    rejected_reason: Optional[str] = None
+    #: triggers (with the request as value) when the request completes.
+    completion: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.state == "done"
+
+    @property
+    def ttft(self) -> float:
+        """Arrival to first token of the *successful* attempt.
+
+        Preempted attempts discard their partial decode, so the token the
+        user finally sees comes from the last attempt — queue wait and
+        any preemption delay are charged, as a real client would feel.
+        """
+        if self.first_token_at is None:
+            raise ValueError("request %d has no first token yet" % self.request_id)
+        return self.first_token_at - self.arrived_at
+
+    @property
+    def e2e_latency(self) -> float:
+        """Arrival to last token (queue wait + all attempts)."""
+        if self.finished_at is None:
+            raise ValueError("request %d not finished" % self.request_id)
+        return self.finished_at - self.arrived_at
+
+    @property
+    def queue_wait(self) -> float:
+        """Arrival to first dispatch."""
+        if self.dispatched_at is None:
+            raise ValueError("request %d never dispatched" % self.request_id)
+        return self.dispatched_at - self.arrived_at
+
+    @property
+    def tbt(self) -> float:
+        """Mean time between tokens of the successful decode (0 if none)."""
+        if self.record is None or self.record.decode is None:
+            return 0.0
+        steps = self.record.decode.step_times
+        return sum(steps) / len(steps) if steps else 0.0
+
+    @property
+    def tokens_generated(self) -> int:
+        if self.record is None or self.record.decode is None:
+            return 0
+        return len(self.record.decode.token_ids)
+
+    @property
+    def slo_attained(self) -> Optional[bool]:
+        """TTFT within deadline (None when the class has no SLO)."""
+        if self.deadline is None:
+            return None
+        return self.first_token_at is not None and self.first_token_at <= self.deadline
+
+    # ------------------------------------------------------------------
+    def log_line(self, verb: str, at: float, extra: str = "") -> str:
+        """One deterministic request-log line (the determinism tests
+        compare these byte for byte across runs)."""
+        line = "%.6f %-8s r%04d %s %s %s prompt=%d out=%d" % (
+            at,
+            verb,
+            self.request_id,
+            self.tenant,
+            self.model_id,
+            self.priority.label,
+            self.prompt_tokens,
+            self.output_tokens,
+        )
+        return line + (" " + extra if extra else "")

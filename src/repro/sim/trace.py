@@ -20,7 +20,7 @@ from typing import Dict, List, Optional
 from ..errors import ConfigurationError
 from .core import Simulator
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = ["Span", "CounterSample", "Instant", "Tracer", "NullTracer", "NULL_TRACER"]
 
 
 @dataclass(frozen=True)
@@ -36,6 +36,25 @@ class Span:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class CounterSample:
+    """One sample of a time-varying gauge (queue depth, utilization)."""
+
+    name: str
+    at: float
+    value: float
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A point event (e.g. a shed request) on a lane."""
+
+    category: str
+    name: str
+    at: float
+    lane: str = "main"
+
+
 class Tracer:
     """Collects spans against a simulator's clock."""
 
@@ -44,6 +63,8 @@ class Tracer:
     def __init__(self, sim: Simulator):
         self.sim = sim
         self.spans: List[Span] = []
+        self.counters: List[CounterSample] = []
+        self.instants: List[Instant] = []
 
     # ------------------------------------------------------------------
     def record(self, category: str, name: str, start: float, lane: str = "main") -> None:
@@ -57,9 +78,19 @@ class Tracer:
         """Open a span handle; call ``.close()`` when the work finishes."""
         return _SpanHandle(self, category, name, lane, self.sim.now)
 
+    def counter(self, name: str, value: float) -> None:
+        """Sample a gauge at the current simulated time."""
+        self.counters.append(CounterSample(name, self.sim.now, float(value)))
+
+    def instant(self, category: str, name: str, lane: str = "main") -> None:
+        """Record a point event at the current simulated time."""
+        self.instants.append(Instant(category, name, self.sim.now, lane))
+
     # ------------------------------------------------------------------
     def lanes(self) -> List[str]:
-        return sorted({span.lane for span in self.spans})
+        lanes = {span.lane for span in self.spans}
+        lanes.update(inst.lane for inst in self.instants)
+        return sorted(lanes)
 
     def total_time(self, category: str) -> float:
         return sum(span.duration for span in self.spans if span.category == category)
@@ -92,6 +123,28 @@ class Tracer:
                     "name": span.name,
                     "ts": span.start * 1e6,
                     "dur": max(0.001, span.duration * 1e6),
+                }
+            )
+        for inst in self.instants:
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": 1,
+                    "tid": lane_ids[inst.lane],
+                    "cat": inst.category,
+                    "name": inst.name,
+                    "ts": inst.at * 1e6,
+                    "s": "t",
+                }
+            )
+        for sample in self.counters:
+            events.append(
+                {
+                    "ph": "C",
+                    "pid": 1,
+                    "name": sample.name,
+                    "ts": sample.at * 1e6,
+                    "args": {"value": sample.value},
                 }
             )
         return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
@@ -129,6 +182,12 @@ class NullTracer:
 
     def span(self, category, name, lane="main") -> "_NullHandle":
         return _NULL_HANDLE
+
+    def counter(self, name, value) -> None:
+        pass
+
+    def instant(self, category, name, lane="main") -> None:
+        pass
 
 
 class _NullHandle:

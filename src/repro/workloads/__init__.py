@@ -4,7 +4,15 @@ from .geekbench import GEEKBENCH_SUITE, GeekbenchApp, migration_slowdown, run_su
 from .nn_apps import MOBILENET_V1, NNAppRunner, NNAppSpec, YOLOV5S
 from .prompts import BENCHMARKS, Prompt, benchmark_names, generate_prompts
 from .stress import MemoryStress
-from .traces import PressurePhase, TraceEvent, generate_pressure_phases, generate_trace
+from .traces import (
+    PressurePhase,
+    TenantRequest,
+    TenantSpec,
+    TraceEvent,
+    generate_multitenant_trace,
+    generate_pressure_phases,
+    generate_trace,
+)
 
 __all__ = [
     "BENCHMARKS",
@@ -16,9 +24,12 @@ __all__ = [
     "NNAppSpec",
     "PressurePhase",
     "Prompt",
+    "TenantRequest",
+    "TenantSpec",
     "TraceEvent",
     "YOLOV5S",
     "benchmark_names",
+    "generate_multitenant_trace",
     "generate_pressure_phases",
     "generate_prompts",
     "generate_trace",

@@ -11,12 +11,20 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from .prompts import BENCHMARKS
 
-__all__ = ["TraceEvent", "generate_trace", "PressurePhase", "generate_pressure_phases"]
+__all__ = [
+    "TraceEvent",
+    "generate_trace",
+    "PressurePhase",
+    "generate_pressure_phases",
+    "TenantSpec",
+    "TenantRequest",
+    "generate_multitenant_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -64,6 +72,107 @@ def generate_trace(
         events.append(TraceEvent(at, kind, prompt, output))
         at += rng.expovariate(1.0 / mean_gap)
     return events
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's offered load: who asks, what for, and how urgently.
+
+    A tenant is a (session, model, priority-class) stream: the voice
+    assistant firing short interactive turns, a mail summarizer batching
+    medium prompts, an indexer grinding long background jobs.  Bursts
+    model the "everyone asks at once" pattern: for ``burst_duration``
+    seconds out of every ``burst_period``, the arrival rate multiplies by
+    ``burst_factor``.
+    """
+
+    name: str
+    model_id: str
+    priority: str  # "interactive" | "batch" | "background"
+    rate_per_hour: float
+    workload: str = "ultrachat"  # prompt-length distribution (BENCHMARKS)
+    output_tokens: Tuple[int, int] = (8, 48)
+    burst_factor: float = 1.0
+    burst_period: float = 0.0  # 0 = no bursts
+    burst_duration: float = 0.0
+
+
+@dataclass(frozen=True)
+class TenantRequest:
+    """One arrival in a multi-tenant trace."""
+
+    at: float
+    tenant: str
+    model_id: str
+    priority: str
+    prompt_tokens: int
+    output_tokens: int
+
+
+def _tenant_rate(spec: TenantSpec, at: float) -> float:
+    """Arrivals per hour at time ``at`` (burst windows multiply)."""
+    if spec.burst_period > 0 and spec.burst_duration > 0:
+        if (at % spec.burst_period) < spec.burst_duration:
+            return spec.rate_per_hour * spec.burst_factor
+    return spec.rate_per_hour
+
+
+def generate_multitenant_trace(
+    duration: float,
+    tenants: Sequence[TenantSpec],
+    seed: int = 7,
+) -> List[TenantRequest]:
+    """Merge every tenant's arrival stream into one sorted trace.
+
+    Each tenant gets an independent RNG keyed by (name, seed), so adding
+    a tenant never perturbs the others' arrivals, and the merged trace is
+    deterministic for a given (tenants, seed).
+    """
+    if duration <= 0:
+        raise ConfigurationError("duration must be positive")
+    if not tenants:
+        raise ConfigurationError("need at least one tenant")
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise ConfigurationError("duplicate tenant names")
+    requests: List[TenantRequest] = []
+    for spec in tenants:
+        if spec.rate_per_hour <= 0:
+            raise ConfigurationError("tenant %r rate must be positive" % spec.name)
+        if spec.priority not in ("interactive", "batch", "background"):
+            raise ConfigurationError(
+                "tenant %r priority must be interactive/batch/background" % spec.name
+            )
+        workload = BENCHMARKS.get(spec.workload)
+        if workload is None:
+            raise ConfigurationError(
+                "tenant %r has unknown workload %r" % (spec.name, spec.workload)
+            )
+        lo, hi = spec.output_tokens
+        if not 0 <= lo <= hi:
+            raise ConfigurationError("tenant %r output_tokens range invalid" % spec.name)
+        rng = random.Random("%s:%d" % (spec.name, seed))
+        at = 0.0
+        while True:
+            rate = _tenant_rate(spec, at)
+            at += rng.expovariate(rate / 3600.0)
+            if at >= duration:
+                break
+            prompt = int(
+                rng.triangular(workload.min_tokens, workload.max_tokens, workload.mode_tokens)
+            )
+            requests.append(
+                TenantRequest(
+                    at=at,
+                    tenant=spec.name,
+                    model_id=spec.model_id,
+                    priority=spec.priority,
+                    prompt_tokens=prompt,
+                    output_tokens=rng.randint(lo, hi),
+                )
+            )
+    requests.sort(key=lambda r: (r.at, r.tenant))
+    return requests
 
 
 def generate_pressure_phases(

@@ -4,10 +4,12 @@ import pytest
 
 from repro.analysis import (
     PAPER_LOC,
+    LatencySummary,
     count_package_loc,
     geomean,
     mean,
     percent_change,
+    percentile,
     reduction,
     render_bars,
     render_table,
@@ -76,3 +78,34 @@ def test_loc_inventory_counts_this_package():
 def test_paper_loc_reference_table():
     assert PAPER_LOC["TEE OS additions (CMA mapping + TZASC/TZPC config)"] == 112
     assert PAPER_LOC["Rockchip NPU driver stack avoided"] == 60_000
+
+
+def test_percentile_interpolates_between_ranks():
+    values = [4.0, 1.0, 3.0, 2.0]  # order must not matter
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+    assert percentile(values, 50) == pytest.approx(2.5)
+    assert percentile(values, 25) == pytest.approx(1.75)
+    assert percentile([7.0], 99) == 7.0
+
+
+def test_percentile_rejects_bad_input():
+    with pytest.raises(ConfigurationError):
+        percentile([], 50)
+    with pytest.raises(ConfigurationError):
+        percentile([1.0], -1)
+    with pytest.raises(ConfigurationError):
+        percentile([1.0], 100.5)
+
+
+def test_latency_summary_from_values():
+    summary = LatencySummary.from_values([1.0, 2.0, 3.0, 4.0])
+    assert summary.count == 4
+    assert summary.mean == pytest.approx(2.5)
+    assert summary.p50 == pytest.approx(2.5)
+    assert summary.max == 4.0
+    assert summary.p95 <= summary.p99 <= summary.max
+    row = summary.row()
+    assert row == ["2.500", "3.850", "3.970", "4.000"]
+    with pytest.raises(ConfigurationError):
+        LatencySummary.from_values([])

@@ -75,3 +75,50 @@ def test_request_accounting(app):
     session.ask_blocking("two", max_new_tokens=1)
     assert app.requests_served == served_before + 2
     assert session.mean_ttft > 0
+
+
+def test_reply_timestamps_and_e2e_latency(app):
+    session = app.open_session()
+    reply = session.ask_blocking("timing check", max_new_tokens=4)
+    assert reply.arrived_at <= reply.dispatched_at < reply.finished_at
+    assert reply.queue_wait == reply.dispatched_at - reply.arrived_at
+    assert reply.e2e_latency == pytest.approx(reply.finished_at - reply.arrived_at)
+    # End-to-end covers queue wait + invocation + prefill + decode, so it
+    # strictly exceeds the TA-measured TTFT.
+    assert reply.e2e_latency > reply.ttft > 0
+
+
+def test_queue_wait_is_visible_on_concurrent_replies(app):
+    sim = app.system.sim
+    a = app.open_session()
+    b = app.open_session()
+    replies = {}
+
+    def client(session, tag, delay):
+        yield sim.timeout(delay)
+        reply = yield from session.ask("from %s" % tag, max_new_tokens=2)
+        replies[tag] = reply
+
+    pa = sim.process(client(a, "a", 0.0))
+    pb = sim.process(client(b, "b", 0.001))
+    sim.run_until(pa)
+    sim.run_until(pb)
+    assert replies["a"].queue_wait == 0.0
+    assert replies["b"].queue_wait > 0  # b arrived while a held the TA
+    assert replies["b"].e2e_latency > replies["a"].e2e_latency
+
+
+def test_client_tracer_records_gateway_spans():
+    from repro.sim.trace import Tracer
+
+    system = TZLLM(TINYLLAMA, cache_fraction=1.0)
+    system.run_infer(8, 0)
+    tracer = Tracer(system.sim)
+    app = ClientApp(system, tracer=tracer)
+    session = app.open_session()
+    session.ask_blocking("trace me", max_new_tokens=2)
+    assert "gateway" in tracer.lanes()
+    names = {s.name for s in tracer.spans if s.lane == "gateway"}
+    assert "queue r1" in names and "invoke r1" in names
+    invoke = next(s for s in tracer.spans if s.name == "invoke r1")
+    assert invoke.duration > 0

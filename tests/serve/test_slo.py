@@ -1,0 +1,173 @@
+"""Unit tests for SLO accounting: histograms, gauges, the accountant."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import (
+    GaugeSeries,
+    LatencyHistogram,
+    PriorityClass,
+    SLOAccountant,
+    ServeRequest,
+    default_policies,
+)
+
+
+class FakeSim:
+    """Just a clock — the accountant only reads ``now``."""
+
+    def __init__(self):
+        self.now = 0.0
+
+
+def make_done_request(request_id=1, priority=PriorityClass.INTERACTIVE, **kwargs):
+    fields = dict(
+        tenant="t",
+        model_id="m",
+        prompt_tokens=16,
+        output_tokens=4,
+        arrived_at=0.0,
+        deadline=5.0,
+        state="done",
+        dispatched_at=0.5,
+        first_token_at=1.0,
+        finished_at=2.0,
+    )
+    fields.update(kwargs)
+    return ServeRequest(request_id=request_id, priority=priority, **fields)
+
+
+# ----------------------------------------------------------------------
+# histogram
+# ----------------------------------------------------------------------
+def test_histogram_summary_and_empty():
+    hist = LatencyHistogram("x")
+    assert hist.summary() is None
+    for v in (0.1, 0.2, 0.3, 0.4):
+        hist.add(v)
+    summary = hist.summary()
+    assert summary.count == 4
+    assert summary.p50 == pytest.approx(0.25)
+    assert summary.max == pytest.approx(0.4)
+    assert len(hist) == 4
+
+
+def test_histogram_rejects_negative():
+    hist = LatencyHistogram("x")
+    with pytest.raises(ConfigurationError):
+        hist.add(-0.1)
+
+
+def test_histogram_log_buckets():
+    hist = LatencyHistogram("x")
+    for v in (0.0005, 0.002, 0.003, 5.0):
+        hist.add(v)
+    buckets = hist.buckets(base=2.0, floor=1e-3)
+    edges = [edge for edge, _ in buckets]
+    counts = [count for _, count in buckets]
+    assert edges == sorted(edges)
+    assert sum(counts) == 4
+    # Every sample sits at or below its bucket's upper edge.
+    assert edges[0] == pytest.approx(1e-3)  # the <= floor bucket
+    assert counts[0] == 1
+    with pytest.raises(ConfigurationError):
+        hist.buckets(base=1.0)
+
+
+# ----------------------------------------------------------------------
+# gauges
+# ----------------------------------------------------------------------
+def test_gauge_step_function_mean():
+    gauge = GaugeSeries("depth")
+    gauge.sample(0.0, 2.0)
+    gauge.sample(10.0, 4.0)
+    assert gauge.last == 4.0
+    assert gauge.max_value() == 4.0
+    assert gauge.time_weighted_mean(20.0) == pytest.approx(3.0)
+    # Truncating the window weights only what happened inside it.
+    assert gauge.time_weighted_mean(10.0) == pytest.approx(2.0)
+
+
+def test_gauge_empty_and_degenerate():
+    gauge = GaugeSeries("depth")
+    assert gauge.last == 0.0
+    assert gauge.max_value() == 0.0
+    assert gauge.time_weighted_mean(10.0) == 0.0
+    gauge.sample(5.0, 1.0)
+    assert gauge.time_weighted_mean(5.0) == 0.0  # zero-width window
+
+
+# ----------------------------------------------------------------------
+# accountant
+# ----------------------------------------------------------------------
+def test_accountant_observe_and_summary():
+    sim = FakeSim()
+    acct = SLOAccountant(sim, default_policies())
+    acct.observe(make_done_request(1, first_token_at=1.0, finished_at=2.0))
+    acct.observe(make_done_request(2, first_token_at=3.0, finished_at=4.0))
+    summary = acct.summary(PriorityClass.INTERACTIVE, "ttft")
+    assert summary.count == 2
+    assert summary.p50 == pytest.approx(2.0)  # ttfts 1.0 and 3.0
+    assert acct.classes[PriorityClass.INTERACTIVE].completed == 2
+    # Request 1 attained the 5s deadline, request 2 did too (3.0 <= 5.0).
+    assert acct.classes[PriorityClass.INTERACTIVE].slo_attained == 2
+    acct.observe(make_done_request(3, first_token_at=9.0, finished_at=9.5))
+    assert acct.classes[PriorityClass.INTERACTIVE].slo_violated == 1
+    with pytest.raises(ConfigurationError):
+        acct.summary(PriorityClass.INTERACTIVE, "nope")
+
+
+def test_accountant_utilization_tracks_busy_time():
+    sim = FakeSim()
+    acct = SLOAccountant(sim, default_policies())
+    acct.note_dispatch("m")
+    sim.now = 10.0
+    acct.note_release("m")
+    assert acct.utilization("m") == pytest.approx(1.0)
+    sim.now = 20.0
+    assert acct.utilization("m") == pytest.approx(0.5)
+    # A dispatch still in flight counts up to "now".
+    acct.note_dispatch("m")
+    sim.now = 30.0
+    assert acct.utilization("m") == pytest.approx(20.0 / 30.0)
+
+
+def test_accountant_queue_depth_and_rejections():
+    sim = FakeSim()
+    acct = SLOAccountant(sim, default_policies())
+    acct.note_queue_depth(PriorityClass.BATCH, 3)
+    sim.now = 1.0
+    acct.note_queue_depth(PriorityClass.BATCH, 1)
+    assert acct.queue_depth[PriorityClass.BATCH].max_value() == 3.0
+    acct.note_rejected(PriorityClass.INTERACTIVE, "queue-full")
+    acct.note_rejected(PriorityClass.INTERACTIVE, "queue-full")
+    acct.note_rejected(PriorityClass.INTERACTIVE, "slo-unattainable")
+    assert acct.classes[PriorityClass.INTERACTIVE].rejected == {
+        "queue-full": 2,
+        "slo-unattainable": 1,
+    }
+
+
+def test_accountant_export_is_json_stable():
+    sim = FakeSim()
+    acct = SLOAccountant(sim, default_policies())
+    acct.observe(make_done_request())
+    sim.now = 10.0
+    exported = acct.to_dict()
+    # Round-trips through JSON and contains the per-class skeleton.
+    doc = json.loads(json.dumps(exported, sort_keys=True))
+    for label in ("interactive", "batch", "background"):
+        assert label in doc["classes"]
+        assert set(doc["classes"][label]) >= {
+            "completed",
+            "ttft",
+            "tbt",
+            "e2e",
+            "rejected",
+            "preemptions",
+        }
+    assert doc["classes"]["interactive"]["completed"] == 1
+    assert doc["classes"]["interactive"]["ttft"]["p50"] == pytest.approx(1.0)
+    assert doc["classes"]["batch"]["ttft"] is None  # no samples

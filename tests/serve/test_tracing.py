@@ -1,0 +1,71 @@
+"""The serving story lands in the same Chrome trace as the pipeline."""
+
+import json
+
+import pytest
+
+from repro.core import TZLLM
+from repro.llm import TINYLLAMA
+from repro.serve import ServeGateway
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    system = TZLLM(TINYLLAMA, cache_fraction=1.0)
+    system.run_infer(8, 0)
+    sim = system.sim
+    tracer = Tracer(sim)
+    gateway = ServeGateway(system, tracer=tracer)
+    victim = gateway.submit(prompt_tokens=32, output_tokens=48, priority="background")
+    sim.run(until=sim.now + 1.0)
+    urgent = gateway.submit(prompt_tokens=16, output_tokens=2, priority="interactive")
+    sim.run_until(sim.all_of([victim.completion, urgent.completion]))
+    return gateway, tracer
+
+
+def test_gateway_lane_carries_serving_spans(traced_run):
+    _gateway, tracer = traced_run
+    assert "gateway" in tracer.lanes()
+    gateway_spans = [s for s in tracer.spans if s.lane == "gateway"]
+    names = {s.name for s in gateway_spans}
+    assert any(n.startswith("queue r") for n in names)
+    assert any(n.startswith("serve r") for n in names)
+    # The preempted attempt is labelled as such.
+    assert any("(preempted)" in n for n in names)
+    for span in gateway_spans:
+        assert span.end >= span.start
+
+
+def test_queue_depth_mirrored_as_counters(traced_run):
+    _gateway, tracer = traced_run
+    counter_names = {c.name for c in tracer.counters}
+    assert "queue:interactive" in counter_names
+    assert any(c.name.startswith("utilization:") for c in tracer.counters)
+    depths = [c.value for c in tracer.counters if c.name == "queue:interactive"]
+    assert max(depths) >= 1.0  # the urgent request actually queued
+
+
+def test_preemption_is_an_instant_event(traced_run):
+    _gateway, tracer = traced_run
+    preempts = [i for i in tracer.instants if i.category == "preempt"]
+    assert len(preempts) == 1
+    assert preempts[0].lane == "gateway"
+
+
+def test_chrome_export_is_valid_and_complete(traced_run, tmp_path):
+    _gateway, tracer = traced_run
+    path = tmp_path / "serve.json"
+    tracer.write_chrome_trace(str(path))
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+    phases = {e["ph"] for e in events}
+    assert {"M", "X", "i", "C"} <= phases
+    # The gateway lane is a named thread, and tids are consistent.
+    lane_meta = [e for e in events if e["ph"] == "M" and e["args"]["name"] == "gateway"]
+    assert len(lane_meta) == 1
+    gateway_tid = lane_meta[0]["tid"]
+    gateway_spans = [e for e in events if e["ph"] == "X" and e["tid"] == gateway_tid]
+    assert gateway_spans
+    for event in gateway_spans:
+        assert event["dur"] > 0

@@ -4,7 +4,12 @@ import pytest
 
 from repro.config import GiB
 from repro.errors import ConfigurationError
-from repro.workloads.traces import generate_pressure_phases, generate_trace
+from repro.workloads.traces import (
+    TenantSpec,
+    generate_multitenant_trace,
+    generate_pressure_phases,
+    generate_trace,
+)
 
 
 def test_trace_rate_and_ordering():
@@ -49,3 +54,70 @@ def test_pressure_phases_alternate():
     assert starts == sorted(starts)
     with pytest.raises(ConfigurationError):
         generate_pressure_phases(100, 1, 2, period=0)
+
+
+# ----------------------------------------------------------------------
+# multi-tenant traces
+# ----------------------------------------------------------------------
+TENANTS = [
+    TenantSpec("chat", "m", "interactive", rate_per_hour=120),
+    TenantSpec("mail", "m", "batch", rate_per_hour=60, workload="personachat"),
+    TenantSpec("indexer", "n", "background", rate_per_hour=30, workload="droidtask"),
+]
+
+
+def test_multitenant_trace_sorted_and_bounded():
+    trace = generate_multitenant_trace(1800.0, TENANTS, seed=4)
+    assert trace
+    keys = [(e.at, e.tenant) for e in trace]
+    assert keys == sorted(keys)
+    assert all(0 < e.at < 1800.0 for e in trace)
+    assert {e.priority for e in trace} == {"interactive", "batch", "background"}
+    assert {e.model_id for e in trace} == {"m", "n"}
+
+
+def test_multitenant_trace_deterministic_per_seed():
+    a = generate_multitenant_trace(1000.0, TENANTS, seed=5)
+    b = generate_multitenant_trace(1000.0, TENANTS, seed=5)
+    c = generate_multitenant_trace(1000.0, TENANTS, seed=6)
+    assert a == b
+    assert a != c
+
+
+def test_adding_a_tenant_does_not_perturb_others():
+    solo = generate_multitenant_trace(1000.0, TENANTS[:1], seed=5)
+    both = generate_multitenant_trace(1000.0, TENANTS[:2], seed=5)
+    assert [e for e in both if e.tenant == "chat"] == solo
+
+
+def test_bursts_increase_arrivals():
+    flat = TenantSpec("t", "m", "interactive", rate_per_hour=60)
+    bursty = TenantSpec(
+        "t", "m", "interactive", rate_per_hour=60,
+        burst_factor=10.0, burst_period=300.0, burst_duration=60.0,
+    )
+    n_flat = len(generate_multitenant_trace(3600.0, [flat], seed=9))
+    n_bursty = len(generate_multitenant_trace(3600.0, [bursty], seed=9))
+    assert n_bursty > 1.5 * n_flat
+
+
+def test_multitenant_trace_validation():
+    spec = TENANTS[0]
+    with pytest.raises(ConfigurationError):
+        generate_multitenant_trace(0.0, TENANTS)
+    with pytest.raises(ConfigurationError):
+        generate_multitenant_trace(100.0, [])
+    with pytest.raises(ConfigurationError):
+        generate_multitenant_trace(100.0, [spec, spec])  # duplicate names
+    with pytest.raises(ConfigurationError):
+        generate_multitenant_trace(100.0, [TenantSpec("x", "m", "urgent", 10)])
+    with pytest.raises(ConfigurationError):
+        generate_multitenant_trace(100.0, [TenantSpec("x", "m", "batch", 0)])
+    with pytest.raises(ConfigurationError):
+        generate_multitenant_trace(
+            100.0, [TenantSpec("x", "m", "batch", 10, workload="mmlu")]
+        )
+    with pytest.raises(ConfigurationError):
+        generate_multitenant_trace(
+            100.0, [TenantSpec("x", "m", "batch", 10, output_tokens=(9, 3))]
+        )
