@@ -19,6 +19,7 @@ Sub-packages: :mod:`repro.sim` (discrete-event engine), :mod:`repro.hw`
 :mod:`repro.tee` (the two OS worlds), :mod:`repro.llm` (inference
 substrate), :mod:`repro.core` (the paper's contribution),
 :mod:`repro.serve` (the multi-tenant serving gateway),
+:mod:`repro.faults` (deterministic fault injection + recovery policies),
 :mod:`repro.workloads`, and :mod:`repro.analysis`.
 """
 
@@ -31,12 +32,15 @@ from .core import (
     PipelineConfig,
     strawman,
 )
+from .faults import FaultPlan, FaultSpec, RecoveryPolicy
 from .llm import LLAMA3_8B, MODELS, PHI3_MINI, QWEN25_3B, TINYLLAMA, ModelSpec, get_model
 from .stack import Stack, build_stack
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "FaultPlan",
+    "FaultSpec",
     "InferenceRecord",
     "LLAMA3_8B",
     "MODELS",
@@ -48,6 +52,7 @@ __all__ = [
     "QWEN25_3B",
     "REELLM",
     "RK3588",
+    "RecoveryPolicy",
     "Stack",
     "TINYLLAMA",
     "TZLLM",

@@ -63,6 +63,12 @@ class RestoreBackend:
         """The functional verify+decrypt of a group's payload bytes."""
         raise NotImplementedError
 
+    def refetch_group_data(self, group: RestoreGroup):
+        """Recovery re-read of a group whose decrypt failed verification
+        (generator).  Backends without a verified load path never see a
+        checksum failure, so the default refuses."""
+        raise NotImplementedError
+
     def release_to(self, target_bytes: int):
         """Shrink the parameter memory back to ``target_bytes``
         (generator; reverse-topological release, §4.1)."""
@@ -102,6 +108,8 @@ class TEERestoreBackend(RestoreBackend):
         self.granule = region.granule
         self.loaded_nominal = 0
         self.decrypted_groups = 0
+        self.refetched_groups = 0
+        self.refetch_attempts = 0
 
     @property
     def allocated(self) -> int:
@@ -168,6 +176,39 @@ class TEERestoreBackend(RestoreBackend):
             )
             tee_os.ta_write(ta, addr, plaintext)
         self.decrypted_groups += 1
+
+    def refetch_group_data(self, group: RestoreGroup):
+        """Corrupted-chunk recovery (generator): re-fetch, verify, decrypt.
+
+        By the time a checksum failure is detected the group's memory is
+        already TZASC-protected, so the fast aio path cannot land there;
+        the ciphertext comes back over the TZ driver's bounce buffer, is
+        verified and decrypted TA-side, and the plaintext is written
+        through the TA's own mapping.  A re-read that *still* fails its
+        checksum raises :class:`IagoViolation` — persistent corruption is
+        an attack, and the retry loop must not hide it.
+        """
+        tee_os = self.region.tee_os
+        ta = self.region.ta
+        self.refetch_attempts += 1
+        for tensor in group.tensors:
+            ciphertext = yield from self.tz_driver.delegated_read_bounce(
+                self.file_path,
+                self.container.file_offset(tensor),
+                tensor.payload_bytes,
+                nominal=tensor.nominal_bytes,
+            )
+            expected = getattr(tensor, "checksum", None)
+            if expected is not None and not verify(ciphertext, expected):
+                raise IagoViolation(
+                    "tensor %r failed checksum again on re-fetch" % tensor.name
+                )
+            plaintext = decrypt(
+                self.model_key, self.container.nonce, ciphertext, offset=tensor.offset
+            )
+            addr = _payload_addr(self.region.base_addr, group, tensor)
+            tee_os.ta_write(ta, addr, plaintext)
+        self.refetched_groups += 1
 
     def release_to(self, target_bytes: int):
         delta = self.region.protected - target_bytes

@@ -35,17 +35,26 @@ class ChatReply:
     session_id: int
     request_id: int
     text: str
-    record: InferenceRecord
+    record: Optional[InferenceRecord]
     #: when the request was submitted (entered the CA queue).
     arrived_at: float = 0.0
     #: when the CA→TA invocation actually started (queue grant).
     dispatched_at: float = 0.0
     #: when the last token (or the prefill, for 0-token requests) landed.
     finished_at: float = 0.0
+    #: failure provenance: the exception type name that killed the
+    #: request and the simulated time it surfaced (None on success).
+    error: Optional[str] = None
+    failed_at: Optional[float] = None
+
+    @property
+    def failed(self) -> bool:
+        """The request died inside the TA instead of completing."""
+        return self.error is not None
 
     @property
     def ttft(self) -> float:
-        return self.record.ttft
+        return self.record.ttft if self.record else 0.0
 
     @property
     def queue_wait(self) -> float:
@@ -59,7 +68,7 @@ class ChatReply:
 
     @property
     def tokens_per_second(self) -> float:
-        return self.record.decode_tokens_per_second
+        return self.record.decode_tokens_per_second if self.record else 0.0
 
 
 class ClientSession:
@@ -118,6 +127,9 @@ class ClientApp:
         self.sessions: List[ClientSession] = []
         self.requests_served = 0
         self.queue_wait_time = 0.0
+        #: failure provenance: one record-less :class:`ChatReply` per
+        #: request that died in the TA (the exception still propagates).
+        self.failed_replies: List[ChatReply] = []
 
     def open_session(self) -> ClientSession:
         session = ClientSession(self, next(self._session_ids))
@@ -144,6 +156,21 @@ class ClientApp:
         )
         try:
             record = yield from self.system.infer(len(prompt_tokens), max_new_tokens)
+        except Exception as exc:
+            self.failed_replies.append(
+                ChatReply(
+                    session_id=session.session_id,
+                    request_id=request_id,
+                    text="",
+                    record=None,
+                    arrived_at=enqueued_at,
+                    dispatched_at=dispatched_at,
+                    finished_at=self.sim.now,
+                    error=type(exc).__name__,
+                    failed_at=self.sim.now,
+                )
+            )
+            raise
         finally:
             self._ta_lock.release(grant)
         self.tracer.record(

@@ -20,7 +20,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
 from ..config import PlatformSpec
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, StorageError
+from ..faults.recovery import RecoveryPolicy
 from ..hw.common import AddrRange
 from ..llm.checkpoint import cold_init, restore_checkpoint, save_checkpoint
 from ..llm.gguf import ModelContainer, container_path
@@ -130,6 +131,7 @@ class LLMTA(TrustedApplication):
         size_obfuscation=None,
         npu_duration_quantum: float = 0.0,
         decode_param_residency: float = 1.0,
+        recovery: Optional["RecoveryPolicy"] = None,
     ):
         super().__init__("llm-ta:" + model.model_id)
         #: §6 mitigations: None = off, "uniform" = pad groups to the
@@ -160,6 +162,7 @@ class LLMTA(TrustedApplication):
         self.use_npu = use_npu
         self.decode_use_npu = decode_use_npu
         self.pipeline_config = pipeline_config or PipelineConfig()
+        self.recovery = recovery or RecoveryPolicy()
         self.cache_policy = cache_policy or FractionCachePolicy(0.0)
         self.tokenizer = Tokenizer(model.model_id, model.vocab)
         #: the aggregate big-cluster CPU row for decode-phase execution.
@@ -310,7 +313,11 @@ class LLMTA(TrustedApplication):
         act_bytes = self.model.activation_bytes(max(prompt_tokens, 1))
         ctx = AddrRange(self.data_region.base_addr + act_bytes, 4096)
         self._npu_backend = TEECoDriverNPUBackend(
-            self.stack.tee_npu, ctx, duration_quantum=self.npu_duration_quantum
+            self.stack.tee_npu,
+            ctx,
+            duration_quantum=self.npu_duration_quantum,
+            job_timeout=self.recovery.npu_job_timeout,
+            max_reissues=self.recovery.npu_max_reissues,
         )
 
         def grow_kv(kv):
@@ -339,6 +346,7 @@ class LLMTA(TrustedApplication):
             self._npu_backend,
             cached_groups=record.cached_groups,
             config=self.pipeline_config,
+            recovery=self.recovery,
             tracer=self.tracer,
         )
         try:
@@ -460,9 +468,17 @@ class LLMTA(TrustedApplication):
                 )
                 self._checkpoint_saved = True
             else:
-                yield from restore_checkpoint(
-                    self.sim, timing, fs, self.model.model_id, self.model_key
-                )
+                attempts = self.recovery.flash_read_attempts
+                for attempt in range(1, attempts + 1):
+                    try:
+                        yield from restore_checkpoint(
+                            self.sim, timing, fs, self.model.model_id, self.model_key
+                        )
+                        break
+                    except StorageError:
+                        if attempt == attempts:
+                            raise
+                        yield self.sim.timeout(self.recovery.backoff(attempt))
         else:
             yield from cold_init(self.sim, timing)
         self._initialized = True

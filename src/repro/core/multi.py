@@ -42,6 +42,7 @@ class TZLLMMulti:
         use_npu: Union[bool, str] = True,
         decode_use_npu: Union[bool, str] = "auto",
         pipeline_config: Optional[PipelineConfig] = None,
+        recovery=None,
         trace: bool = False,
     ):
         if not models:
@@ -97,6 +98,7 @@ class TZLLMMulti:
                 decode_use_npu=decode_use_npu,
                 pipeline_config=pipeline_config,
                 cache_policy=FractionCachePolicy(cache_fraction),
+                recovery=recovery,
             )
             ta.setup()
             self.tas[model.model_id] = ta

@@ -35,7 +35,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..config import MiB, PlatformSpec
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, IagoViolation, IntegrityError, StorageError
+from ..faults.recovery import RecoveryPolicy
 from ..llm.graph import ComputationGraph
 from ..llm.ops import Engine, op_duration
 from ..llm.runtime import NPUBackend
@@ -77,6 +78,10 @@ class PipelineMetrics:
     loaded_bytes: int = 0
     preemptions: int = 0
     cpu_idle_time: float = 0.0
+    # recovery bookkeeping (repro.faults): retried group loads and
+    # corrupted-chunk re-fetches that saved the prefill from aborting.
+    io_retries: int = 0
+    refetches: int = 0
 
     @property
     def cpu_path(self) -> float:
@@ -110,10 +115,12 @@ class PrefillPipeline:
         npu_backend: Optional[NPUBackend],
         cached_groups: int = 0,
         config: Optional[PipelineConfig] = None,
+        recovery: Optional[RecoveryPolicy] = None,
         tracer=NULL_TRACER,
     ):
         if cached_groups < 0 or cached_groups > len(plan.groups):
             raise ConfigurationError("cached_groups out of range")
+        self.recovery = recovery or RecoveryPolicy()
         self.tracer = tracer
         self.sim = sim
         self.platform = platform
@@ -186,7 +193,7 @@ class PrefillPipeline:
             self._alloc_done[g].succeed()
         for g in range(self.cached_groups, len(groups)):
             t0 = self.sim.now
-            yield from self.backend.load_group(groups[g])
+            yield from self._load_with_retry(groups[g])
             self.metrics.io_time += self.sim.now - t0
             self.metrics.loaded_bytes += groups[g].nominal_bytes
             self._load_done[g].succeed()
@@ -198,7 +205,7 @@ class PrefillPipeline:
             )
             if duration:
                 yield self.sim.timeout(duration)
-            self.backend.decrypt_group_data(groups[g])
+            yield from self._decrypt_with_recovery(groups[g])
             self.metrics.decrypt_time += self.sim.now - t0
             self._decrypt_done[g].succeed()
         yield from self._compute_driver(sequential=True)
@@ -214,7 +221,7 @@ class PrefillPipeline:
                     return
                 group = self.plan.groups[g]
                 t0 = self.sim.now
-                yield from self.backend.load_group(group)
+                yield from self._load_with_retry(group)
                 self.tracer.record("load", "load g%d" % g, t0, lane="I/O engine")
                 self.metrics.io_time += self.sim.now - t0
                 self.metrics.loaded_bytes += group.nominal_bytes
@@ -223,6 +230,58 @@ class PrefillPipeline:
                 self._kick_worker()
         except Exception as exc:  # I/O failure: abort the whole prefill
             self._abort(exc)
+
+    def _load_with_retry(self, group):
+        """Load one group, retrying transient storage errors with
+        exponential backoff (generator; bounded by the recovery policy).
+
+        A failed attempt may have loaded a prefix of the group's tensors;
+        the retry re-reads the whole group — extra I/O time the metrics
+        charge honestly — because the destination memory is still
+        unprotected and plain re-writes are idempotent.
+        """
+        attempts = self.recovery.flash_read_attempts
+        for attempt in range(1, attempts + 1):
+            try:
+                yield from self.backend.load_group(group)
+                return
+            except StorageError:
+                if attempt == attempts:
+                    raise
+                self.metrics.io_retries += 1
+                yield self.sim.timeout(self.recovery.backoff(attempt))
+
+    def _decrypt_with_recovery(self, group):
+        """Functional verify+decrypt with corrupted-chunk re-fetch
+        (generator).  A checksum failure re-fetches the group's
+        ciphertext over the bounce buffer instead of aborting the
+        prefill; persistent failure (a real Iago attack, not a transient
+        bit-flip) re-raises after the bounded attempts."""
+        try:
+            self.backend.decrypt_group_data(group)
+            return
+        except (IagoViolation, IntegrityError):
+            if self.recovery.decrypt_refetch_attempts <= 0:
+                raise
+        last: Optional[BaseException] = None
+        for attempt in range(1, self.recovery.decrypt_refetch_attempts + 1):
+            self.metrics.refetches += 1
+            yield self.sim.timeout(self.recovery.backoff(attempt))
+            t0 = self.sim.now
+            try:
+                yield from self.backend.refetch_group_data(group)
+            except (IagoViolation, IntegrityError, StorageError) as exc:
+                last = exc
+                continue
+            # The re-fetched ciphertext decrypts on the TA CPU again.
+            duration = self.backend.decrypt_duration(
+                group.nominal_bytes, self.config.decrypt_threads
+            )
+            if duration:
+                yield self.sim.timeout(duration)
+            self.tracer.record("decrypt", "refetch", t0, lane="CPU")
+            return
+        raise last
 
     def _abort(self, exc: BaseException) -> None:
         """Fail the pipeline cleanly: wake everything with the error so
@@ -369,7 +428,7 @@ class PrefillPipeline:
                 c0 = self.sim.now
                 yield from self._maybe_preempt()
                 compute_stolen += self.sim.now - c0
-        self.backend.decrypt_group_data(group)
+        yield from self._decrypt_with_recovery(group)
         self.metrics.decrypt_time += self.sim.now - t0 - compute_stolen
         if not self._decrypt_done[g].triggered:
             self._decrypt_done[g].succeed()

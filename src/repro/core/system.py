@@ -100,6 +100,7 @@ class TZLLM(_SystemBase):
         size_obfuscation=None,
         npu_duration_quantum: float = 0.0,
         decode_param_residency: float = 1.0,
+        recovery=None,
         trace: bool = False,
         name: str = "TZ-LLM",
     ):
@@ -140,6 +141,7 @@ class TZLLM(_SystemBase):
             size_obfuscation=size_obfuscation,
             npu_duration_quantum=npu_duration_quantum,
             decode_param_residency=decode_param_residency,
+            recovery=recovery,
         )
         self.ta.setup()
         self.tracer = None

@@ -20,7 +20,10 @@ __all__ = [
     "MemoryError_",
     "OutOfMemory",
     "ContiguityError",
+    "MigrationError",
     "DeviceError",
+    "StorageError",
+    "WatchdogTimeout",
     "ProtocolError",
     "ModelFormatError",
 ]
@@ -70,8 +73,26 @@ class ContiguityError(MemoryError_):
     """A contiguity requirement (TZASC region, CMA range) was violated."""
 
 
+class MigrationError(MemoryError_):
+    """CMA page migration failed at runtime (e.g. a transiently pinned
+    page).  Retryable: the pin is usually released within microseconds,
+    so the allocator backs off and tries the frame again."""
+
+
 class DeviceError(TZLLMError):
     """Simulated device misuse (e.g. launching a job on a busy NPU)."""
+
+
+class StorageError(DeviceError):
+    """A runtime storage I/O failure (flash read error, missing file at
+    request time).  Distinct from :class:`ConfigurationError`, which is
+    reserved for setup mistakes: a storage error is something a hardened
+    caller may retry, a configuration error never is."""
+
+
+class WatchdogTimeout(DeviceError):
+    """A TEE-side watchdog expired waiting on an untrusted REE service
+    (scheduler stall, dropped SMC) and bounded recovery was exhausted."""
 
 
 class ProtocolError(TZLLMError):

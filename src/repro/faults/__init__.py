@@ -1,0 +1,45 @@
+"""repro.faults — deterministic fault injection and recovery policy.
+
+The robustness subsystem: the paper's trust model (§4.3) leaves flash
+I/O, CMA migration and NPU scheduling in the untrusted REE, so the TEE
+must survive not only a *malicious* normal world (the security suite)
+but a *failing* one.  This package provides:
+
+* :class:`FaultPlan` / :class:`FaultSpec` — a seeded, declarative
+  description of which fault sites fire, with what probability, inside
+  which sim-time window;
+* :class:`FaultInjector` — the runtime evaluator, armed onto a stack's
+  fault sites (flash errors and bit-flips, CMA migration failures, REE
+  NPU stalls and dropped SMC hand-offs, TEE job hangs);
+* :class:`RecoveryPolicy` — how hard the TEE fights back: bounded flash
+  retry, corrupted-chunk re-fetch, and the co-driver watchdog with
+  replay-safe shadow-job re-issue.
+
+Quick start::
+
+    from repro import TZLLM, TINYLLAMA
+    from repro.faults import FaultPlan, FaultSpec, RecoveryPolicy
+
+    system = TZLLM(TINYLLAMA, recovery=RecoveryPolicy.hardened())
+    system.run_infer(8, 0)                      # cold start, fault-free
+    plan = FaultPlan(7, [FaultSpec("flash.read_error", probability=0.05)])
+    injector = plan.injector(system.sim).arm(system)
+    record = system.run_infer(128, 16)          # survives injected errors
+    print(injector.summary())
+
+Everything is deterministic per seed: two runs under the same plan make
+identical fault decisions and produce byte-identical outcomes (the
+``tests/chaos`` suite asserts this).  See ``docs/robustness.md``.
+"""
+
+from .injector import FaultInjector
+from .plan import KNOWN_SITES, FaultPlan, FaultSpec
+from .recovery import RecoveryPolicy
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "KNOWN_SITES",
+    "RecoveryPolicy",
+]

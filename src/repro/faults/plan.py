@@ -1,0 +1,100 @@
+"""Declarative, seeded fault plans: *what* can fail, *when*, *how often*.
+
+A :class:`FaultPlan` is a seed plus a list of :class:`FaultSpec` entries,
+one per armed fault site.  Every site draws from its own RNG stream
+(``random.Random("<seed>:<site>")``), so decisions at one site never
+perturb another's — adding a flash-error spec does not reshuffle the NPU
+stalls — and the whole plan is reproducible from ``(seed, specs)`` alone.
+Determinism then rests on one invariant the simulator already provides:
+fault-site checks happen in deterministic event order, so the i-th draw
+at a site is the same draw in every run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["KNOWN_SITES", "FaultSpec", "FaultPlan"]
+
+#: Every fault site wired into the stack.  A spec naming anything else is
+#: a typo, and typos in chaos configs silently test nothing — so reject.
+KNOWN_SITES = frozenset(
+    {
+        "flash.read_error",  # hw/flash.py: the read fails with StorageError
+        "flash.bit_flip",  # hw/flash.py: returned bytes silently corrupted
+        "cma.migration_fail",  # ree/cma.py: movable page transiently pinned
+        "ree.npu_stall",  # ree/npu_driver.py: scheduler stalls before an item
+        "ree.smc_drop",  # ree/npu_driver.py: shadow hand-off SMC never sent
+        "tee.job_hang",  # tee/npu_driver.py: completion delayed after the IRQ
+    }
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault site: fire with ``probability`` per check.
+
+    ``window`` restricts firing to a ``[start, end)`` sim-time interval;
+    ``max_fires`` caps the total count (both optional).  ``delay`` and
+    ``jitter`` only matter for stall/hang sites: the injected stall is
+    ``delay + jitter * U[0,1)`` seconds, drawn from the site's stream.
+    """
+
+    site: str
+    probability: float = 1.0
+    window: Optional[Tuple[float, float]] = None
+    max_fires: Optional[int] = None
+    delay: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self):
+        if self.site not in KNOWN_SITES:
+            raise ConfigurationError(
+                "unknown fault site %r (known: %s)" % (self.site, sorted(KNOWN_SITES))
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError("probability must be in [0, 1]")
+        if self.window is not None and self.window[0] >= self.window[1]:
+            raise ConfigurationError("window start must precede end")
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ConfigurationError("max_fires must be non-negative")
+        if self.delay < 0 or self.jitter < 0:
+            raise ConfigurationError("delay and jitter must be non-negative")
+
+
+class FaultPlan:
+    """A seed plus the list of armed sites — the unit chaos tests share.
+
+    Two runs armed with equal plans make byte-identical fault decisions;
+    the chaos suite's determinism assertions rest on exactly this.
+    """
+
+    def __init__(self, seed: int, specs: Sequence[FaultSpec]):
+        self.seed = int(seed)
+        self.specs: Dict[str, FaultSpec] = {}
+        for spec in specs:
+            if spec.site in self.specs:
+                raise ConfigurationError("duplicate spec for site %r" % spec.site)
+            self.specs[spec.site] = spec
+
+    def __contains__(self, site: str) -> bool:
+        return site in self.specs
+
+    def spec(self, site: str) -> Optional[FaultSpec]:
+        """The spec arming ``site``, or None when the site is quiet."""
+        return self.specs.get(site)
+
+    def stream(self, site: str) -> random.Random:
+        """The site's private RNG stream (string-seeded, deterministic)."""
+        return random.Random("%d:%s" % (self.seed, site))
+
+    def injector(self, sim):
+        """Build a :class:`~repro.faults.injector.FaultInjector` bound to
+        ``sim``'s clock, ready to arm on a stack."""
+        from .injector import FaultInjector
+
+        return FaultInjector(sim, self)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict
 
 from ..config import FlashSpec
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, StorageError
 from ..sim import BandwidthResource, Simulator
 
 __all__ = ["Flash"]
@@ -31,6 +31,12 @@ class Flash:
         self._blobs: Dict[str, bytearray] = {}
         self.reads = 0
         self.writes = 0
+        #: fault-injection sites (repro.faults): ``flash.read_error``
+        #: fails a read after its setup latency; ``flash.bit_flip``
+        #: silently corrupts one bit of the returned data.
+        self.fault_injector = None
+        self.read_errors = 0
+        self.bit_flips = 0
 
     # ------------------------------------------------------------------
     # instantaneous management (provisioning, not simulated I/O)
@@ -62,7 +68,7 @@ class Flash:
     def _require(self, name: str) -> bytearray:
         blob = self._blobs.get(name)
         if blob is None:
-            raise ConfigurationError("no blob %r on flash" % name)
+            raise StorageError("no blob %r on flash" % name)
         return blob
 
     # ------------------------------------------------------------------
@@ -82,9 +88,24 @@ class Flash:
                 "read [%d, %d) beyond blob %r of %d bytes" % (offset, offset + size, name, len(blob))
             )
         self.reads += 1
+        injector = self.fault_injector
+        if injector is not None and injector.fires("flash.read_error"):
+            # The controller aborts after request setup: the latency is
+            # paid, the transfer never happens.
+            self.read_errors += 1
+            yield self.sim.timeout(self.spec.read_latency)
+            raise StorageError(
+                "injected flash read error on %r at offset %d" % (name, offset)
+            )
         yield self.sim.timeout(self.spec.read_latency)
         yield self.pipe.transfer(size if nominal is None else nominal, tag=("read", name))
-        return bytes(blob[offset : offset + size])
+        data = bytes(blob[offset : offset + size])
+        if injector is not None:
+            flipped = injector.corrupt("flash.bit_flip", data)
+            if flipped is not data:
+                self.bit_flips += 1
+                data = flipped
+        return data
 
     def write(self, name: str, offset: int, data: bytes):
         """Timed write (creates or extends the blob)."""

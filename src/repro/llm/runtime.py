@@ -97,10 +97,21 @@ class TEECoDriverNPUBackend(NPUBackend):
     scheduler then observes uniform secure-job lengths.
     """
 
-    def __init__(self, tee_driver, ctx: AddrRange, duration_quantum: float = 0.0):
+    def __init__(
+        self,
+        tee_driver,
+        ctx: AddrRange,
+        duration_quantum: float = 0.0,
+        job_timeout: float = None,
+        max_reissues: int = 2,
+    ):
         self.driver = tee_driver
         self.ctx = ctx
         self.duration_quantum = duration_quantum
+        #: ``job_timeout`` arms the co-driver's watchdog on every job
+        #: (None keeps the legacy unbounded wait).
+        self.job_timeout = job_timeout
+        self.max_reissues = max_reissues
 
     def run(self, op: ComputeOp, duration: float):
         if self.duration_quantum > 0:
@@ -108,7 +119,9 @@ class TEECoDriverNPUBackend(NPUBackend):
 
             duration = math.ceil(duration / self.duration_quantum - 1e-12) * self.duration_quantum
         job = _job_for(op, duration, self.ctx, "tee")
-        yield from self.driver.submit_secure_job(job)
+        yield from self.driver.submit_secure_job(
+            job, timeout=self.job_timeout, max_reissues=self.max_reissues
+        )
 
 
 class GraphExecutor:

@@ -21,7 +21,13 @@ from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
 from ..config import MemorySpec
-from ..errors import ConfigurationError, ContiguityError, MemoryError_, OutOfMemory
+from ..errors import (
+    ConfigurationError,
+    ContiguityError,
+    MemoryError_,
+    MigrationError,
+    OutOfMemory,
+)
 from ..hw.memory import PhysicalMemory
 from ..sim import Simulator
 from .buddy import BuddyAllocator
@@ -75,6 +81,14 @@ class CMARegion:
         self._free: Set[int] = set(range(start_frame, self.end_frame))
         self.migrations: List[MigrationRecord] = []
         self.total_migrated_bytes = 0
+        #: fault site ``cma.migration_fail`` (repro.faults): a movable
+        #: page is transiently pinned mid-migration.  The fallback path
+        #: backs off and retries the frame; the pin is usually gone.
+        self.fault_injector = None
+        self.migration_retry_attempts = 3
+        self.migration_retry_backoff = 250e-6
+        self.migration_failures = 0
+        self.migration_retries = 0
         buddy.attach_cma(self)
 
     # ------------------------------------------------------------------
@@ -139,7 +153,22 @@ class CMARegion:
                 continue
             if state is FrameState.UNMOVABLE:
                 raise MemoryError_("unmovable page inside CMA region %s" % self.name)
-            migrated_bytes += self._migrate_out(frame)
+            attempt = 1
+            while True:
+                try:
+                    migrated_bytes += self._migrate_out(frame)
+                    break
+                except MigrationError:
+                    # Fallback: the pin is transient — back off (with the
+                    # run's other migrations still batched) and retry the
+                    # frame a bounded number of times before surfacing.
+                    if attempt >= self.migration_retry_attempts:
+                        raise
+                    self.migration_retries += 1
+                    yield self.sim.timeout(
+                        self.migration_retry_backoff * (2 ** (attempt - 1))
+                    )
+                    attempt += 1
         if migrated_bytes:
             start = self.sim.now
             yield self.sim.timeout(self.migration_seconds(migrated_bytes, threads))
@@ -159,6 +188,14 @@ class CMARegion:
         owner = self.db.owner(frame)
         if owner is None:
             raise MemoryError_("occupied frame %d has no owner" % frame)
+        if self.fault_injector is not None and self.fault_injector.fires(
+            "cma.migration_fail"
+        ):
+            self.migration_failures += 1
+            raise MigrationError(
+                "frame %d transiently pinned during migration out of %s"
+                % (frame, self.name)
+            )
         dest_alloc = self.buddy.allocate_one_outside()
         dest = next(iter(dest_alloc.frames))
         # The destination granule joins the owner allocation; the

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from ..errors import ConfigurationError
+from ..errors import StorageError
 from ..hw.flash import Flash
 from ..sim import Process, Simulator
 
@@ -58,7 +58,9 @@ class FileSystem:
     def _blob(self, path: str) -> str:
         blob = self._paths.get(path)
         if blob is None:
-            raise ConfigurationError("no such file: %r" % path)
+            # A missing file at request time is a runtime I/O failure the
+            # caller may handle — not a setup mistake.
+            raise StorageError("no such file: %r" % path)
         return blob
 
     # ------------------------------------------------------------------

@@ -64,6 +64,12 @@ class REENPUDriver:
         self.power_management = power_management
         self.jobs_launched = 0
         self.shadow_jobs_forwarded = 0
+        #: fault sites (repro.faults): ``ree.npu_stall`` stalls the
+        #: scheduler before it runs an item; ``ree.smc_drop`` loses a
+        #: shadow-job hand-off (the TEE watchdog must re-issue).
+        self.fault_injector = None
+        self.scheduler_stalls = 0
+        self.shadow_jobs_dropped = 0
         self.power_cycles = 0
         self.power_up_time_total = 0.0
         self._last_activity = sim.now
@@ -115,6 +121,11 @@ class REENPUDriver:
             yield from self._ensure_powered()
             item = self._queue.popleft()
             self._in_flight = item
+            if self.fault_injector is not None:
+                stall = self.fault_injector.stall_delay("ree.npu_stall")
+                if stall > 0:
+                    self.scheduler_stalls += 1
+                    yield self.sim.timeout(stall)
             if isinstance(item, ShadowJob):
                 yield from self._run_shadow(item)
             else:
@@ -173,6 +184,14 @@ class REENPUDriver:
 
     def _run_shadow(self, shadow: ShadowJob):
         """Hand the NPU to the TEE driver and wait for it to come back."""
+        if self.fault_injector is not None and self.fault_injector.fires("ree.smc_drop"):
+            # The hand-off SMC is lost (crashed driver thread, dropped
+            # softirq).  The secure job never launches; the TEE watchdog
+            # detects the missing completion and re-issues the shadow.
+            self.shadow_jobs_dropped += 1
+            if not shadow.completion.triggered:
+                shadow.completion.succeed(None)
+            return
         self.shadow_jobs_forwarded += 1
         yield from self.monitor.smc(
             World.NONSECURE, "tee.npu_take_over", shadow.shadow_id, shadow.seq

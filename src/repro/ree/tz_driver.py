@@ -117,3 +117,19 @@ class TZDriver:
         data = yield from self.kernel.fs.read(path, offset, size, nominal=nominal)
         self.kernel.board.memory.cpu_write(phys_addr, data, World.NONSECURE)
         return len(data)
+
+    def delegated_read_bounce(self, path: str, offset: int, size: int, nominal: float = None):
+        """Recovery-path read: return the bytes via a bounce buffer.
+
+        The fast path (:meth:`delegated_read_into`) lands aio directly in
+        allocated-but-unprotected secure memory — impossible once the
+        destination range is TZASC-protected.  The corrupted-chunk
+        re-fetch therefore reads into an ordinary REE buffer and hands
+        the ciphertext up; the TEE verifies, decrypts, and writes the
+        plaintext through its own mapping.  Slower (one extra DRAM copy),
+        but only ever taken on the error path.
+        """
+        data = yield from self.kernel.fs.read(path, offset, size, nominal=nominal)
+        charge = size if nominal is None else nominal
+        yield self.sim.timeout(charge / self.kernel.spec.memory.bus_bandwidth)
+        return data

@@ -6,6 +6,15 @@ preemption (the §5.2/Fig. 13 effect at serving scale), bounded admission
 with deadline-based load shedding, and per-class SLO accounting — the
 foundation later batching / multi-backend / sharding PRs plug into.
 
+Failure handling (see :mod:`repro.faults` and ``docs/robustness.md``):
+a dispatch that dies inside the TA is classified retryable/fatal
+(:func:`~repro.serve.breaker.classify_failure`), retryable faults
+re-queue the request at the head of its class up to
+``GatewayConfig.max_retries`` times, and a per-model-TA
+:class:`~repro.serve.breaker.CircuitBreaker` stops dispatching to a lane
+that keeps failing.  Per-exception-type failure and retry counters land
+in the SLO export.
+
 Quick start::
 
     from repro import TZLLM, TINYLLAMA
@@ -24,8 +33,9 @@ dispatch under a mixed multi-tenant trace.
 """
 
 from .admission import AdmissionController, ServiceTimePredictor
+from .breaker import CircuitBreaker, classify_failure
 from .classes import ClassPolicy, PriorityClass, default_policies
-from .errors import AdmissionRejected, QueueFull, SLOUnattainable
+from .errors import AdmissionRejected, CircuitOpen, QueueFull, SLOUnattainable
 from .gateway import GatewayConfig, ServeGateway
 from .loadgen import LoadGenerator
 from .request import ServeRequest
@@ -34,6 +44,8 @@ from .slo import GaugeSeries, LatencyHistogram, SLOAccountant
 __all__ = [
     "AdmissionController",
     "AdmissionRejected",
+    "CircuitBreaker",
+    "CircuitOpen",
     "ClassPolicy",
     "GatewayConfig",
     "GaugeSeries",
@@ -46,5 +58,6 @@ __all__ = [
     "ServeGateway",
     "ServeRequest",
     "ServiceTimePredictor",
+    "classify_failure",
     "default_policies",
 ]

@@ -1,0 +1,125 @@
+"""Per-model-TA circuit breaker and failure classification.
+
+A lane whose TA keeps failing (a wedged NPU path, a storage device
+returning errors faster than the recovery policy can absorb) should stop
+receiving dispatches for a while instead of burning every queued request
+against the same broken dependency.  The breaker is the standard
+three-state machine, driven entirely by the simulated clock so serving
+stays deterministic:
+
+* **closed** — normal operation; consecutive failures are counted and
+  ``failure_threshold`` of them open the breaker;
+* **open** — dispatches are refused for ``cooldown`` simulated seconds;
+* **half_open** — after the cooldown one *probe* request is let through:
+  success closes the breaker, failure re-opens it for another cooldown.
+
+:func:`classify_failure` decides what the gateway does with a failed
+request: ``"retryable"`` faults (transient storage, watchdog, memory
+pressure) re-queue the request at the head of its class, while
+``"fatal"`` faults (security violations, protocol bugs, configuration
+misuse) fail the request immediately — retrying an Iago detection would
+just hand the attacker more attempts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import (
+    ConfigurationError,
+    IagoViolation,
+    MigrationError,
+    OutOfMemory,
+    ProtocolError,
+    SecurityViolation,
+    StorageError,
+    WatchdogTimeout,
+)
+
+__all__ = ["CircuitBreaker", "classify_failure"]
+
+#: transient faults the hardened stack expects and can absorb: another
+#: attempt has a real chance of succeeding.
+_RETRYABLE = (StorageError, WatchdogTimeout, MigrationError, OutOfMemory)
+#: never retry: an attack detection or a caller bug does not get better
+#: with repetition.
+_FATAL = (SecurityViolation, IagoViolation, ConfigurationError, ProtocolError)
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Map an exception from the TA to ``"retryable"`` or ``"fatal"``."""
+    if isinstance(exc, _RETRYABLE):
+        return "retryable"
+    if isinstance(exc, _FATAL):
+        return "fatal"
+    return "fatal"
+
+
+class CircuitBreaker:
+    """Three-state (closed/open/half-open) breaker on the sim clock."""
+
+    def __init__(self, sim, failure_threshold: int = 3, cooldown: float = 1.0):
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be at least 1")
+        if cooldown <= 0:
+            raise ConfigurationError("cooldown must be positive")
+        self.sim = sim
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.opened_at: float = 0.0
+        self.opens = 0
+        self.probes = 0
+        #: (sim_time, new_state) per transition, for tests and debugging.
+        self.transitions: List[Tuple[float, str]] = []
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May the lane dispatch right now?  Pure check, no side effects.
+
+        An open breaker whose cooldown has elapsed moves to half-open
+        (that transition is the one side effect — it is idempotent and
+        time-driven, not caller-driven).
+        """
+        if self.state == "open":
+            if self.sim.now - self.opened_at >= self.cooldown:
+                self._transition("half_open")
+            else:
+                return False
+        if self.state == "half_open":
+            # Exactly one probe in flight at a time.
+            return self.probes == 0
+        return True
+
+    def on_dispatch(self) -> None:
+        """The lane dispatched a request while not closed (the probe)."""
+        if self.state == "half_open":
+            self.probes += 1
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.probes = 0
+        if self.state != "closed":
+            self._transition("closed")
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == "half_open" or (
+            self.state == "closed" and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.probes = 0
+            self.opened_at = self.sim.now
+            self.opens += 1
+            self._transition("open")
+
+    def remaining_cooldown(self) -> float:
+        """Seconds until an open breaker half-opens (0 when not open)."""
+        if self.state != "open":
+            return 0.0
+        return max(0.0, self.cooldown - (self.sim.now - self.opened_at))
+
+    # ------------------------------------------------------------------
+    def _transition(self, state: str) -> None:
+        self.state = state
+        self.transitions.append((self.sim.now, state))

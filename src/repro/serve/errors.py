@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from ..errors import TZLLMError
 
-__all__ = ["AdmissionRejected", "QueueFull", "SLOUnattainable"]
+__all__ = ["AdmissionRejected", "CircuitOpen", "QueueFull", "SLOUnattainable"]
 
 
 class AdmissionRejected(TZLLMError):
@@ -37,3 +37,11 @@ class SLOUnattainable(AdmissionRejected):
     """Predicted TTFT already exceeds the class SLO (deadline shedding)."""
 
     reason = "slo-unattainable"
+
+
+class CircuitOpen(AdmissionRejected):
+    """The model's lane breaker is open: its TA has been failing and is
+    cooling down, so new requests are turned away at the door instead of
+    queueing behind a broken dependency."""
+
+    reason = "circuit-open"

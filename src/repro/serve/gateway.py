@@ -35,7 +35,9 @@ from ..errors import ConfigurationError
 from ..sim.trace import NULL_TRACER
 from ..workloads.traces import TenantRequest
 from .admission import AdmissionController, ServiceTimePredictor
+from .breaker import CircuitBreaker, classify_failure
 from .classes import ClassPolicy, PriorityClass, default_policies
+from .errors import CircuitOpen
 from .request import ServeRequest
 from .slo import SLOAccountant
 
@@ -51,6 +53,13 @@ class GatewayConfig:
     shedding: bool = True
     policies: Dict[PriorityClass, ClassPolicy] = field(default_factory=default_policies)
     predictor_alpha: float = 0.3
+    #: failure handling (repro.faults): how many times a request whose
+    #: attempt died on a *retryable* fault is re-queued before it fails.
+    max_retries: int = 2
+    #: per-lane circuit breaker: consecutive failures that open it, and
+    #: how long an open lane cools down before probing.
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 5.0
 
     def __post_init__(self):
         if self.scheduling not in ("priority", "fifo"):
@@ -58,19 +67,28 @@ class GatewayConfig:
         for cls in PriorityClass:
             if cls not in self.policies:
                 raise ConfigurationError("missing policy for class %s" % cls.label)
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+        if self.breaker_threshold < 1:
+            raise ConfigurationError("breaker_threshold must be at least 1")
+        if self.breaker_cooldown <= 0:
+            raise ConfigurationError("breaker_cooldown must be positive")
 
 
 class _Lane:
     """One model's TA: at most one request running."""
 
-    __slots__ = ("model_id", "busy", "current", "gate", "dispatched_at")
+    __slots__ = ("model_id", "busy", "current", "gate", "dispatched_at", "breaker", "probe_armed")
 
-    def __init__(self, model_id: str):
+    def __init__(self, model_id: str, breaker: CircuitBreaker):
         self.model_id = model_id
         self.busy = False
         self.current: Optional[ServeRequest] = None
         self.gate: Optional[PreemptionGate] = None
         self.dispatched_at = 0.0
+        self.breaker = breaker
+        #: a wake-up process is already scheduled for the cooldown end.
+        self.probe_armed = False
 
 
 class ServeGateway:
@@ -90,7 +108,17 @@ class ServeGateway:
             model_ids = list(system.tas)
         else:
             model_ids = [system.model.model_id]
-        self.lanes: Dict[str, _Lane] = {m: _Lane(m) for m in model_ids}
+        self.lanes: Dict[str, _Lane] = {
+            m: _Lane(
+                m,
+                CircuitBreaker(
+                    self.sim,
+                    failure_threshold=self.config.breaker_threshold,
+                    cooldown=self.config.breaker_cooldown,
+                ),
+            )
+            for m in model_ids
+        }
         self.predictor = ServiceTimePredictor(alpha=self.config.predictor_alpha)
         self.admission = AdmissionController(
             model_ids,
@@ -103,6 +131,7 @@ class ServeGateway:
         #: deterministic request log, one line per lifecycle transition.
         self.log: List[str] = []
         self.completed: List[ServeRequest] = []
+        self.failed: List[ServeRequest] = []
         self.preemption_signals = 0
         self.wasted_time = 0.0
         self.wasted_tokens = 0
@@ -147,10 +176,23 @@ class ServeGateway:
             completion=self.sim.event(),
         )
         try:
+            if self.lanes[model_id].breaker.state == "open" and not self.lanes[model_id].breaker.allow():
+                request.state = "rejected"
+                request.rejected_reason = CircuitOpen.reason
+                raise CircuitOpen(
+                    "lane %s cooling down for another %.3fs"
+                    % (model_id, self.lanes[model_id].breaker.remaining_cooldown()),
+                    request=request,
+                )
             self.admission.admit(request, self._predicted_wait(model_id, cls), self.config.scheduling)
         except Exception as exc:
+            # Failure provenance: the rejection's exception type and sim
+            # timestamp stay on the request record and in the log.
             reason = getattr(exc, "reason", "rejected")
-            self.log.append(request.log_line("reject", now, "reason=%s" % reason))
+            request.rejected_at = now
+            self.log.append(
+                request.log_line("reject", now, "reason=%s error=%s" % (reason, type(exc).__name__))
+            )
             self.accountant.note_rejected(cls, reason)
             raise
         self.log.append(
@@ -219,9 +261,16 @@ class ServeGateway:
         lane = self.lanes[model_id]
         if lane.busy:
             return
+        if not lane.breaker.allow():
+            # Open lane: nothing dispatches until the cooldown elapses.
+            # Schedule a wake-up so queued requests get their probe.
+            self._arm_probe_timer(lane)
+            return
         request = self.admission.pop_next(model_id, self.config.scheduling)
         if request is None:
             return
+        if lane.breaker.state != "closed":
+            lane.breaker.on_dispatch()  # this request is the probe
         self.accountant.note_queue_depth(
             request.priority, self.admission.depth(model_id, request.priority)
         )
@@ -234,6 +283,19 @@ class ServeGateway:
             self._run_attempt(lane, request, gate),
             name="serve-r%d" % request.request_id,
         )
+
+    def _arm_probe_timer(self, lane: _Lane) -> None:
+        if lane.probe_armed:
+            return
+        lane.probe_armed = True
+        delay = max(lane.breaker.remaining_cooldown(), 1e-9)
+
+        def waker():
+            yield self.sim.timeout(delay)
+            lane.probe_armed = False
+            self._maybe_dispatch(lane.model_id)
+
+        self.sim.process(waker(), name="breaker-probe:%s" % lane.model_id)
 
     def _run_attempt(self, lane: _Lane, request: ServeRequest, gate: PreemptionGate):
         """One dispatch of one request on the lane's TA (a process)."""
@@ -249,7 +311,17 @@ class ServeGateway:
             )
         self.accountant.note_dispatch(lane.model_id)
         span_start = now
-        record = yield from self._infer(request, gate)
+        try:
+            record = yield from self._infer(request, gate)
+        except Exception as exc:
+            self.accountant.note_release(lane.model_id)
+            lane.busy = False
+            lane.current = None
+            lane.gate = None
+            self._handle_failure(lane, request, exc, span_start)
+            self._maybe_dispatch(lane.model_id)
+            return
+        lane.breaker.record_success()
         self.accountant.note_release(lane.model_id)
         lane.busy = False
         lane.current = None
@@ -292,6 +364,52 @@ class ServeGateway:
             )
             request.completion.succeed(request)
         self._maybe_dispatch(lane.model_id)
+
+    def _handle_failure(self, lane: _Lane, request: ServeRequest, exc: BaseException, span_start: float) -> None:
+        """A dispatch died inside the TA: classify, retry or fail.
+
+        Failure provenance — the exception type, sim timestamp and
+        retryable/fatal classification — lands on the request record, in
+        the deterministic log, and in the per-class SLO export.  The
+        failed request's completion event *succeeds* with the request
+        (state ``failed``): load generators wait on these events with a
+        fail-fast :class:`~repro.sim.core.AllOf`, so failing the event
+        would tear down the whole workload instead of reporting one
+        failed request.
+        """
+        now = self.sim.now
+        kind = type(exc).__name__
+        classification = classify_failure(exc)
+        request.note_failure(now, kind, classification)
+        self.wasted_time += now - span_start
+        self.accountant.note_failure(request.priority, kind)
+        lane.breaker.record_failure()
+        self.tracer.record(
+            "gateway", "fail r%d (%s)" % (request.request_id, kind), span_start, lane="gateway"
+        )
+        retryable = classification == "retryable"
+        if retryable and request.failure_count <= self.config.max_retries:
+            request.state = "queued"
+            self.admission.requeue_front(request)
+            self.accountant.note_retry(request.priority)
+            self.accountant.note_queue_depth(
+                request.priority, self.admission.depth(lane.model_id, request.priority)
+            )
+            self.log.append(
+                request.log_line(
+                    "requeue", now, "error=%s retries=%d" % (kind, request.failure_count)
+                )
+            )
+        else:
+            request.state = "failed"
+            request.failed_at = now
+            self.failed.append(request)
+            self.accountant.note_failed(request.priority)
+            self.log.append(
+                request.log_line("fail", now, "error=%s class=%s" % (kind, classification))
+            )
+            if request.completion is not None and not request.completion.triggered:
+                request.completion.succeed(request)
 
     def _infer(self, request: ServeRequest, gate: PreemptionGate):
         """Route the CA→TA invocation to the TA hosting the model."""

@@ -9,7 +9,7 @@ serving metrics never have to reconstruct anything.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from ..core.llm_ta import InferenceRecord
 from ..sim import Event
@@ -40,6 +40,12 @@ class ServeRequest:
     finished_at: Optional[float] = None
     record: Optional[InferenceRecord] = None
     rejected_reason: Optional[str] = None
+    rejected_at: Optional[float] = None
+    #: failure provenance: (sim_time, exception_type, classification)
+    #: per failed attempt, in order.  The request only *ends* failed when
+    #: the gateway exhausts its retries or the fault is fatal.
+    failures: List[Tuple[float, str, str]] = field(default_factory=list)
+    failed_at: Optional[float] = None
     #: triggers (with the request as value) when the request completes.
     completion: Optional[Event] = None
 
@@ -47,6 +53,18 @@ class ServeRequest:
     @property
     def done(self) -> bool:
         return self.state == "done"
+
+    @property
+    def failed(self) -> bool:
+        return self.state == "failed"
+
+    @property
+    def failure_count(self) -> int:
+        return len(self.failures)
+
+    def note_failure(self, at: float, kind: str, classification: str) -> None:
+        """Record one failed attempt's provenance."""
+        self.failures.append((at, kind, classification))
 
     @property
     def ttft(self) -> float:

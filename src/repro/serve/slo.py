@@ -101,6 +101,12 @@ class _ClassStats:
         self.rejected: Dict[str, int] = {}
         self.slo_attained = 0
         self.slo_violated = 0
+        #: failure-provenance lane (repro.faults): per-exception-type
+        #: counts of failed attempts, gateway retries, and requests that
+        #: ended in the ``failed`` state.
+        self.failures: Dict[str, int] = {}
+        self.retries = 0
+        self.failed = 0
 
 
 class SLOAccountant:
@@ -141,6 +147,21 @@ class SLOAccountant:
 
     def note_preemption(self, cls: PriorityClass) -> None:
         self.classes[cls].preemptions += 1
+
+    def note_failure(self, cls: PriorityClass, kind: str) -> None:
+        """One failed attempt (``kind`` is the exception type name)."""
+        stats = self.classes[cls]
+        stats.failures[kind] = stats.failures.get(kind, 0) + 1
+        self.tracer.instant("failure", "%s (%s)" % (cls.label, kind), lane="gateway")
+
+    def note_retry(self, cls: PriorityClass) -> None:
+        """The gateway re-queued a failed request for another attempt."""
+        self.classes[cls].retries += 1
+
+    def note_failed(self, cls: PriorityClass) -> None:
+        """A request ended in the ``failed`` state (retries exhausted or
+        the fault was fatal)."""
+        self.classes[cls].failed += 1
 
     def note_dispatch(self, model_id: str) -> None:
         self._busy_since[model_id] = self.sim.now
@@ -213,6 +234,9 @@ class SLOAccountant:
                 "tokens_out": stats.tokens_out,
                 "preemptions": stats.preemptions,
                 "rejected": dict(sorted(stats.rejected.items())),
+                "failures": dict(sorted(stats.failures.items())),
+                "failed": stats.failed,
+                "retries": stats.retries,
                 "slo_attained": stats.slo_attained,
                 "slo_violated": stats.slo_violated,
                 "queue_depth_max": self.queue_depth[cls].max_value(),

@@ -14,6 +14,7 @@ from .os import TEEOS
 from .secure_memory import SecureRegion
 from .sync import ShadowThreadPool, TEECondition, TEEMutex
 from .ta import TrustedApplication
+from .watchdog import ServiceWatchdog
 
 __all__ = [
     "AttestationService",
@@ -27,6 +28,7 @@ __all__ = [
     "SecureJobRecord",
     "SecureJobState",
     "SecureRegion",
+    "ServiceWatchdog",
     "ShadowThreadPool",
     "TAVerifier",
     "TEECondition",

@@ -27,13 +27,17 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..errors import IagoViolation, ProtocolError
+from ..errors import IagoViolation, ProtocolError, WatchdogTimeout
 from ..hw.common import World
 from ..hw.npu import NPU, NPUJob
 from ..hw.platform import Board
 from ..sim import Event, Simulator
+from .watchdog import ServiceWatchdog
 
 __all__ = ["SecureJobState", "SecureJobRecord", "TEENPUDriver"]
+
+#: stale-take-over SMC return code (graceful decline, not a violation).
+TAKE_OVER_DECLINED = -1
 
 
 class SecureJobState(enum.Enum):
@@ -43,6 +47,9 @@ class SecureJobState(enum.Enum):
     ISSUED = "issued"  # shadow job handed to the REE scheduler
     RUNNING = "running"
     DONE = "done"
+    #: the watchdog gave up on this shadow hand-off and re-issued the job
+    #: under a new shadow id; a late take-over for it is declined.
+    ABANDONED = "abandoned"
 
 
 @dataclass
@@ -81,6 +88,15 @@ class TEENPUDriver:
         self.take_over_rejections = 0
         self.world_switch_time = 0.0
         self.world_switches = 0
+        #: recovery machinery: the watchdog bounds every wait on the REE
+        #: scheduler; re-issues stay on the same sequence number.
+        self.watchdog = ServiceWatchdog(sim)
+        self.reissues = 0
+        self.stale_take_over_declines = 0
+        #: fault site ``tee.job_hang`` (repro.faults): completion delayed
+        #: after the IRQ (device-side hang).
+        self.fault_injector = None
+        self.job_hangs = 0
         #: attack/ablation switches
         self.unsafe_skip_wait_idle = False
         board.gic.attach_handler(World.SECURE, self.npu.irq, self._on_irq)
@@ -89,16 +105,47 @@ class TEENPUDriver:
     # ------------------------------------------------------------------
     # TA-facing API
     # ------------------------------------------------------------------
-    def submit_secure_job(self, job: NPUJob):
+    def submit_secure_job(self, job: NPUJob, timeout: Optional[float] = None, max_reissues: int = 2):
         """Run ``job`` securely (generator; returns the completed job).
 
         Initializes the execution context, issues a paired shadow job to
         the REE scheduler, and waits for the take-over/completion cycle.
+
+        With ``timeout`` set, the wait is watchdog-guarded: if the REE
+        never presents the take-over (stalled scheduler, dropped SMC),
+        the stale shadow is abandoned and the job re-issued — at the
+        *same* sequence number, under a new shadow id — up to
+        ``max_reissues`` times before :class:`WatchdogTimeout` surfaces.
+        A job already ``RUNNING`` on the device is never re-issued; the
+        watchdog keeps waiting (bounded) for its completion instead.
         """
         record = self.init_job(job)
         yield from self.issue_job(record)
-        yield record.completion
-        return record.job
+        if timeout is None:
+            yield record.completion
+            return record.job
+        reissues = 0
+        # Bound RUNNING-state waits too, so a genuinely wedged device
+        # cannot hang the simulated clock.
+        patience = 2 * (max_reissues + 1)
+        while True:
+            ok, _value = yield from self.watchdog.guard(
+                record.completion, timeout, "ree.npu_scheduler"
+            )
+            if ok:
+                return record.job
+            if record.state is SecureJobState.ISSUED and reissues < max_reissues:
+                reissues += 1
+                record = self.reissue_job(record)
+                yield from self.issue_job(record)
+                continue
+            if record.state is SecureJobState.RUNNING and patience > 0:
+                patience -= 1  # on the device: a hang resolves, wait more
+                continue
+            raise WatchdogTimeout(
+                "secure job %d (seq %d) incomplete after %d re-issues in state %s"
+                % (record.shadow_id, record.seq, reissues, record.state.value)
+            )
 
     def init_job(self, job: NPUJob) -> SecureJobRecord:
         """Step 1: register the execution context (not yet schedulable)."""
@@ -121,6 +168,33 @@ class TEENPUDriver:
             World.SECURE, "ree.npu_submit_shadow", record.shadow_id, record.seq
         )
 
+    def reissue_job(self, record: SecureJobRecord) -> SecureJobRecord:
+        """Abandon a lost shadow hand-off; pair the job with a fresh one.
+
+        Replay safety: the new record keeps the job's *original* sequence
+        number (the job never executed, so ``_exec_seq`` never advanced)
+        and shares its completion event.  The abandoned shadow id stays
+        registered so a late take-over for it is *declined* — while a
+        replayed take-over for an executed (DONE) job still raises
+        :class:`IagoViolation` exactly as before.
+        """
+        if record.state is not SecureJobState.ISSUED:
+            raise ProtocolError(
+                "cannot re-issue job %d in state %s"
+                % (record.shadow_id, record.state.value)
+            )
+        record.state = SecureJobState.ABANDONED
+        replacement = SecureJobRecord(
+            shadow_id=next(self._shadow_ids),
+            seq=record.seq,
+            job=record.job,
+            state=SecureJobState.INITIALIZED,
+            completion=record.completion,
+        )
+        self._records[replacement.shadow_id] = replacement
+        self.reissues += 1
+        return replacement
+
     # ------------------------------------------------------------------
     # take-over path (SMC handler, called by the REE scheduler)
     # ------------------------------------------------------------------
@@ -129,6 +203,13 @@ class TEENPUDriver:
         if record is None:
             self.take_over_rejections += 1
             raise IagoViolation("take-over for unknown secure job %d" % shadow_id)
+        if record.state is SecureJobState.ABANDONED:
+            # Not an attack: the watchdog re-issued this job and a late
+            # REE scheduler is presenting the stale shadow.  Decline
+            # without launching anything — the replacement shadow (same
+            # seq) drives the job.
+            self.stale_take_over_declines += 1
+            return TAKE_OVER_DECLINED
         if record.state is not SecureJobState.ISSUED:
             self.take_over_rejections += 1
             raise IagoViolation(
@@ -147,6 +228,14 @@ class TEENPUDriver:
         self.npu.launch(World.SECURE, record.job)
         completed = yield self._irq_done
         self._irq_done = None
+        if self.fault_injector is not None:
+            hang = self.fault_injector.stall_delay("tee.job_hang")
+            if hang > 0:
+                # Device-side hang: the job finished but the completion
+                # path wedges for a while (the record stays RUNNING, so
+                # the watchdog waits rather than re-issuing).
+                self.job_hangs += 1
+                yield self.sim.timeout(hang)
         yield from self._leave_secure_mode()
         self._exec_seq += 1
         record.state = SecureJobState.DONE

@@ -1,0 +1,52 @@
+"""TEE-side watchdog: bounded waits on untrusted REE services.
+
+The paper outsources scheduling, power and I/O issue to the REE (§4.3);
+correctness is preserved by verification, but *liveness* is not — a
+stalled REE scheduler or a dropped SMC would leave a TEE process waiting
+forever on a completion that never comes.  :class:`ServiceWatchdog`
+turns every such wait into a bounded one on the simulated clock: wait on
+the event OR a timeout, whichever fires first, and report which.
+
+Implementation note: the guard waits through ``AnyOf`` deliberately.  An
+``AnyOf`` keeps a callback registered on both children, so if the
+guarded event *fails* after the timer already fired (the waiter moved
+on), the failure is consumed by the composite instead of crashing the
+simulator's dispatch loop as an unwaited process failure would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..sim import Event, Simulator
+
+__all__ = ["ServiceWatchdog"]
+
+
+class ServiceWatchdog:
+    """Supervises waits on REE services with sim-clock timeouts."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.waits = 0
+        #: per-service expiry counts.
+        self.expirations: Dict[str, int] = {}
+        #: (sim time, service) per expiry, for post-mortem assertions.
+        self.log: List[Tuple[float, str]] = []
+
+    def guard(self, event: Event, timeout: float, service: str):
+        """Wait on ``event`` at most ``timeout`` seconds (generator).
+
+        Returns ``(True, value)`` if the event triggered in time, or
+        ``(False, None)`` after recording the expiry.  A *failed* guarded
+        event re-raises its exception here, exactly as a bare wait would.
+        """
+        self.waits += 1
+        timer = self.sim.timeout(timeout)
+        yield self.sim.any_of([event, timer])
+        if event.triggered:
+            # ``value`` re-raises the guarded failure, as a bare wait would.
+            return True, event.value
+        self.expirations[service] = self.expirations.get(service, 0) + 1
+        self.log.append((self.sim.now, service))
+        return False, None

@@ -1,0 +1,68 @@
+"""Shared chaos-suite plumbing: seeds, fault plans, hardened builders.
+
+The suite parametrizes over ``CHAOS_SEEDS`` (override with a
+comma-separated ``REPRO_CHAOS_SEEDS`` environment variable — CI sweeps
+several).  Every test follows the same shape: build a system with the
+hardened recovery policy, arm a seeded fault plan, run a workload, and
+assert the three chaos invariants — the sim clock never hangs, outcomes
+are byte-identical per seed, and security checks still fire with
+injection armed.
+"""
+
+import os
+
+import pytest
+
+from repro import TINYLLAMA, TZLLM
+from repro.faults import FaultPlan, FaultSpec, RecoveryPolicy
+
+
+def _seeds():
+    env = os.environ.get("REPRO_CHAOS_SEEDS", "")
+    if env.strip():
+        return [int(s) for s in env.split(",") if s.strip()]
+    return [7, 1337, 90210]
+
+
+CHAOS_SEEDS = _seeds()
+
+
+@pytest.fixture(params=CHAOS_SEEDS)
+def seed(request):
+    return request.param
+
+
+def _full_plan(seed):
+    """Every fault site armed at rates the hardened policy can absorb."""
+    return FaultPlan(
+        seed,
+        [
+            FaultSpec("flash.read_error", probability=0.02),
+            FaultSpec("flash.bit_flip", probability=0.01),
+            FaultSpec("cma.migration_fail", probability=0.005),
+            FaultSpec("ree.npu_stall", probability=0.05, delay=2e-3, jitter=2e-3),
+            FaultSpec("ree.smc_drop", probability=0.1, max_fires=20),
+            FaultSpec("tee.job_hang", probability=0.05, delay=5e-3, jitter=5e-3),
+        ],
+    )
+
+
+def _hardened_system(**kwargs):
+    """A TZ-LLM system with every recovery mechanism armed, cold-started
+    (so chaos runs hit the measured path, not first-boot setup)."""
+    kwargs.setdefault("recovery", RecoveryPolicy.hardened())
+    system = TZLLM(TINYLLAMA, **kwargs)
+    system.run_infer(8, 0)
+    return system
+
+
+@pytest.fixture()
+def full_plan():
+    """Factory fixture: seed -> the all-sites fault plan."""
+    return _full_plan
+
+
+@pytest.fixture()
+def hardened_system():
+    """Factory fixture: kwargs -> a cold-started hardened TZ-LLM."""
+    return _hardened_system

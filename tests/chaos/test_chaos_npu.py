@@ -1,0 +1,97 @@
+"""Chaos: the split NPU driver under dropped hand-offs, stalls and hangs."""
+
+import pytest
+
+from repro.errors import IagoViolation
+from repro.faults import FaultPlan, FaultSpec
+
+
+def test_smc_drops_recovered_by_watchdog(seed, hardened_system):
+    """Lost take-over SMCs never launch the secure job; the TEE watchdog
+    times out and re-issues the shadow with the same sequence number."""
+    system = hardened_system(cache_fraction=0.0, use_checkpoint=False)
+    plan = FaultPlan(seed, [FaultSpec("ree.smc_drop", probability=1.0, max_fires=2)])
+    injector = plan.injector(system.sim).arm(system)
+    record = system.run_infer(64, 2)
+    assert record.decode is not None and len(record.decode.token_ids) == 2
+    assert injector.fired["ree.smc_drop"] == 2
+    assert system.stack.ree_npu.shadow_jobs_dropped == 2
+    assert system.stack.tee_npu.reissues == 2
+
+
+def test_stalls_and_hangs_absorbed(seed, hardened_system):
+    """Scheduler stalls and post-IRQ hangs slow the run down but never
+    wedge it: the sim clock always reaches a terminal state."""
+    system = hardened_system(cache_fraction=0.0, use_checkpoint=False)
+    plan = FaultPlan(
+        seed,
+        [
+            FaultSpec("ree.npu_stall", probability=0.3, delay=1e-3, jitter=1e-3),
+            FaultSpec("tee.job_hang", probability=0.2, delay=2e-3, jitter=2e-3),
+        ],
+    )
+    injector = plan.injector(system.sim).arm(system)
+    record = system.run_infer(64, 4)
+    assert record.decode is not None and len(record.decode.token_ids) == 4
+    summary = injector.summary()
+    assert summary["ree.npu_stall"]["checked"] > 0
+    assert summary["tee.job_hang"]["checked"] > 0
+
+
+def test_npu_chaos_is_deterministic_per_seed(seed, hardened_system):
+    """Same seed, same plan: identical timings and fault decisions."""
+
+    def run_once():
+        system = hardened_system(cache_fraction=0.0, use_checkpoint=False)
+        plan = FaultPlan(
+            seed,
+            [
+                FaultSpec("ree.smc_drop", probability=0.2, max_fires=10),
+                FaultSpec("ree.npu_stall", probability=0.3, delay=1e-3, jitter=1e-3),
+                FaultSpec("tee.job_hang", probability=0.2, delay=2e-3, jitter=2e-3),
+            ],
+        )
+        injector = plan.injector(system.sim).arm(system)
+        record = system.run_infer(64, 4)
+        return (
+            record.ttft,
+            system.sim.now,
+            system.stack.tee_npu.reissues,
+            injector.summary(),
+        )
+
+    assert run_once() == run_once()
+
+
+def test_replay_attack_still_detected_under_chaos(hardened_system):
+    """Fault injection must not blunt the security checks: a replayed
+    take-over for a completed job raises IagoViolation even while the
+    schedulers run under stall/hang injection."""
+    system = hardened_system(cache_fraction=0.0, use_checkpoint=False)
+    plan = FaultPlan(
+        5,
+        [
+            FaultSpec("ree.npu_stall", probability=0.3, delay=1e-3, jitter=1e-3),
+            FaultSpec("tee.job_hang", probability=0.2, delay=2e-3, jitter=2e-3),
+        ],
+    )
+    plan.injector(system.sim).arm(system)
+    system.run_infer(32, 0)
+    stack = system.stack
+    assert stack.tee_npu.secure_jobs_completed > 0
+    done = [r for r in stack.tee_npu._records.values() if r.state.name == "DONE"]
+    assert done
+    record = done[0]
+    sim = system.sim
+
+    def replay():
+        yield from stack.ree_npu.attack_replay_take_over(record.shadow_id, record.seq)
+
+    with pytest.raises(IagoViolation, match="replay|state"):
+        sim.run_until(sim.process(replay()))
+
+    def forge():
+        yield from stack.ree_npu.attack_forge_take_over(999999, 0)
+
+    with pytest.raises(IagoViolation, match="unknown"):
+        sim.run_until(sim.process(forge()))

@@ -1,0 +1,103 @@
+"""Chaos: the prefill pipeline under storage faults, recovered in place."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.faults import FaultPlan, FaultSpec, RecoveryPolicy
+
+
+def test_flash_read_errors_recovered_by_retry(seed, hardened_system):
+    """A bounded burst of read errors is absorbed; the infer succeeds and
+    the retries are visible in the pipeline metrics."""
+    system = hardened_system(cache_fraction=0.0, use_checkpoint=False)
+    plan = FaultPlan(seed, [FaultSpec("flash.read_error", probability=1.0, max_fires=2)])
+    injector = plan.injector(system.sim).arm(system)
+    record = system.run_infer(64, 2)
+    assert record.decode is not None and len(record.decode.token_ids) == 2
+    assert injector.fired["flash.read_error"] == 2
+    assert record.pipeline.io_retries >= 1
+    assert system.stack.kernel.fs.flash.read_errors == 2
+
+
+def test_bit_flip_recovered_by_refetch(seed, hardened_system):
+    """A silently corrupted chunk fails its checksum; the hardened
+    pipeline re-fetches it over the bounce buffer instead of aborting."""
+    system = hardened_system(cache_fraction=0.0, use_checkpoint=False)
+    plan = FaultPlan(seed, [FaultSpec("flash.bit_flip", probability=1.0, max_fires=1)])
+    injector = plan.injector(system.sim).arm(system)
+    record = system.run_infer(64, 0)
+    assert record.ttft > 0
+    assert injector.fired["flash.bit_flip"] == 1
+    assert record.pipeline.refetches >= 1
+    assert system.ta.backend.refetched_groups >= 1
+
+
+def test_legacy_policy_still_surfaces_the_error(seed, hardened_system):
+    """Default (legacy) recovery keeps the old contract: a single read
+    error aborts the prefill and surfaces to the CA."""
+    system = hardened_system(cache_fraction=0.0, recovery=RecoveryPolicy())
+    plan = FaultPlan(seed, [FaultSpec("flash.read_error", probability=1.0, max_fires=1)])
+    plan.injector(system.sim).arm(system)
+    with pytest.raises(StorageError):
+        system.run_infer(64, 0)
+    # ...and the TA stays serviceable afterwards.
+    record = system.run_infer(32, 0)
+    assert record.ttft > 0
+
+
+def test_faulted_pipeline_is_deterministic_per_seed(seed, hardened_system):
+    """Two identical systems under the same plan agree to the last byte:
+    same fault decisions, same retry counts, same timings."""
+
+    def run_once():
+        system = hardened_system(cache_fraction=0.0)
+        plan = FaultPlan(
+            seed,
+            [
+                FaultSpec("flash.read_error", probability=0.05),
+                FaultSpec("flash.bit_flip", probability=0.02),
+            ],
+        )
+        injector = plan.injector(system.sim).arm(system)
+        record = system.run_infer(96, 4)
+        return (
+            record.ttft,
+            record.pipeline.io_retries,
+            record.pipeline.refetches,
+            system.sim.now,
+            injector.summary(),
+        )
+
+    assert run_once() == run_once()
+
+
+def test_cma_migration_failures_recovered(seed):
+    """Transiently pinned pages during CMA migration are retried with
+    backoff inside the kernel; the contiguous allocation still succeeds."""
+    from repro.config import PAGE_SIZE, RK3588
+    from repro.hw import Board
+    from repro.ree.kernel import REEKernel
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    board = Board(sim, RK3588.with_memory(64 * PAGE_SIZE))
+    kernel = REEKernel(sim, board, granule=PAGE_SIZE, os_footprint=0)
+    region = kernel.reserve_cma("params", 32 * PAGE_SIZE)
+    kernel.boot()
+    # Crowd the outside with unmovable pages so movable victims spill
+    # into the CMA region, then free the crowd to open migration room.
+    filler = kernel.alloc_unmovable(24 * PAGE_SIZE, tag="filler")
+    victim = kernel.map_anonymous(16 * PAGE_SIZE, tag="victim")
+    spilled = sorted(f for f in victim.frames if f >= region.start_frame)[:8]
+    assert len(spilled) == 8
+    kernel.free(filler)
+
+    plan = FaultPlan(seed, [FaultSpec("cma.migration_fail", probability=1.0, max_fires=2)])
+    region.fault_injector = plan.injector(sim)
+
+    proc = sim.process(region.allocate_range(spilled[0], 8))
+    alloc = sim.run_until(proc)
+    assert alloc.contiguous
+    assert region.migration_failures == 2  # the site fired...
+    assert region.migration_retries == 2  # ...and each pin was retried through
+    assert victim.n_frames == 16  # the displaced mapping survived intact

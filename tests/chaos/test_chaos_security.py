@@ -1,0 +1,70 @@
+"""Chaos: security checks must keep firing while fault injection is armed.
+
+Recovery must never become a bypass: a retry path that re-reads through
+a compromised REE filesystem has to fail the same integrity checks the
+first attempt did, and memory protection is enforced by hardware
+regardless of what the schedulers are doing.
+"""
+
+import pytest
+
+from repro.errors import AccessDenied, IagoViolation
+from repro.faults import FaultPlan, FaultSpec
+from repro.hw import World
+
+N = World.NONSECURE
+
+
+def test_persistent_tamper_detected_despite_refetch(seed, hardened_system):
+    """A persistently tampering REE fs fails the checksum on the original
+    read AND on every bounce-buffer re-fetch; the hardened pipeline
+    surfaces IagoViolation instead of looping forever."""
+    system = hardened_system(cache_fraction=0.0, use_checkpoint=False)
+    plan = FaultPlan(
+        seed,
+        [FaultSpec("ree.npu_stall", probability=0.2, delay=1e-3, jitter=1e-3)],
+    )
+    plan.injector(system.sim).arm(system)
+
+    def forge(path, offset, data):
+        return b"\xde\xad" * (len(data) // 2) + data[2 * (len(data) // 2):]
+
+    system.stack.kernel.fs.tamper_hook = forge
+    with pytest.raises(IagoViolation, match="checksum"):
+        system.run_infer(32, 0)
+    # The hardened policy genuinely tried the recovery path first —
+    # and no re-fetch ever passed verification.
+    assert system.ta.backend.refetch_attempts >= 1
+    assert system.ta.backend.refetched_groups == 0
+    # The TA recovers once the attack stops.
+    system.stack.kernel.fs.tamper_hook = None
+    record = system.run_infer(16, 0)
+    assert record.ttft > 0
+
+
+def test_forged_cma_address_detected_with_injection_armed(hardened_system):
+    """The CMA Iago check (returned address must match the contiguous
+    reservation) is orthogonal to fault recovery."""
+    system = hardened_system(cache_fraction=0.0, use_checkpoint=False)
+    plan = FaultPlan(
+        9,
+        [FaultSpec("ree.npu_stall", probability=0.2, delay=1e-3, jitter=1e-3)],
+    )
+    plan.injector(system.sim).arm(system)
+    system.stack.tz_driver.alloc_result_hook = (
+        lambda addr: addr + system.stack.kernel.db.granule
+    )
+    with pytest.raises(IagoViolation, match="contiguous"):
+        system.run_infer(32, 0)
+
+
+def test_ree_snoop_still_denied_during_chaos(hardened_system, full_plan):
+    """TZASC enforcement is hardware: injected faults in the drivers do
+    not open a window for the REE to read protected parameters."""
+    system = hardened_system(cache_fraction=1.0)
+    full_plan(13).injector(system.sim).arm(system)
+    system.run_infer(32, 2)
+    region = system.ta.params_region
+    assert region.protected > 0
+    with pytest.raises(AccessDenied):
+        system.stack.board.memory.cpu_read(region.base_addr, 64, N)

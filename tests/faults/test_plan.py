@@ -1,0 +1,174 @@
+"""Unit tests for the fault-plan / injector machinery itself."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import KNOWN_SITES, FaultInjector, FaultPlan, FaultSpec, RecoveryPolicy
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# spec and plan validation
+# ---------------------------------------------------------------------------
+def test_unknown_site_rejected():
+    with pytest.raises(ConfigurationError):
+        FaultSpec(site="flash.read_eror")  # typo must not silently test nothing
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        FaultSpec(site="flash.read_error", probability=1.5)
+    with pytest.raises(ConfigurationError):
+        FaultSpec(site="flash.read_error", window=(2.0, 1.0))
+    with pytest.raises(ConfigurationError):
+        FaultSpec(site="flash.read_error", max_fires=-1)
+    with pytest.raises(ConfigurationError):
+        FaultSpec(site="ree.npu_stall", delay=-1.0)
+
+
+def test_duplicate_site_rejected():
+    spec = FaultSpec(site="flash.read_error", probability=0.5)
+    with pytest.raises(ConfigurationError):
+        FaultPlan(1, [spec, spec])
+
+
+def test_recovery_policy_validation():
+    with pytest.raises(ConfigurationError):
+        RecoveryPolicy(flash_read_attempts=0)
+    with pytest.raises(ConfigurationError):
+        RecoveryPolicy(npu_job_timeout=0.0)
+    policy = RecoveryPolicy(retry_backoff=1e-3)
+    assert policy.backoff(1) == 1e-3
+    assert policy.backoff(3) == 4e-3
+    hardened = RecoveryPolicy.hardened()
+    assert hardened.flash_read_attempts > 1
+    assert hardened.npu_job_timeout is not None
+
+
+# ---------------------------------------------------------------------------
+# determinism of the per-site streams
+# ---------------------------------------------------------------------------
+def _injector(seed, specs):
+    return FaultInjector(Simulator(), FaultPlan(seed, specs))
+
+
+def test_same_seed_same_decisions():
+    specs = [FaultSpec(site="flash.read_error", probability=0.3)]
+    a = _injector(7, specs)
+    b = _injector(7, specs)
+    assert [a.fires("flash.read_error") for _ in range(200)] == [
+        b.fires("flash.read_error") for _ in range(200)
+    ]
+    assert a.summary() == b.summary()
+
+
+def test_different_seed_different_decisions():
+    specs = [FaultSpec(site="flash.read_error", probability=0.3)]
+    a = _injector(7, specs)
+    b = _injector(8, specs)
+    assert [a.fires("flash.read_error") for _ in range(200)] != [
+        b.fires("flash.read_error") for _ in range(200)
+    ]
+
+
+def test_sites_have_independent_streams():
+    """Arming an extra site must not reshuffle an existing site's draws."""
+    base = _injector(7, [FaultSpec(site="flash.read_error", probability=0.3)])
+    both = _injector(
+        7,
+        [
+            FaultSpec(site="flash.read_error", probability=0.3),
+            FaultSpec(site="ree.npu_stall", probability=0.5, delay=1e-3),
+        ],
+    )
+    decisions_base = []
+    decisions_both = []
+    for _ in range(100):
+        decisions_base.append(base.fires("flash.read_error"))
+        both.stall_delay("ree.npu_stall")  # interleave the other site
+        decisions_both.append(both.fires("flash.read_error"))
+    assert decisions_base == decisions_both
+
+
+def test_unarmed_site_never_fires_and_unknown_site_raises():
+    injector = _injector(7, [FaultSpec(site="flash.read_error")])
+    assert injector.fires("tee.job_hang") is False
+    with pytest.raises(ConfigurationError):
+        injector.fires("not.a.site")
+
+
+# ---------------------------------------------------------------------------
+# window / max_fires gating
+# ---------------------------------------------------------------------------
+def test_window_gates_on_sim_time():
+    sim = Simulator()
+    plan = FaultPlan(3, [FaultSpec(site="flash.read_error", window=(1.0, 2.0))])
+    injector = FaultInjector(sim, plan)
+    assert injector.fires("flash.read_error") is False  # now == 0.0
+
+    def advance():
+        yield sim.timeout(1.5)
+
+    sim.run_until(sim.process(advance()))
+    assert injector.fires("flash.read_error") is True
+
+
+def test_max_fires_caps_total():
+    injector = _injector(3, [FaultSpec(site="flash.read_error", max_fires=2)])
+    fired = sum(injector.fires("flash.read_error") for _ in range(50))
+    assert fired == 2
+
+
+def test_stall_delay_range():
+    injector = _injector(3, [FaultSpec(site="ree.npu_stall", delay=1e-3, jitter=2e-3)])
+    for _ in range(50):
+        delay = injector.stall_delay("ree.npu_stall")
+        assert 1e-3 <= delay < 3e-3
+
+
+# ---------------------------------------------------------------------------
+# bit-flip corruption
+# ---------------------------------------------------------------------------
+def test_corrupt_flips_exactly_one_bit_deterministically():
+    data = bytes(range(64))
+    a = _injector(5, [FaultSpec(site="flash.bit_flip")]).corrupt("flash.bit_flip", data)
+    b = _injector(5, [FaultSpec(site="flash.bit_flip")]).corrupt("flash.bit_flip", data)
+    assert a == b and a != data
+    diff = [(x ^ y) for x, y in zip(a, data)]
+    assert sum(bin(d).count("1") for d in diff) == 1
+
+
+def test_corrupt_identity_when_quiet():
+    injector = _injector(5, [FaultSpec(site="flash.bit_flip", probability=0.0)])
+    data = b"unchanged"
+    assert injector.corrupt("flash.bit_flip", data) is data
+
+
+# ---------------------------------------------------------------------------
+# arming on a real stack
+# ---------------------------------------------------------------------------
+def test_arm_and_disarm_wire_every_site():
+    from repro import TINYLLAMA, TZLLM
+
+    system = TZLLM(TINYLLAMA)
+    plan = FaultPlan(1, [FaultSpec(site="flash.read_error", probability=0.0)])
+    injector = plan.injector(system.sim).arm(system)
+    stack = system.stack
+    assert stack.kernel.fs.flash.fault_injector is injector
+    assert all(r.fault_injector is injector for r in stack.kernel.cma_regions.values())
+    assert stack.ree_npu.fault_injector is injector
+    assert stack.tee_npu.fault_injector is injector
+    injector.disarm(system)
+    assert stack.kernel.fs.flash.fault_injector is None
+    assert stack.tee_npu.fault_injector is None
+
+
+def test_known_sites_cover_all_armed_components():
+    assert KNOWN_SITES == {
+        "flash.read_error",
+        "flash.bit_flip",
+        "cma.migration_fail",
+        "ree.npu_stall",
+        "ree.smc_drop",
+        "tee.job_hang",
+    }

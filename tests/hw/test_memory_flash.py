@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import PAGE_SIZE, FlashSpec
-from repro.errors import AccessDenied, ConfigurationError, DMAViolation
+from repro.errors import AccessDenied, ConfigurationError, DMAViolation, StorageError
 from repro.hw import AddrRange, Flash, PhysicalMemory, TZASC, World
 from repro.sim import Simulator
 
@@ -153,5 +153,7 @@ def test_flash_write_then_peek():
 def test_flash_missing_blob_rejected():
     sim = Simulator()
     flash = Flash(sim, FlashSpec())
-    with pytest.raises(ConfigurationError):
+    # A missing blob is a runtime storage failure (retryable by a
+    # hardened caller), not a configuration mistake.
+    with pytest.raises(StorageError):
         flash.size("ghost")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import RK3588, PAGE_SIZE, S2PTSpec
-from repro.errors import ConfigurationError, OutOfMemory
+from repro.errors import ConfigurationError, OutOfMemory, StorageError
 from repro.hw import Board
 from repro.ree.kernel import REEKernel
 from repro.ree.s2pt import S2PTState, s2pt_slowdown
@@ -128,7 +128,7 @@ def test_fs_tamper_hook_corrupts_reads():
 def test_fs_missing_file_rejected():
     sim, kernel = make_kernel()
     kernel.boot()
-    with pytest.raises(ConfigurationError):
+    with pytest.raises(StorageError):
         kernel.fs.stat("/ghost")
 
 

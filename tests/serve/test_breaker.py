@@ -1,0 +1,165 @@
+"""Circuit breaker: unit transitions plus gateway-level open/probe/close."""
+
+import pytest
+
+from repro import TINYLLAMA, TZLLM
+from repro.errors import (
+    ConfigurationError,
+    IagoViolation,
+    OutOfMemory,
+    StorageError,
+    WatchdogTimeout,
+)
+from repro.faults import FaultPlan, FaultSpec
+from repro.serve import CircuitBreaker, CircuitOpen, GatewayConfig, ServeGateway, classify_failure
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# classification
+# ---------------------------------------------------------------------------
+def test_classification():
+    assert classify_failure(StorageError("x")) == "retryable"
+    assert classify_failure(WatchdogTimeout("x")) == "retryable"
+    assert classify_failure(OutOfMemory("x")) == "retryable"
+    assert classify_failure(IagoViolation("x")) == "fatal"
+    assert classify_failure(ConfigurationError("x")) == "fatal"
+    assert classify_failure(RuntimeError("x")) == "fatal"  # unknown: never retry
+
+
+# ---------------------------------------------------------------------------
+# unit transitions
+# ---------------------------------------------------------------------------
+def advance(sim, seconds):
+    def waiter():
+        yield sim.timeout(seconds)
+
+    sim.run_until(sim.process(waiter()))
+
+
+def test_breaker_opens_after_threshold():
+    sim = Simulator()
+    breaker = CircuitBreaker(sim, failure_threshold=3, cooldown=1.0)
+    assert breaker.allow()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == "closed" and breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == "open" and not breaker.allow()
+    assert breaker.remaining_cooldown() == pytest.approx(1.0)
+
+
+def test_success_resets_consecutive_count():
+    sim = Simulator()
+    breaker = CircuitBreaker(sim, failure_threshold=2, cooldown=1.0)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == "closed"
+
+
+def test_half_open_probe_then_close():
+    sim = Simulator()
+    breaker = CircuitBreaker(sim, failure_threshold=1, cooldown=1.0)
+    breaker.record_failure()
+    assert not breaker.allow()
+    advance(sim, 1.0)
+    assert breaker.allow()  # cooldown elapsed: half-open
+    assert breaker.state == "half_open"
+    breaker.on_dispatch()
+    assert not breaker.allow()  # one probe at a time
+    breaker.record_success()
+    assert breaker.state == "closed" and breaker.allow()
+
+
+def test_half_open_probe_failure_reopens():
+    sim = Simulator()
+    breaker = CircuitBreaker(sim, failure_threshold=1, cooldown=1.0)
+    breaker.record_failure()
+    advance(sim, 1.0)
+    assert breaker.allow()
+    breaker.on_dispatch()
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert breaker.opens == 2
+    assert [s for _, s in breaker.transitions] == ["open", "half_open", "open"]
+
+
+def test_breaker_validation():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        CircuitBreaker(sim, failure_threshold=0)
+    with pytest.raises(ConfigurationError):
+        CircuitBreaker(sim, cooldown=0.0)
+
+
+# ---------------------------------------------------------------------------
+# gateway integration
+# ---------------------------------------------------------------------------
+@pytest.fixture()
+def failing_system():
+    """A TZ-LLM system whose flash fails every read (legacy recovery, so
+    each dispatch surfaces StorageError)."""
+    system = TZLLM(TINYLLAMA, cache_fraction=0.0)
+    system.run_infer(8, 0)  # cold start before arming
+    plan = FaultPlan(11, [FaultSpec(site="flash.read_error", probability=1.0)])
+    injector = plan.injector(system.sim).arm(system)
+    return system, injector
+
+
+def test_gateway_retries_then_fails_and_opens_breaker(failing_system):
+    system, injector = failing_system
+    gateway = ServeGateway(
+        system,
+        GatewayConfig(max_retries=2, breaker_threshold=3, breaker_cooldown=2.0),
+    )
+    request = gateway.submit_blocking(prompt_tokens=16, output_tokens=0)
+    assert request.failed and request.failed_at is not None
+    # 1 initial attempt + 2 retries, every one a recorded failure.
+    assert request.failure_count == 3
+    assert [kind for _, kind, _ in request.failures] == ["StorageError"] * 3
+    assert all(cls == "retryable" for _, _, cls in request.failures)
+    lane = gateway.lanes[system.model.model_id]
+    assert lane.breaker.state == "open"
+    export = gateway.accountant.to_dict()["classes"]["interactive"]
+    assert export["failures"] == {"StorageError": 3}
+    assert export["retries"] == 2
+    assert export["failed"] == 1
+    verbs = [line.split()[1] for line in gateway.log]
+    assert verbs == ["admit", "dispatch", "requeue", "dispatch", "requeue", "dispatch", "fail"]
+
+
+def test_open_breaker_rejects_at_admission(failing_system):
+    system, injector = failing_system
+    gateway = ServeGateway(
+        system,
+        GatewayConfig(max_retries=0, breaker_threshold=1, breaker_cooldown=60.0),
+    )
+    gateway.submit_blocking(prompt_tokens=16, output_tokens=0)
+    assert gateway.lanes[system.model.model_id].breaker.state == "open"
+    with pytest.raises(CircuitOpen):
+        gateway.submit(prompt_tokens=16, output_tokens=0)
+    export = gateway.accountant.to_dict()["classes"]["interactive"]
+    assert export["rejected"] == {"circuit-open": 1}
+
+
+def test_breaker_probe_recovers_after_faults_clear(failing_system):
+    system, injector = failing_system
+    gateway = ServeGateway(
+        system,
+        GatewayConfig(max_retries=0, breaker_threshold=1, breaker_cooldown=0.5),
+    )
+    failed = gateway.submit_blocking(prompt_tokens=16, output_tokens=0)
+    assert failed.failed
+    lane = gateway.lanes[system.model.model_id]
+    assert lane.breaker.state == "open"
+    # An arrival during the cooldown is shed at the door.
+    with pytest.raises(CircuitOpen):
+        gateway.submit(prompt_tokens=16, output_tokens=0)
+    # The fault clears and the cooldown elapses.
+    injector.disarm(system)
+    advance(system.sim, 0.5)
+    request = gateway.submit_blocking(prompt_tokens=16, output_tokens=2)
+    assert request.done
+    assert lane.breaker.state == "closed"
+    assert lane.breaker.opens == 1

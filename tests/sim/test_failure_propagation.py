@@ -1,0 +1,172 @@
+"""Failure propagation through the sim core's composition primitives.
+
+The recovery machinery (repro.faults) leans on exactly these semantics:
+the TEE watchdog races a completion against a timer with AnyOf, load
+generators gather request completions with a fail-fast AllOf, and the
+prefill pipeline interrupts workers waiting on shared resources.  These
+tests pin the contracts down at the sim layer so a regression shows up
+here first, not as a hung chaos run.
+"""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.sim import BandwidthResource, Interrupt, Simulator
+
+
+def _boom(sim, delay, exc):
+    yield sim.timeout(delay)
+    raise exc
+
+
+# ---------------------------------------------------------------------------
+# AllOf
+# ---------------------------------------------------------------------------
+def test_allof_fails_fast_on_child_exception():
+    sim = Simulator()
+    failing = sim.process(_boom(sim, 0.5, StorageError("injected")))
+    slow = sim.timeout(10.0)
+
+    def waiter():
+        yield sim.all_of([failing, slow])
+
+    proc = sim.process(waiter())
+    with pytest.raises(StorageError):
+        sim.run_until(proc)
+    # Fail-fast: the waiter saw the error at the failing child's time,
+    # not after the slow sibling.
+    assert sim.now == pytest.approx(0.5)
+
+
+def test_allof_succeeds_with_all_values():
+    sim = Simulator()
+
+    def work(delay, value):
+        yield sim.timeout(delay)
+        return value
+
+    a = sim.process(work(0.1, "a"))
+    b = sim.process(work(0.2, "b"))
+
+    def waiter():
+        result = yield sim.all_of([a, b])
+        return result
+
+    values = sim.run_until(sim.process(waiter()))
+    assert list(values.values()) == ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# AnyOf
+# ---------------------------------------------------------------------------
+def test_anyof_propagates_child_exception_before_any_success():
+    sim = Simulator()
+    failing = sim.process(_boom(sim, 0.5, StorageError("injected")))
+    slow = sim.timeout(10.0)
+
+    def waiter():
+        yield sim.any_of([failing, slow])
+
+    with pytest.raises(StorageError):
+        sim.run_until(sim.process(waiter()))
+
+
+def test_anyof_swallows_late_child_failure():
+    """A child failing *after* the AnyOf triggered must not crash the sim.
+
+    This is the watchdog's safety property: guard(event, timeout) races
+    the completion against a timer; if the timer wins and the guarded
+    event later fails, the AnyOf's registered callback absorbs the
+    exception instead of re-raising it into the event loop.
+    """
+    sim = Simulator()
+    late_failure = sim.process(_boom(sim, 5.0, StorageError("too late")))
+    timer = sim.timeout(1.0)
+
+    def waiter():
+        yield sim.any_of([late_failure, timer])
+        assert sim.now == pytest.approx(1.0)
+        # Keep living past the late failure; nothing may blow up.
+        yield sim.timeout(10.0)
+        return "survived"
+
+    assert sim.run_until(sim.process(waiter())) == "survived"
+    assert sim.now == pytest.approx(11.0)
+
+
+def test_anyof_winner_value_is_readable():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(0.1)
+        return 42
+
+    q = sim.process(quick())
+    timer = sim.timeout(9.0)
+
+    def waiter():
+        result = yield sim.any_of([q, timer])
+        return result
+
+    values = sim.run_until(sim.process(waiter()))
+    assert values == {0: 42}
+
+
+# ---------------------------------------------------------------------------
+# Interrupt while waiting on a BandwidthResource grant
+# ---------------------------------------------------------------------------
+def test_interrupt_during_bandwidth_transfer_wait():
+    sim = Simulator()
+    pipe = BandwidthResource(sim, bandwidth=100.0, name="pipe")
+    observed = {}
+
+    def mover():
+        try:
+            yield pipe.transfer(1000.0)  # nominally 10 s
+        except Interrupt as exc:
+            observed["cause"] = exc.cause
+            observed["at"] = sim.now
+            return "interrupted"
+        return "finished"
+
+    proc = sim.process(mover())
+
+    def interrupter():
+        yield sim.timeout(2.0)
+        proc.interrupt(cause="fault-injected")
+
+    sim.process(interrupter())
+    assert sim.run_until(proc) == "interrupted"
+    assert observed == {"cause": "fault-injected", "at": pytest.approx(2.0)}
+
+
+def test_pipe_still_serves_after_interrupted_waiter():
+    """The shared pipe keeps functioning for other transfers after one
+    waiter was interrupted away mid-grant."""
+    sim = Simulator()
+    pipe = BandwidthResource(sim, bandwidth=100.0, name="pipe")
+
+    def victim():
+        try:
+            yield pipe.transfer(1000.0)
+        except Interrupt:
+            return "interrupted"
+        return "finished"
+
+    proc = sim.process(victim())
+
+    def interrupter():
+        yield sim.timeout(1.0)
+        proc.interrupt()
+
+    sim.process(interrupter())
+    sim.run_until(proc)
+
+    def second():
+        yield pipe.transfer(100.0)
+        return sim.now
+
+    done_at = sim.run_until(sim.process(second()))
+    # The victim's transfer is still on the pipe (nobody cancelled it),
+    # so the second transfer shares bandwidth — it must still complete.
+    assert done_at > 1.0

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.tee",
     "repro.llm",
     "repro.core",
+    "repro.faults",
     "repro.serve",
     "repro.workloads",
     "repro.analysis",
