@@ -13,8 +13,11 @@ models (TinyLlama-1.1B, Llama-3-8B), which bound every trend.  Set
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Callable, Dict, List
+import subprocess
+import time
+from typing import Callable, Dict, List, Optional
 
 from repro import PAPER_PRESSURE, REELLM, TZLLM, strawman
 from repro.llm import LLAMA3_8B, PHI3_MINI, QWEN25_3B, TINYLLAMA, ModelSpec
@@ -32,6 +35,7 @@ __all__ = [
     "warm",
     "measure_ttft",
     "once",
+    "emit_summary",
     "WorstCasePressure",
 ]
 
@@ -110,3 +114,44 @@ def once(benchmark, func):
     re-measure Python overhead.
     """
     return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        rev = out.stdout.strip()
+        return rev if out.returncode == 0 and rev else "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def emit_summary(name: str, metrics: Dict[str, object], wall_time_s: Optional[float] = None) -> str:
+    """Write a machine-readable bench summary to ``bench_results/``.
+
+    The figure benches print human tables; CI and trend tracking want the
+    same numbers as stable JSON.  Writes
+    ``bench_results/BENCH_<name>.json`` next to the repo root (created on
+    demand) with the metrics dict, optional wall time, and the git
+    revision the run came from.  Returns the path written.
+    """
+    out_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "bench_results")
+    out_dir = os.path.abspath(out_dir)
+    os.makedirs(out_dir, exist_ok=True)
+    payload = {
+        "name": name,
+        "metrics": metrics,
+        "wall_time_s": wall_time_s,
+        "git_rev": _git_rev(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    path = os.path.join(out_dir, "BENCH_%s.json" % name)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

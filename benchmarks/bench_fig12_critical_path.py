@@ -7,11 +7,21 @@ bounds any schedule.  Paper claim: the greedy policy lands within
 (the I/O-critical worst case for the policy).
 """
 
+import time
+
 import pytest
 
 from repro.analysis import render_table
 
-from _common import PROMPT_LENGTHS, WorstCasePressure, bench_models, build_tzllm, once, warm
+from _common import (
+    PROMPT_LENGTHS,
+    WorstCasePressure,
+    bench_models,
+    build_tzllm,
+    emit_summary,
+    once,
+    warm,
+)
 
 CACHE = 0.2
 
@@ -47,7 +57,9 @@ def run_fig12():
 
 
 def test_fig12_scheduling_near_lower_bound(benchmark):
+    wall_start = time.monotonic()
     rows = once(benchmark, run_fig12)
+    wall_time = time.monotonic() - wall_start
     print()
     print(render_table(
         ["model", "prompt", "stress", "I/O (s)", "CPU (s)", "Computation (s)",
@@ -76,3 +88,26 @@ def test_fig12_scheduling_near_lower_bound(benchmark):
     stressed_cpu = [cpu for _m, _t, s, _io, cpu, _c, _tt, _lb in rows if s]
     unstressed_cpu = [cpu for _m, _t, s, _io, cpu, _c, _tt, _lb in rows if not s]
     assert sum(stressed_cpu) > sum(unstressed_cpu)
+
+    emit_summary(
+        "fig12_critical_path",
+        {
+            "rows": [
+                {
+                    "model": m,
+                    "prompt_tokens": T,
+                    "stressed": stressed,
+                    "io_path_s": io,
+                    "cpu_path_s": cpu,
+                    "computation_path_s": comp,
+                    "ttft_s": ttft,
+                    "lower_bound_s": lb,
+                    "gap": ttft / lb - 1.0,
+                }
+                for m, T, stressed, io, cpu, comp, ttft, lb in rows
+            ],
+            "mean_gap": sum(gaps) / len(gaps),
+            "max_gap": max(gaps),
+        },
+        wall_time_s=wall_time,
+    )

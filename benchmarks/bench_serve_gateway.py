@@ -10,6 +10,8 @@ user feels) while costing the preempted classes almost nothing, because
 preempted requests retry against still-cached parameters.
 """
 
+import time
+
 import pytest
 
 from dataclasses import replace
@@ -25,7 +27,7 @@ from repro.serve import (
 )
 from repro.workloads import TenantSpec, generate_multitenant_trace
 
-from _common import once
+from _common import emit_summary, once
 
 ASSISTANT = replace(TINYLLAMA, model_id="assistant-1.1b")
 SUMMARIZER = replace(TINYLLAMA, model_id="summarizer-1.1b")
@@ -104,7 +106,9 @@ def low_priority_throughput(gateway):
 
 
 def test_serve_gateway(benchmark):
+    wall_start = time.monotonic()
     results = once(benchmark, run_serve_gateway)
+    wall_time = time.monotonic() - wall_start
 
     rows = []
     for mode, (gateway, _loadgen) in results.items():
@@ -155,3 +159,22 @@ def test_serve_gateway(benchmark):
     assert p95_prio < 0.5 * p95_fifo
     # ...without giving up batch/background throughput (<= 10% loss).
     assert low_priority_throughput(prio) >= 0.9 * low_priority_throughput(fifo)
+
+    emit_summary(
+        "serve_gateway",
+        {
+            "requests": len(TRACE),
+            "duration_s": DURATION,
+            "interactive_ttft_p95_s": {"fifo": p95_fifo, "priority+preempt": p95_prio},
+            "low_priority_tokens_per_s": {
+                mode: low_priority_throughput(gw) for mode, (gw, _lg) in results.items()
+            },
+            "preemption_signals": {
+                mode: gw.preemption_signals for mode, (gw, _lg) in results.items()
+            },
+            "slo": {
+                mode: gw.accountant.to_dict() for mode, (gw, _lg) in results.items()
+            },
+        },
+        wall_time_s=wall_time,
+    )

@@ -1,23 +1,31 @@
 #!/usr/bin/env python3
 """Visualize the restoration pipeline: export a Fig. 5-style timeline.
 
-Runs one TZ-LLM inference with tracing enabled and writes
+Runs one TZ-LLM inference with tracing and metrics enabled and writes
 ``tzllm_trace.json`` — open it in chrome://tracing or https://ui.perfetto.dev
 to see the CPU row (allocation, decryption, CPU compute), the I/O engine
 row (parameter loads) and the NPU row (secure matmul jobs) overlapping,
-exactly like the paper's pipelined-restoration timelines.
+exactly like the paper's pipelined-restoration timelines.  Alongside the
+trace it prints a Prometheus-format metrics excerpt and the flight
+recorder's tail, and writes the full registry snapshot to
+``tzllm_metrics.json``.
 
 Run:  python examples/pipeline_trace.py
 """
 
+import json
+
 from repro import TINYLLAMA, TZLLM
-from repro.analysis import render_table
+from repro.analysis import critical_path, render_table
+from repro.obs import instrument
 
 OUT = "tzllm_trace.json"
+METRICS_OUT = "tzllm_metrics.json"
 
 
 def main() -> None:
     system = TZLLM(TINYLLAMA, trace=True)
+    obs = instrument(system)
     system.run_infer(8, 0)  # cold start (traced too)
     record = system.run_infer(256, 0)
     tracer = system.tracer
@@ -34,6 +42,33 @@ def main() -> None:
         title="Pipelined restoration, %s, 256-token prompt (TTFT %.2f s)"
         % (TINYLLAMA.display_name, record.ttft),
     ))
+
+    # Where the wall-clock went: merged busy time and bubbles per lane.
+    print()
+    print(critical_path(tracer).render())
+
+    # The unified registry covers every layer the request crossed.
+    print("\n--- metrics (Prometheus text, excerpt) ---")
+    text = obs.registry.render()
+    shown = 0
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        print(line)
+        shown += 1
+        if shown >= 12:
+            print("... (%d lines total)" % len(text.splitlines()))
+            break
+
+    with open(METRICS_OUT, "w") as fh:
+        json.dump(obs.registry.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("\nwrote %s — full registry snapshot" % METRICS_OUT)
+
+    # The flight recorder keeps the last events for postmortems; a clean
+    # run still logs pipeline milestones.
+    print("\n--- flight recorder tail ---")
+    print(obs.recorder.render(8))
 
     tracer.write_chrome_trace(OUT)
     print("\nwrote %s — open in chrome://tracing or ui.perfetto.dev" % OUT)

@@ -1,5 +1,6 @@
 """Measurement and reporting helpers for the benchmark harness."""
 
+from .critical_path import CriticalPathReport, LaneUsage, critical_path
 from .loc import PAPER_LOC, count_package_loc
 from .metrics import (
     LatencySummary,
@@ -13,8 +14,11 @@ from .metrics import (
 from .tables import render_bars, render_table
 
 __all__ = [
+    "CriticalPathReport",
+    "LaneUsage",
     "LatencySummary",
     "PAPER_LOC",
+    "critical_path",
     "count_package_loc",
     "geomean",
     "mean",

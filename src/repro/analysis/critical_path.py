@@ -1,0 +1,145 @@
+"""Critical-path analysis over a trace: where did the time actually go?
+
+The paper's Fig. 12 argues pipelined restoration by decomposing TTFT into
+per-stage busy time; this module generalizes that decomposition to any
+:class:`~repro.sim.Tracer` capture.  For every lane it merges the
+recorded spans into disjoint busy intervals, so overlapping work is not
+double-counted, and reports the *bubbles* — the part of the trace window
+where the lane sat idle.  The lane with the least idle time is the
+critical resource: speeding anything else up cannot move TTFT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["CriticalPathReport", "LaneUsage", "critical_path"]
+
+
+def _merge_intervals(intervals: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Union of possibly-overlapping [start, end) intervals, sorted."""
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            last_start, last_end = merged[-1]
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+@dataclass(frozen=True)
+class LaneUsage:
+    """One lane's share of the trace window."""
+
+    lane: str
+    busy: float
+    bubbles: float
+    spans: int
+
+    @property
+    def utilization(self) -> float:
+        window = self.busy + self.bubbles
+        return self.busy / window if window > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "lane": self.lane,
+            "busy": self.busy,
+            "bubbles": self.bubbles,
+            "spans": self.spans,
+            "utilization": self.utilization,
+        }
+
+
+@dataclass(frozen=True)
+class CriticalPathReport:
+    """Per-category and per-lane busy-time decomposition of a trace."""
+
+    window_start: float
+    window_end: float
+    #: summed span durations per category (overlap *is* counted here —
+    #: this answers "how much work of each kind", not "how much wall").
+    category_busy: Dict[str, float] = field(default_factory=dict)
+    #: merged-interval busy time and idle bubbles per lane.
+    lanes: List[LaneUsage] = field(default_factory=list)
+
+    @property
+    def window(self) -> float:
+        return self.window_end - self.window_start
+
+    @property
+    def critical_lane(self) -> str:
+        """The lane with the most merged busy time (ties: first by name)."""
+        if not self.lanes:
+            raise ConfigurationError("empty report has no critical lane")
+        return max(self.lanes, key=lambda u: (u.busy, u.lane)).lane
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "window_start": self.window_start,
+            "window_end": self.window_end,
+            "window": self.window,
+            "category_busy": dict(sorted(self.category_busy.items())),
+            "lanes": [u.to_dict() for u in self.lanes],
+            "critical_lane": self.critical_lane if self.lanes else None,
+        }
+
+    def render(self) -> str:
+        lines = [
+            "critical path: window %.6f s (%.6f .. %.6f)"
+            % (self.window, self.window_start, self.window_end)
+        ]
+        for cat in sorted(self.category_busy):
+            lines.append("  category %-12s busy %.6f s" % (cat, self.category_busy[cat]))
+        for usage in self.lanes:
+            lines.append(
+                "  lane %-12s busy %.6f s  bubbles %.6f s  (%.1f%% utilized, %d spans)"
+                % (usage.lane, usage.busy, usage.bubbles, usage.utilization * 100.0, usage.spans)
+            )
+        if self.lanes:
+            lines.append("  critical lane: %s" % self.critical_lane)
+        return "\n".join(lines)
+
+
+def critical_path(tracer) -> CriticalPathReport:
+    """Decompose a tracer's spans into per-category and per-lane busy time.
+
+    Accepts anything with a ``spans`` sequence of
+    :class:`~repro.sim.Span`-shaped records (so :class:`NullTracer`
+    yields an empty report rather than an error).
+    """
+    spans = list(getattr(tracer, "spans", ()))
+    if not spans:
+        return CriticalPathReport(window_start=0.0, window_end=0.0)
+    window_start = min(s.start for s in spans)
+    window_end = max(s.end for s in spans)
+    category_busy: Dict[str, float] = {}
+    by_lane: Dict[str, List[Tuple[float, float]]] = {}
+    span_counts: Dict[str, int] = {}
+    for span in spans:
+        category_busy[span.category] = category_busy.get(span.category, 0.0) + span.duration
+        by_lane.setdefault(span.lane, []).append((span.start, span.end))
+        span_counts[span.lane] = span_counts.get(span.lane, 0) + 1
+    lanes = []
+    for lane in sorted(by_lane):
+        merged = _merge_intervals(by_lane[lane])
+        busy = sum(end - start for start, end in merged)
+        window = window_end - window_start
+        lanes.append(
+            LaneUsage(
+                lane=lane,
+                busy=busy,
+                bubbles=max(0.0, window - busy),
+                spans=span_counts[lane],
+            )
+        )
+    return CriticalPathReport(
+        window_start=window_start,
+        window_end=window_end,
+        category_busy=category_busy,
+        lanes=lanes,
+    )

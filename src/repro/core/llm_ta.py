@@ -151,6 +151,10 @@ class LLMTA(TrustedApplication):
         from ..sim.trace import NULL_TRACER
 
         self.tracer = NULL_TRACER
+        #: observability attach points (repro.obs.instrument): a
+        #: MetricsRegistry and FlightRecorder threaded into each prefill.
+        self.metrics = None
+        self.recorder = None
         self.stack = stack
         self.sim = stack.sim
         self.platform: PlatformSpec = stack.spec
@@ -270,12 +274,23 @@ class LLMTA(TrustedApplication):
     # ------------------------------------------------------------------
     # the inference entry point
     # ------------------------------------------------------------------
-    def infer(self, prompt_tokens: int, output_tokens: int = 0, preempt: Optional[PreemptionGate] = None):
+    def infer(
+        self,
+        prompt_tokens: int,
+        output_tokens: int = 0,
+        preempt: Optional[PreemptionGate] = None,
+        ctx=None,
+    ):
         """Serve one inference request (generator; returns the record).
 
         ``preempt`` — an optional :class:`PreemptionGate`; when requested
         mid-decode, the request stops at the next token boundary, marks
         its record ``preempted``, and releases transient memory normally.
+
+        ``ctx`` — an optional :class:`~repro.obs.TraceContext`: the
+        request's identity from the serving gateway, threaded into the
+        prefill pipeline so its flow events link the gateway arrival to
+        the TEE-lane spans that served it.
         """
         if self.plan is None:
             raise ConfigurationError("setup() was not called")
@@ -311,10 +326,10 @@ class LLMTA(TrustedApplication):
         yield sim.timeout(self.platform.timing.kv_activation_alloc)
         record.data_setup_time = sim.now - t0
         act_bytes = self.model.activation_bytes(max(prompt_tokens, 1))
-        ctx = AddrRange(self.data_region.base_addr + act_bytes, 4096)
+        job_ctx = AddrRange(self.data_region.base_addr + act_bytes, 4096)
         self._npu_backend = TEECoDriverNPUBackend(
             self.stack.tee_npu,
-            ctx,
+            job_ctx,
             duration_quantum=self.npu_duration_quantum,
             job_timeout=self.recovery.npu_job_timeout,
             max_reissues=self.recovery.npu_max_reissues,
@@ -348,6 +363,9 @@ class LLMTA(TrustedApplication):
             config=self.pipeline_config,
             recovery=self.recovery,
             tracer=self.tracer,
+            registry=self.metrics,
+            recorder=self.recorder,
+            ctx=ctx,
         )
         try:
             record.pipeline = yield from pipeline.run()
@@ -478,6 +496,12 @@ class LLMTA(TrustedApplication):
                     except StorageError:
                         if attempt == attempts:
                             raise
+                        if self.recorder is not None:
+                            self.recorder.record(
+                                "retry", "ta.checkpoint_restore",
+                                "retrying checkpoint restore",
+                                attempt=attempt, of=attempts,
+                            )
                         yield self.sim.timeout(self.recovery.backoff(attempt))
         else:
             yield from cold_init(self.sim, timing)

@@ -130,10 +130,21 @@ class TZLLMMulti:
         except KeyError:
             raise ConfigurationError("no TA for model %r" % model_id)
 
-    def infer(self, model_id: str, prompt_tokens: int, output_tokens: int = 0, preempt=None):
-        """Generator: serve a request on the named model's TA."""
+    def infer(
+        self,
+        model_id: str,
+        prompt_tokens: int,
+        output_tokens: int = 0,
+        preempt=None,
+        ctx=None,
+    ):
+        """Generator: serve a request on the named model's TA.
+
+        ``ctx`` is an optional :class:`~repro.obs.TraceContext` for
+        cross-world flow tracing.
+        """
         record = yield from self.ta(model_id).infer(
-            prompt_tokens, output_tokens, preempt=preempt
+            prompt_tokens, output_tokens, preempt=preempt, ctx=ctx
         )
         return record
 

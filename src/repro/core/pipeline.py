@@ -117,11 +117,21 @@ class PrefillPipeline:
         config: Optional[PipelineConfig] = None,
         recovery: Optional[RecoveryPolicy] = None,
         tracer=NULL_TRACER,
+        registry=None,
+        recorder=None,
+        ctx=None,
     ):
         if cached_groups < 0 or cached_groups > len(plan.groups):
             raise ConfigurationError("cached_groups out of range")
         self.recovery = recovery or RecoveryPolicy()
         self.tracer = tracer
+        #: observability: a repro.obs MetricsRegistry for phase busy time,
+        #: a FlightRecorder for retry provenance, and the request's
+        #: TraceContext for cross-lane flow events (all optional).
+        self.registry = registry
+        self.recorder = recorder
+        self.ctx = ctx
+        self._flow_npu_pending = ctx is not None
         self.sim = sim
         self.platform = platform
         self.graph = graph
@@ -155,6 +165,15 @@ class PrefillPipeline:
         release memory without a zombie worker re-ballooning it.
         """
         self.metrics.started_at = self.sim.now
+        if self.ctx is not None:
+            # Flow step: the request has crossed from the gateway into
+            # the TEE prefill path.
+            self.tracer.flow("t", self.ctx.flow_id, self.ctx.flow_name, lane="CPU")
+        if self.recorder is not None:
+            self.recorder.record(
+                "pipeline", "prefill.start", groups=len(self.plan.groups),
+                cached=self.cached_groups,
+            )
         if not self.config.pipelined:
             yield from self._run_sequential()
         else:
@@ -179,7 +198,37 @@ class PrefillPipeline:
                 raise failure
         self.metrics.finished_at = self.sim.now
         self.metrics.ttft = self.sim.now - self.metrics.started_at
+        self._export_phase_metrics()
+        if self.recorder is not None:
+            self.recorder.record(
+                "pipeline", "prefill.done", ttft="%.6f" % self.metrics.ttft
+            )
         return self.metrics
+
+    def _export_phase_metrics(self) -> None:
+        """Publish per-phase busy time and recovery counts to the registry."""
+        registry = self.registry
+        if registry is None:
+            return
+        busy = registry.counter(
+            "pipeline_phase_busy_seconds_total", "Busy seconds per pipeline phase"
+        )
+        m = self.metrics
+        busy.inc(m.alloc_time, phase="alloc")
+        busy.inc(m.io_time, phase="load")
+        busy.inc(m.decrypt_time, phase="decrypt")
+        busy.inc(m.cpu_compute_time + m.npu_compute_time, phase="compute")
+        registry.counter(
+            "pipeline_loaded_bytes_total", "Model bytes restored by prefills"
+        ).inc(m.loaded_bytes)
+        if m.io_retries:
+            registry.counter(
+                "pipeline_io_retries_total", "Group loads retried after I/O errors"
+            ).inc(m.io_retries)
+        if m.refetches:
+            registry.counter(
+                "pipeline_refetches_total", "Corrupted-chunk re-fetches"
+            ).inc(m.refetches)
 
     # ------------------------------------------------------------------
     # sequential (non-pipelined) mode: the strawman's restore-then-compute
@@ -221,8 +270,8 @@ class PrefillPipeline:
                     return
                 group = self.plan.groups[g]
                 t0 = self.sim.now
-                yield from self._load_with_retry(group)
-                self.tracer.record("load", "load g%d" % g, t0, lane="I/O engine")
+                with self.tracer.span("load", "load g%d" % g, lane="I/O engine"):
+                    yield from self._load_with_retry(group)
                 self.metrics.io_time += self.sim.now - t0
                 self.metrics.loaded_bytes += group.nominal_bytes
                 self._load_done[g].succeed()
@@ -249,6 +298,11 @@ class PrefillPipeline:
                 if attempt == attempts:
                     raise
                 self.metrics.io_retries += 1
+                if self.recorder is not None:
+                    self.recorder.record(
+                        "retry", "pipeline.load", "retrying group load",
+                        attempt=attempt, of=attempts,
+                    )
                 yield self.sim.timeout(self.recovery.backoff(attempt))
 
     def _decrypt_with_recovery(self, group):
@@ -266,20 +320,26 @@ class PrefillPipeline:
         last: Optional[BaseException] = None
         for attempt in range(1, self.recovery.decrypt_refetch_attempts + 1):
             self.metrics.refetches += 1
+            if self.recorder is not None:
+                self.recorder.record(
+                    "retry", "pipeline.refetch", "re-fetching corrupted group",
+                    attempt=attempt,
+                )
             yield self.sim.timeout(self.recovery.backoff(attempt))
-            t0 = self.sim.now
-            try:
-                yield from self.backend.refetch_group_data(group)
-            except (IagoViolation, IntegrityError, StorageError) as exc:
-                last = exc
-                continue
-            # The re-fetched ciphertext decrypts on the TA CPU again.
-            duration = self.backend.decrypt_duration(
-                group.nominal_bytes, self.config.decrypt_threads
-            )
-            if duration:
-                yield self.sim.timeout(duration)
-            self.tracer.record("decrypt", "refetch", t0, lane="CPU")
+            # The with block records the span even when the re-fetch
+            # itself fails, so failed attempts stay visible in the trace.
+            with self.tracer.span("decrypt", "refetch", lane="CPU"):
+                try:
+                    yield from self.backend.refetch_group_data(group)
+                except (IagoViolation, IntegrityError, StorageError) as exc:
+                    last = exc
+                    continue
+                # The re-fetched ciphertext decrypts on the TA CPU again.
+                duration = self.backend.decrypt_duration(
+                    group.nominal_bytes, self.config.decrypt_threads
+                )
+                if duration:
+                    yield self.sim.timeout(duration)
             return
         raise last
 
@@ -324,8 +384,14 @@ class PrefillPipeline:
                 if self.npu_backend is None:
                     raise ConfigurationError("graph has NPU ops but no NPU backend")
                 t0 = self.sim.now
-                yield from self.npu_backend.run(op, duration)
-                self.tracer.record("compute", op.name, t0, lane="NPU")
+                if self._flow_npu_pending:
+                    # Flow step: first secure NPU job of this request.
+                    self._flow_npu_pending = False
+                    self.tracer.flow(
+                        "t", self.ctx.flow_id, self.ctx.flow_name, lane="NPU"
+                    )
+                with self.tracer.span("compute", op.name, lane="NPU"):
+                    yield from self.npu_backend.run(op, duration)
                 self.metrics.npu_compute_time += self.sim.now - t0
 
     # ------------------------------------------------------------------
@@ -374,9 +440,8 @@ class PrefillPipeline:
     def _do_compute(self, _payload):
         op, duration, done = self._pending_compute
         self._pending_compute = None
-        t0 = self.sim.now
-        yield self.sim.timeout(duration)
-        self.tracer.record("compute", op.name, t0, lane="CPU")
+        with self.tracer.span("compute", op.name, lane="CPU"):
+            yield self.sim.timeout(duration)
         done.succeed()
 
     def _maybe_preempt(self):
@@ -394,9 +459,8 @@ class PrefillPipeline:
             if self._failure is not None:
                 return  # aborted mid-task: stop ballooning memory
             step_target = min(target, self.backend.allocated + self.config.slice_bytes)
-            s0 = self.sim.now
-            yield from self.backend.alloc_to(step_target, self.config.alloc_threads)
-            self.tracer.record("alloc", "alloc g%d" % g, s0, lane="CPU")
+            with self.tracer.span("alloc", "alloc g%d" % g, lane="CPU"):
+                yield from self.backend.alloc_to(step_target, self.config.alloc_threads)
             c0 = self.sim.now
             yield from self._maybe_preempt()
             compute_stolen += self.sim.now - c0
@@ -419,10 +483,9 @@ class PrefillPipeline:
             if self._failure is not None:
                 return  # aborted mid-task
             step = remaining if slice_time <= 0 else min(slice_time, remaining)
-            s0 = self.sim.now
             if step > 0:
-                yield self.sim.timeout(step)
-                self.tracer.record("decrypt", "decrypt g%d" % g, s0, lane="CPU")
+                with self.tracer.span("decrypt", "decrypt g%d" % g, lane="CPU"):
+                    yield self.sim.timeout(step)
             remaining -= step
             if remaining > 0:
                 c0 = self.sim.now

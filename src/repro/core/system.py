@@ -152,11 +152,15 @@ class TZLLM(_SystemBase):
             self.ta.tracer = self.tracer
         self.stack.board.monitor.register("tee.llm.infer", self.ta.infer)
 
-    def infer(self, prompt_tokens: int, output_tokens: int = 0, preempt=None):
-        """The client application's request path (generator)."""
+    def infer(self, prompt_tokens: int, output_tokens: int = 0, preempt=None, ctx=None):
+        """The client application's request path (generator).
+
+        ``ctx`` is an optional :class:`~repro.obs.TraceContext` forwarded
+        across the SMC into the TA for cross-world flow tracing.
+        """
         yield self.sim.timeout(self.stack.spec.timing.ta_invoke_latency)
         record = yield from self.stack.tz_driver.invoke_ta(
-            "tee.llm.infer", prompt_tokens, output_tokens, preempt=preempt
+            "tee.llm.infer", prompt_tokens, output_tokens, preempt=preempt, ctx=ctx
         )
         return record
 

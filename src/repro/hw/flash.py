@@ -37,6 +37,9 @@ class Flash:
         self.fault_injector = None
         self.read_errors = 0
         self.bit_flips = 0
+        #: observability attach points (repro.obs.instrument).
+        self.metrics = None
+        self.recorder = None
 
     # ------------------------------------------------------------------
     # instantaneous management (provisioning, not simulated I/O)
@@ -88,11 +91,22 @@ class Flash:
                 "read [%d, %d) beyond blob %r of %d bytes" % (offset, offset + size, name, len(blob))
             )
         self.reads += 1
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("flash_reads_total", "Flash read requests").inc()
+            metrics.counter("flash_read_bytes_total", "Bytes read from flash").inc(size)
         injector = self.fault_injector
         if injector is not None and injector.fires("flash.read_error"):
             # The controller aborts after request setup: the latency is
             # paid, the transfer never happens.
             self.read_errors += 1
+            if metrics is not None:
+                metrics.counter("flash_read_errors_total", "Failed flash reads").inc()
+            if self.recorder is not None:
+                self.recorder.record(
+                    "fault", "flash.read_error", "injected read error",
+                    blob=name, offset=offset,
+                )
             yield self.sim.timeout(self.spec.read_latency)
             raise StorageError(
                 "injected flash read error on %r at offset %d" % (name, offset)
@@ -104,6 +118,12 @@ class Flash:
             flipped = injector.corrupt("flash.bit_flip", data)
             if flipped is not data:
                 self.bit_flips += 1
+                if metrics is not None:
+                    metrics.counter("flash_bit_flips_total", "Silently corrupted reads").inc()
+                if self.recorder is not None:
+                    self.recorder.record(
+                        "fault", "flash.bit_flip", "corrupted read", blob=name
+                    )
                 data = flipped
         return data
 

@@ -31,6 +31,9 @@ class SecureMonitor:
         self._handlers: Dict[str, Callable[..., Any]] = {}
         self.smc_count = 0
         self.smc_time = 0.0
+        #: observability attach points (repro.obs.instrument).
+        self.metrics = None
+        self.recorder = None
 
     def register(self, func: str, handler: Callable[..., Any]) -> None:
         """Install the handler for SMC function id ``func``."""
@@ -53,8 +56,18 @@ class SecureMonitor:
             raise ConfigurationError("no smc handler for %r" % func)
         self.smc_count += 1
         self.smc_time += self.smc_latency
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("smc_calls_total", "SMCs routed by the EL3 monitor").inc(
+                func=func
+            )
+        start = self.sim.now
         yield self.sim.timeout(self.smc_latency)
         result = handler(*args, **kwargs)
         if isgenerator(result):
             result = yield self.sim.process(result, name="smc:%s" % func)
+        if metrics is not None:
+            metrics.histogram(
+                "smc_latency_seconds", "End-to-end SMC latency (switch + handler)"
+            ).observe(self.sim.now - start, func=func)
         return result

@@ -57,6 +57,17 @@ class TZASC:
         self._regions: Dict[int, TZASCRegion] = {}
         #: number of programming operations (for overhead accounting).
         self.config_ops = 0
+        #: observability attach points (repro.obs.instrument).
+        self.metrics = None
+        self.recorder = None
+
+    def _note_denial(self, path: str, detail: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "tzasc_denials_total", "Memory transactions denied by the TZASC"
+            ).inc(path=path)
+        if self.recorder is not None:
+            self.recorder.record("security", "tzasc.%s" % path, detail)
 
     # ------------------------------------------------------------------
     # programming interface (secure world only)
@@ -156,17 +167,22 @@ class TZASC:
             return
         for region in self._regions.values():
             if region.range.overlaps(rng):
-                raise AccessDenied(
-                    "non-secure CPU access to secure %r (slot %d)"
-                    % (region.range, region.slot)
+                detail = "non-secure CPU access to secure %r (slot %d)" % (
+                    region.range,
+                    region.slot,
                 )
+                self._note_denial("cpu", detail)
+                raise AccessDenied(detail)
 
     def check_dma(self, rng: AddrRange, device: str) -> None:
         """Filter a device DMA transaction covering ``rng``."""
         for region in self._regions.values():
             if region.range.overlaps(rng):
                 if device not in region.allowed_devices:
-                    raise DMAViolation(
-                        "device %r DMA to secure %r (slot %d) denied"
-                        % (device, region.range, region.slot)
+                    detail = "device %r DMA to secure %r (slot %d) denied" % (
+                        device,
+                        region.range,
+                        region.slot,
                     )
+                    self._note_denial("dma", detail)
+                    raise DMAViolation(detail)

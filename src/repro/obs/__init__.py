@@ -1,0 +1,36 @@
+"""repro.obs — unified observability for the simulated TZ-LLM stack.
+
+Three cooperating pieces, one import:
+
+* :class:`MetricsRegistry` with labeled :class:`Counter` /
+  :class:`Gauge` / :class:`Histogram` instruments, Prometheus text
+  exposition (:meth:`MetricsRegistry.render`) and a JSON export —
+  the single namespace every subsystem reports into.
+* :class:`TraceContext` — per-request identity threaded from the
+  serving gateway across the REE/TEE boundary so Chrome flow events
+  link a gateway arrival to the TEE-lane spans that served it.
+* :class:`FlightRecorder` — a bounded ring buffer of typed events
+  (faults, retries, watchdog fires, breaker flips) snapshotted as a
+  postmortem when a request terminally fails.
+
+:func:`instrument` wires all of it into a built system in one call,
+mirroring how :class:`~repro.faults.injector.FaultInjector.arm` attaches
+fault sites.
+"""
+
+from .attach import Observability, instrument
+from .context import TraceContext
+from .recorder import FlightEvent, FlightRecorder
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceContext",
+    "FlightEvent",
+    "FlightRecorder",
+    "Observability",
+    "instrument",
+]

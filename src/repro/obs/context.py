@@ -1,0 +1,42 @@
+"""Per-request trace context carried across the REE/TEE boundary.
+
+A :class:`TraceContext` is minted by the serving gateway when a request
+is admitted, rides on the :class:`~repro.serve.request.ServeRequest`,
+and is threaded through ``TZLLM``/``TZLLMMulti`` into the TA and the
+prefill pipeline.  Each hop emits a Chrome *flow event* (``ph: s/t/f``)
+bound to ``flow_id`` so Perfetto draws an arrow from the gateway span to
+the TEE-lane compute spans that served it.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["TraceContext"]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity of one request as it crosses lanes and worlds.
+
+    ``request_id`` identifies the request at the gateway; ``span_id``
+    distinguishes retries/attempts of the same request so a retried
+    flow does not alias its first attempt in the trace viewer.
+    """
+
+    request_id: int
+    span_id: int = 0
+    tenant: Optional[str] = None
+
+    @property
+    def flow_id(self):
+        """Stable integer id binding this request's flow events."""
+        return self.request_id * 1000 + self.span_id
+
+    @property
+    def flow_name(self):
+        """Display name shared by every event in the flow."""
+        return "request r%d" % self.request_id
+
+    def child(self):
+        """Context for the next attempt of the same request."""
+        return TraceContext(self.request_id, self.span_id + 1, self.tenant)

@@ -1,0 +1,100 @@
+"""Bounded flight recorder for postmortem provenance.
+
+Every layer appends typed, timestamped events cheaply (one deque append,
+no formatting until rendered).  The buffer is a ring: when full, the
+oldest events fall off, bounding memory for arbitrarily long runs.  On a
+terminal failure the serving gateway snapshots the tail as the request's
+postmortem, so "what led up to this?" is answerable after the fact —
+which faults fired where, which retries ran, which watchdogs barked.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["FlightEvent", "FlightRecorder"]
+
+
+@dataclass(frozen=True)
+class FlightEvent:
+    """One recorded event: what happened, where, and when (sim time)."""
+
+    at: float
+    category: str
+    site: str
+    message: str = ""
+    data: Tuple = ()
+
+    def to_dict(self):
+        """JSON-stable form of the event."""
+        return {
+            "at": self.at,
+            "category": self.category,
+            "site": self.site,
+            "message": self.message,
+            "data": dict(self.data),
+        }
+
+    def render(self):
+        """One human-readable line, suitable for a postmortem dump."""
+        extra = " ".join("%s=%s" % (k, v) for k, v in self.data)
+        parts = ["[%12.6f]" % self.at, self.category, self.site]
+        if self.message:
+            parts.append(self.message)
+        if extra:
+            parts.append(extra)
+        return " ".join(parts)
+
+
+class FlightRecorder:
+    """Ring buffer of :class:`FlightEvent`, stamped with sim time."""
+
+    def __init__(self, sim, capacity=512):
+        self.sim = sim
+        self.capacity = capacity
+        self._events = deque(maxlen=capacity)
+        self.total = 0
+
+    @property
+    def dropped(self):
+        """Events that have fallen off the ring."""
+        return self.total - len(self._events)
+
+    @property
+    def events(self):
+        """Current buffer contents, oldest first."""
+        return list(self._events)
+
+    def record(self, category, site, message="", **data):
+        """Append one event stamped with the current sim time."""
+        self.total += 1
+        event = FlightEvent(
+            at=self.sim.now,
+            category=category,
+            site=site,
+            message=message,
+            data=tuple(sorted((k, str(v)) for k, v in data.items())),
+        )
+        self._events.append(event)
+        return event
+
+    def tail(self, n=32):
+        """The last ``n`` events, oldest first."""
+        if n <= 0:
+            return []
+        return list(self._events)[-n:]
+
+    def render(self, n=None):
+        """Human-readable dump of the last ``n`` events (all if None)."""
+        events = self.events if n is None else self.tail(n)
+        lines = ["flight recorder: %d events (%d dropped)" % (self.total, self.dropped)]
+        lines.extend(e.render() for e in events)
+        return "\n".join(lines)
+
+    def to_dict(self):
+        """JSON-stable export of the buffer and its counters."""
+        return {
+            "total": self.total,
+            "dropped": self.dropped,
+            "events": [e.to_dict() for e in self._events],
+        }

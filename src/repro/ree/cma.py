@@ -89,6 +89,9 @@ class CMARegion:
         self.migration_retry_backoff = 250e-6
         self.migration_failures = 0
         self.migration_retries = 0
+        #: observability attach points (repro.obs.instrument).
+        self.metrics = None
+        self.recorder = None
         buddy.attach_cma(self)
 
     # ------------------------------------------------------------------
@@ -146,6 +149,11 @@ class CMARegion:
                 "run [%d,%d) outside CMA region [%d,%d)"
                 % (start_frame, start_frame + n_frames, self.start_frame, self.end_frame)
             )
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter(
+                "cma_allocations_total", "Contiguous runs carved from CMA regions"
+            ).inc(region=self.name)
         migrated_bytes = 0
         for frame in range(start_frame, start_frame + n_frames):
             state = self.db.state(frame)
@@ -165,6 +173,16 @@ class CMARegion:
                     if attempt >= self.migration_retry_attempts:
                         raise
                     self.migration_retries += 1
+                    if metrics is not None:
+                        metrics.counter(
+                            "cma_migration_retries_total",
+                            "Migration retries after transient pins",
+                        ).inc(region=self.name)
+                    if self.recorder is not None:
+                        self.recorder.record(
+                            "retry", "cma.migration_fail",
+                            "retrying pinned frame", frame=frame, attempt=attempt,
+                        )
                     yield self.sim.timeout(
                         self.migration_retry_backoff * (2 ** (attempt - 1))
                     )
@@ -176,6 +194,13 @@ class CMARegion:
                 MigrationRecord(start, self.sim.now, migrated_bytes, threads)
             )
             self.total_migrated_bytes += migrated_bytes
+            if metrics is not None:
+                metrics.counter(
+                    "cma_pages_migrated_total", "Movable granules migrated out"
+                ).inc(migrated_bytes // self.db.granule, region=self.name)
+                metrics.counter(
+                    "cma_migrated_bytes_total", "Bytes copied by CMA migration"
+                ).inc(migrated_bytes, region=self.name)
         # Fast-path claim cost for the whole run.
         yield self.sim.timeout(self.buddy.alloc_seconds(n_frames * self.db.granule, self.spec))
         frames = list(range(start_frame, start_frame + n_frames))
@@ -192,6 +217,11 @@ class CMARegion:
             "cma.migration_fail"
         ):
             self.migration_failures += 1
+            if self.recorder is not None:
+                self.recorder.record(
+                    "fault", "cma.migration_fail", "frame transiently pinned",
+                    frame=frame, region=self.name,
+                )
             raise MigrationError(
                 "frame %d transiently pinned during migration out of %s"
                 % (frame, self.name)

@@ -40,6 +40,9 @@ class TZDriver:
         self.alloc_result_hook: Optional[Callable[[int], int]] = None
         self.cma_alloc_calls = 0
         self.cma_release_calls = 0
+        #: observability attach points (repro.obs.instrument).
+        self.metrics = None
+        self.recorder = None
         #: everything the REE *observes* about secure-memory scaling:
         #: (region, size) per allocation — the §6 size side channel.
         self.alloc_observations: List[Tuple[str, int]] = []
@@ -67,6 +70,10 @@ class TZDriver:
         )
         self._allocs.setdefault(region_name, []).append(alloc)
         self.cma_alloc_calls += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "tz_cma_alloc_calls_total", "CMA balloon extends handled for the TEE"
+            ).inc(region=region_name)
         self.alloc_observations.append((region_name, n_bytes))
         addr = db.frame_addr(min(alloc.frames))
         if self.alloc_result_hook is not None:
@@ -81,6 +88,10 @@ class TZDriver:
         remaining = n_bytes // db.granule
         allocs = self._allocs.get(region_name, [])
         self.cma_release_calls += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "tz_cma_release_calls_total", "CMA balloon shrinks handled for the TEE"
+            ).inc(region=region_name)
         while remaining > 0:
             if not allocs:
                 raise MemoryError_("TEE released more CMA memory than allocated")
@@ -116,6 +127,10 @@ class TZDriver:
         """
         data = yield from self.kernel.fs.read(path, offset, size, nominal=nominal)
         self.kernel.board.memory.cpu_write(phys_addr, data, World.NONSECURE)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "tz_delegated_read_bytes_total", "Model bytes read on behalf of the TEE"
+            ).inc(len(data), path="direct")
         return len(data)
 
     def delegated_read_bounce(self, path: str, offset: int, size: int, nominal: float = None):
@@ -132,4 +147,8 @@ class TZDriver:
         data = yield from self.kernel.fs.read(path, offset, size, nominal=nominal)
         charge = size if nominal is None else nominal
         yield self.sim.timeout(charge / self.kernel.spec.memory.bus_bandwidth)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "tz_delegated_read_bytes_total", "Model bytes read on behalf of the TEE"
+            ).inc(len(data), path="bounce")
         return data

@@ -73,6 +73,10 @@ class CircuitBreaker:
         self.probes = 0
         #: (sim_time, new_state) per transition, for tests and debugging.
         self.transitions: List[Tuple[float, str]] = []
+        #: observability attach points (set by the gateway / instrument()).
+        self.lane: str = ""
+        self.metrics = None
+        self.recorder = None
 
     # ------------------------------------------------------------------
     def allow(self) -> bool:
@@ -123,3 +127,12 @@ class CircuitBreaker:
     def _transition(self, state: str) -> None:
         self.state = state
         self.transitions.append((self.sim.now, state))
+        if self.metrics is not None:
+            self.metrics.counter(
+                "serve_breaker_transitions_total",
+                "Circuit-breaker state transitions by lane and new state.",
+            ).inc(lane=self.lane, state=state)
+        if self.recorder is not None:
+            self.recorder.record(
+                "serve", "breaker.transition", state, lane=self.lane
+            )

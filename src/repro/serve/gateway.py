@@ -32,6 +32,7 @@ from ..core.llm_ta import PreemptionGate
 from ..core.multi import TZLLMMulti
 from ..core.system import TZLLM
 from ..errors import ConfigurationError
+from ..obs import TraceContext
 from ..sim.trace import NULL_TRACER
 from ..workloads.traces import TenantRequest
 from .admission import AdmissionController, ServiceTimePredictor
@@ -60,6 +61,9 @@ class GatewayConfig:
     #: how long an open lane cools down before probing.
     breaker_threshold: int = 3
     breaker_cooldown: float = 5.0
+    #: flight-recorder events attached to a terminally failed request as
+    #: its postmortem (repro.obs).
+    postmortem_events: int = 32
 
     def __post_init__(self):
         if self.scheduling not in ("priority", "fifo"):
@@ -73,6 +77,8 @@ class GatewayConfig:
             raise ConfigurationError("breaker_threshold must be at least 1")
         if self.breaker_cooldown <= 0:
             raise ConfigurationError("breaker_cooldown must be positive")
+        if self.postmortem_events < 1:
+            raise ConfigurationError("postmortem_events must be at least 1")
 
 
 class _Lane:
@@ -99,26 +105,43 @@ class ServeGateway:
         system: Union[TZLLM, TZLLMMulti],
         config: Optional[GatewayConfig] = None,
         tracer=None,
+        observability=None,
     ):
         self.system = system
         self.sim = system.sim
         self.config = config or GatewayConfig()
         self.tracer = tracer if tracer is not None else (getattr(system, "tracer", None) or NULL_TRACER)
+        #: the repro.obs bundle, if the system was instrument()-ed (or one
+        #: is passed explicitly): serving counters land on its registry
+        #: and terminal failures snapshot its flight recorder.
+        self.observability = (
+            observability
+            if observability is not None
+            else getattr(system, "observability", None)
+        )
+        if self.observability is not None:
+            self.registry = self.observability.registry
+            self.recorder = self.observability.recorder
+        else:
+            from ..obs import MetricsRegistry
+
+            self.registry = MetricsRegistry()
+            self.recorder = None
         if isinstance(system, TZLLMMulti):
             model_ids = list(system.tas)
         else:
             model_ids = [system.model.model_id]
-        self.lanes: Dict[str, _Lane] = {
-            m: _Lane(
-                m,
-                CircuitBreaker(
-                    self.sim,
-                    failure_threshold=self.config.breaker_threshold,
-                    cooldown=self.config.breaker_cooldown,
-                ),
+        self.lanes: Dict[str, _Lane] = {}
+        for m in model_ids:
+            breaker = CircuitBreaker(
+                self.sim,
+                failure_threshold=self.config.breaker_threshold,
+                cooldown=self.config.breaker_cooldown,
             )
-            for m in model_ids
-        }
+            breaker.lane = m
+            breaker.metrics = self.registry
+            breaker.recorder = self.recorder
+            self.lanes[m] = _Lane(m, breaker)
         self.predictor = ServiceTimePredictor(alpha=self.config.predictor_alpha)
         self.admission = AdmissionController(
             model_ids,
@@ -126,7 +149,9 @@ class ServeGateway:
             predictor=self.predictor,
             shedding=self.config.shedding,
         )
-        self.accountant = SLOAccountant(self.sim, self.config.policies, tracer=self.tracer)
+        self.accountant = SLOAccountant(
+            self.sim, self.config.policies, tracer=self.tracer, registry=self.registry
+        )
         self._request_ids = itertools.count(1)
         #: deterministic request log, one line per lifecycle transition.
         self.log: List[str] = []
@@ -175,6 +200,7 @@ class ServeGateway:
             deadline=None if policy.ttft_slo is None else now + policy.ttft_slo,
             completion=self.sim.event(),
         )
+        request.trace = TraceContext(request.request_id, tenant=tenant)
         try:
             if self.lanes[model_id].breaker.state == "open" and not self.lanes[model_id].breaker.allow():
                 request.state = "rejected"
@@ -198,7 +224,14 @@ class ServeGateway:
         self.log.append(
             request.log_line("admit", now, "depth=%d" % self.admission.depth(model_id, cls))
         )
+        self.accountant.note_admitted(cls)
         self.accountant.note_queue_depth(cls, self.admission.depth(model_id, cls))
+        # Flow start: the arrival instant, inside the request's eventual
+        # gateway queue span — the other legs are emitted by the prefill
+        # pipeline (TEE lanes) and at completion.
+        self.tracer.flow(
+            "s", request.trace.flow_id, request.trace.flow_name, lane="gateway"
+        )
         self._maybe_preempt_for(request)
         self._maybe_dispatch(model_id)
         return request
@@ -305,6 +338,11 @@ class ServeGateway:
         if request.dispatched_at is None:
             request.dispatched_at = now
         self.log.append(request.log_line("dispatch", now, "attempt=%d" % request.attempts))
+        if self.recorder is not None:
+            self.recorder.record(
+                "serve", "gateway.dispatch", request_id=request.request_id,
+                model=lane.model_id, attempt=request.attempts,
+            )
         if request.attempts == 1:
             self.tracer.record(
                 "gateway", "queue r%d" % request.request_id, request.arrived_at, lane="gateway"
@@ -351,6 +389,11 @@ class ServeGateway:
             request.state = "done"
             request.first_token_at = record.started_at + record.ttft
             request.finished_at = self.sim.now
+            if request.trace is not None:
+                # Flow finish: bound to the end of the serve span.
+                self.tracer.flow(
+                    "f", request.trace.flow_id, request.trace.flow_name, lane="gateway"
+                )
             self.predictor.observe(request.model_id, ttft=record.ttft, service_time=elapsed)
             self.accountant.observe(request)
             self.completed.append(request)
@@ -392,6 +435,12 @@ class ServeGateway:
             request.state = "queued"
             self.admission.requeue_front(request)
             self.accountant.note_retry(request.priority)
+            if self.recorder is not None:
+                self.recorder.record(
+                    "retry", "gateway.requeue", "attempt died on retryable fault",
+                    request_id=request.request_id, error=kind,
+                    retries=request.failure_count,
+                )
             self.accountant.note_queue_depth(
                 request.priority, self.admission.depth(lane.model_id, request.priority)
             )
@@ -405,6 +454,16 @@ class ServeGateway:
             request.failed_at = now
             self.failed.append(request)
             self.accountant.note_failed(request.priority)
+            if self.recorder is not None:
+                # Postmortem provenance: snapshot the flight recorder's
+                # tail onto the request before anything else overwrites
+                # the ring — the injected faults and every retry attempt
+                # that led here are in these events.
+                self.recorder.record(
+                    "serve", "gateway.failed", "retries exhausted or fatal fault",
+                    request_id=request.request_id, error=kind, klass=classification,
+                )
+                request.postmortem = self.recorder.tail(self.config.postmortem_events)
             self.log.append(
                 request.log_line("fail", now, "error=%s class=%s" % (kind, classification))
             )
@@ -415,11 +474,18 @@ class ServeGateway:
         """Route the CA→TA invocation to the TA hosting the model."""
         if isinstance(self.system, TZLLMMulti):
             record = yield from self.system.infer(
-                request.model_id, request.prompt_tokens, request.output_tokens, preempt=gate
+                request.model_id,
+                request.prompt_tokens,
+                request.output_tokens,
+                preempt=gate,
+                ctx=request.trace,
             )
         else:
             record = yield from self.system.infer(
-                request.prompt_tokens, request.output_tokens, preempt=gate
+                request.prompt_tokens,
+                request.output_tokens,
+                preempt=gate,
+                ctx=request.trace,
             )
         return record
 

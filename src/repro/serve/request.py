@@ -48,6 +48,11 @@ class ServeRequest:
     failed_at: Optional[float] = None
     #: triggers (with the request as value) when the request completes.
     completion: Optional[Event] = None
+    #: cross-world trace context (set by the gateway at admission).
+    trace: Optional[object] = None
+    #: flight-recorder tail attached when the request ends failed (a
+    #: tuple of :class:`~repro.obs.FlightEvent`), None otherwise.
+    postmortem: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     @property

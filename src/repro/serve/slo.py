@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..analysis.metrics import LatencySummary
 from ..errors import ConfigurationError
+from ..obs import MetricsRegistry
 from ..sim.trace import NULL_TRACER
 from .classes import ClassPolicy, PriorityClass
 from .request import ServeRequest
@@ -88,25 +89,80 @@ class GaugeSeries:
 
 
 class _ClassStats:
-    """Mutable per-class counters (internal to the accountant)."""
+    """Per-class view over the accountant's metric registry.
 
-    def __init__(self, cls: PriorityClass):
+    Latency histograms keep raw values locally (percentile summaries need
+    them); every scalar counter reads through to labeled instruments on
+    the shared :class:`~repro.obs.MetricsRegistry`, so the same numbers
+    appear in ``accountant.to_dict()`` and in the registry's Prometheus
+    export without double bookkeeping.
+    """
+
+    def __init__(self, cls: PriorityClass, registry: MetricsRegistry):
         self.cls = cls
+        self._registry = registry
+        self._label = cls.label
         self.ttft = LatencyHistogram("%s:ttft" % cls.label)
         self.tbt = LatencyHistogram("%s:tbt" % cls.label)
         self.e2e = LatencyHistogram("%s:e2e" % cls.label)
-        self.completed = 0
-        self.tokens_out = 0
-        self.preemptions = 0
-        self.rejected: Dict[str, int] = {}
-        self.slo_attained = 0
-        self.slo_violated = 0
-        #: failure-provenance lane (repro.faults): per-exception-type
-        #: counts of failed attempts, gateway retries, and requests that
-        #: ended in the ``failed`` state.
-        self.failures: Dict[str, int] = {}
-        self.retries = 0
-        self.failed = 0
+
+    def _value(self, name: str) -> int:
+        counter = self._registry.counter(name)
+        return int(counter.value(**{"class": self._label}))
+
+    def _by_label(self, name: str, label: str) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for key, value in self._registry.counter(name).samples():
+            labels = dict(key)
+            if labels.get("class") == self._label:
+                out[labels[label]] = int(value)
+        return out
+
+    @property
+    def completed(self) -> int:
+        return self._value("serve_completed_total")
+
+    @property
+    def tokens_out(self) -> int:
+        return self._value("serve_tokens_out_total")
+
+    @property
+    def preemptions(self) -> int:
+        return self._value("serve_preemptions_total")
+
+    @property
+    def rejected(self) -> Dict[str, int]:
+        return self._by_label("serve_rejected_total", "reason")
+
+    @property
+    def slo_attained(self) -> int:
+        return int(
+            self._registry.counter("serve_slo_total").value(
+                **{"class": self._label, "outcome": "attained"}
+            )
+        )
+
+    @property
+    def slo_violated(self) -> int:
+        return int(
+            self._registry.counter("serve_slo_total").value(
+                **{"class": self._label, "outcome": "violated"}
+            )
+        )
+
+    @property
+    def failures(self) -> Dict[str, int]:
+        """Per-exception-type counts of failed attempts (repro.faults)."""
+        return self._by_label("serve_failures_total", "error")
+
+    @property
+    def retries(self) -> int:
+        return self._value("serve_retries_total")
+
+    @property
+    def failed(self) -> int:
+        """Requests that ended in the ``failed`` state."""
+        return self._value("serve_failed_total")
 
 
 class SLOAccountant:
@@ -117,12 +173,21 @@ class SLOAccountant:
     lands in the same trace file as the prefill pipeline's spans.
     """
 
-    def __init__(self, sim, policies: Dict[PriorityClass, ClassPolicy], tracer=None):
+    def __init__(
+        self,
+        sim,
+        policies: Dict[PriorityClass, ClassPolicy],
+        tracer=None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
         self.sim = sim
         self.policies = policies
         self.tracer = tracer or NULL_TRACER
+        #: the shared metrics namespace; pass the system-wide registry to
+        #: land serving counters next to flash/cma/smc/npu instruments.
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.classes: Dict[PriorityClass, _ClassStats] = {
-            cls: _ClassStats(cls) for cls in PriorityClass
+            cls: _ClassStats(cls, self.registry) for cls in PriorityClass
         }
         self.queue_depth: Dict[PriorityClass, GaugeSeries] = {
             cls: GaugeSeries("queue:%s" % cls.label) for cls in PriorityClass
@@ -138,30 +203,47 @@ class SLOAccountant:
     # ------------------------------------------------------------------
     def note_queue_depth(self, cls: PriorityClass, depth: int) -> None:
         self.queue_depth[cls].sample(self.sim.now, depth)
+        self.registry.gauge("serve_queue_depth", "Requests queued per class").set(
+            depth, **{"class": cls.label}
+        )
         self.tracer.counter("queue:%s" % cls.label, depth)
 
+    def note_admitted(self, cls: PriorityClass) -> None:
+        """A request passed admission control into a lane queue."""
+        self.registry.counter("serve_admitted_total", "Requests admitted").inc(
+            **{"class": cls.label}
+        )
+
     def note_rejected(self, cls: PriorityClass, reason: str) -> None:
-        stats = self.classes[cls]
-        stats.rejected[reason] = stats.rejected.get(reason, 0) + 1
+        self.registry.counter("serve_rejected_total", "Requests shed at admission").inc(
+            **{"class": cls.label, "reason": reason}
+        )
         self.tracer.instant("admission", "shed %s (%s)" % (cls.label, reason), lane="gateway")
 
     def note_preemption(self, cls: PriorityClass) -> None:
-        self.classes[cls].preemptions += 1
+        self.registry.counter("serve_preemptions_total", "Priority preemptions").inc(
+            **{"class": cls.label}
+        )
 
     def note_failure(self, cls: PriorityClass, kind: str) -> None:
         """One failed attempt (``kind`` is the exception type name)."""
-        stats = self.classes[cls]
-        stats.failures[kind] = stats.failures.get(kind, 0) + 1
+        self.registry.counter(
+            "serve_failures_total", "Failed attempts by exception type"
+        ).inc(**{"class": cls.label, "error": kind})
         self.tracer.instant("failure", "%s (%s)" % (cls.label, kind), lane="gateway")
 
     def note_retry(self, cls: PriorityClass) -> None:
         """The gateway re-queued a failed request for another attempt."""
-        self.classes[cls].retries += 1
+        self.registry.counter("serve_retries_total", "Gateway retry re-queues").inc(
+            **{"class": cls.label}
+        )
 
     def note_failed(self, cls: PriorityClass) -> None:
         """A request ended in the ``failed`` state (retries exhausted or
         the fault was fatal)."""
-        self.classes[cls].failed += 1
+        self.registry.counter("serve_failed_total", "Terminally failed requests").inc(
+            **{"class": cls.label}
+        )
 
     def note_dispatch(self, model_id: str) -> None:
         self._busy_since[model_id] = self.sim.now
@@ -182,17 +264,27 @@ class SLOAccountant:
     def observe(self, request: ServeRequest) -> None:
         """Fold one completed request into its class's metrics."""
         stats = self.classes[request.priority]
-        stats.completed += 1
-        stats.tokens_out += request.tokens_generated
+        label = {"class": request.priority.label}
+        self.registry.counter("serve_completed_total", "Completed requests").inc(**label)
+        self.registry.counter("serve_tokens_out_total", "Tokens generated").inc(
+            request.tokens_generated, **label
+        )
+        self.registry.histogram(
+            "serve_ttft_seconds", "Time to first token"
+        ).observe(request.ttft, **label)
         stats.ttft.add(request.ttft)
         stats.e2e.add(request.e2e_latency)
         if request.tokens_generated > 1:
             stats.tbt.add(request.tbt)
         attained = request.slo_attained
         if attained is True:
-            stats.slo_attained += 1
+            self.registry.counter("serve_slo_total", "SLO outcomes").inc(
+                outcome="attained", **label
+            )
         elif attained is False:
-            stats.slo_violated += 1
+            self.registry.counter("serve_slo_total", "SLO outcomes").inc(
+                outcome="violated", **label
+            )
 
     # ------------------------------------------------------------------
     # read side

@@ -17,11 +17,12 @@ from .core import (
     Timeout,
 )
 from .resources import BandwidthResource, Request, Resource, Transfer
-from .trace import NULL_TRACER, NullTracer, Span, Tracer
+from .trace import NULL_TRACER, FlowEvent, NullTracer, Span, Tracer
 
 __all__ = [
     "NULL_TRACER",
     "NullTracer",
+    "FlowEvent",
     "Span",
     "Tracer",
     "AllOf",

@@ -97,10 +97,19 @@ class TEENPUDriver:
         #: after the IRQ (device-side hang).
         self.fault_injector = None
         self.job_hangs = 0
+        #: observability attach points (repro.obs.instrument).
+        self.metrics = None
+        self.recorder = None
         #: attack/ablation switches
         self.unsafe_skip_wait_idle = False
         board.gic.attach_handler(World.SECURE, self.npu.irq, self._on_irq)
         board.monitor.register("tee.npu_take_over", self._handle_take_over)
+
+    def _note_job(self, outcome: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "tee_npu_jobs_total", "Secure NPU job outcomes at the co-driver"
+            ).inc(outcome=outcome)
 
     # ------------------------------------------------------------------
     # TA-facing API
@@ -134,6 +143,16 @@ class TEENPUDriver:
             )
             if ok:
                 return record.job
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "tee_npu_watchdog_fires_total", "Watchdog expirations on REE waits"
+                ).inc()
+            if self.recorder is not None:
+                self.recorder.record(
+                    "retry", "tee.npu_watchdog", "watchdog fired on shadow hand-off",
+                    shadow_id=record.shadow_id, seq=record.seq,
+                    state=record.state.value, reissues=reissues,
+                )
             if record.state is SecureJobState.ISSUED and reissues < max_reissues:
                 reissues += 1
                 record = self.reissue_job(record)
@@ -193,6 +212,7 @@ class TEENPUDriver:
         )
         self._records[replacement.shadow_id] = replacement
         self.reissues += 1
+        self._note_job("abandoned")
         return replacement
 
     # ------------------------------------------------------------------
@@ -202,6 +222,12 @@ class TEENPUDriver:
         record = self._records.get(shadow_id)
         if record is None:
             self.take_over_rejections += 1
+            self._note_job("rejected")
+            if self.recorder is not None:
+                self.recorder.record(
+                    "security", "tee.npu_take_over", "unknown shadow id",
+                    shadow_id=shadow_id,
+                )
             raise IagoViolation("take-over for unknown secure job %d" % shadow_id)
         if record.state is SecureJobState.ABANDONED:
             # Not an attack: the watchdog re-issued this job and a late
@@ -209,15 +235,28 @@ class TEENPUDriver:
             # without launching anything — the replacement shadow (same
             # seq) drives the job.
             self.stale_take_over_declines += 1
+            self._note_job("declined")
             return TAKE_OVER_DECLINED
         if record.state is not SecureJobState.ISSUED:
             self.take_over_rejections += 1
+            self._note_job("rejected")
+            if self.recorder is not None:
+                self.recorder.record(
+                    "security", "tee.npu_take_over", "replay or premature launch",
+                    shadow_id=shadow_id, state=record.state.value,
+                )
             raise IagoViolation(
                 "take-over for job %d in state %s (replay or premature launch)"
                 % (shadow_id, record.state.value)
             )
         if seq != record.seq or record.seq != self._exec_seq:
             self.take_over_rejections += 1
+            self._note_job("rejected")
+            if self.recorder is not None:
+                self.recorder.record(
+                    "security", "tee.npu_take_over", "sequence check failed",
+                    shadow_id=shadow_id, presented=seq, expected=self._exec_seq,
+                )
             raise IagoViolation(
                 "sequence check failed: presented %d, record %d, expected %d"
                 % (seq, record.seq, self._exec_seq)
@@ -235,11 +274,17 @@ class TEENPUDriver:
                 # path wedges for a while (the record stays RUNNING, so
                 # the watchdog waits rather than re-issuing).
                 self.job_hangs += 1
+                if self.recorder is not None:
+                    self.recorder.record(
+                        "fault", "tee.job_hang", "completion path wedged",
+                        shadow_id=shadow_id, stall=hang,
+                    )
                 yield self.sim.timeout(hang)
         yield from self._leave_secure_mode()
         self._exec_seq += 1
         record.state = SecureJobState.DONE
         self.secure_jobs_completed += 1
+        self._note_job("completed")
         record.completion.succeed(completed)
         return shadow_id
 

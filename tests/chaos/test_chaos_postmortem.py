@@ -1,0 +1,89 @@
+"""Chaos: terminally failed requests carry a usable postmortem.
+
+With the stack instrumented, a hardened system whose retries are
+exhausted must hand back a request whose ``postmortem`` tail names the
+injected fault site and shows each retry attempt — the flight recorder
+answering "what led up to this?" without per-request logging.
+"""
+
+import pytest
+
+from repro import TINYLLAMA, TZLLM
+from repro.faults import FaultPlan, FaultSpec, RecoveryPolicy
+from repro.obs import instrument
+from repro.serve import GatewayConfig, ServeGateway
+
+
+def _failing_system(seed):
+    """Hardened TZ-LLM whose flash fails every read: recovery retries
+    (recorded), then gives up, so the gateway sees retryable failures.
+
+    Checkpointing is off so the failure lands in the pipeline's load
+    path (the checkpoint-restore retry has its own recorded site,
+    ``ta.checkpoint_restore``)."""
+    system = TZLLM(
+        TINYLLAMA, recovery=RecoveryPolicy.hardened(), use_checkpoint=False
+    )
+    system.run_infer(8, 0)  # cold start before the faults arm
+    obs = instrument(system)
+    plan = FaultPlan(seed, [FaultSpec("flash.read_error", probability=1.0)])
+    plan.injector(system.sim).arm(system)
+    return system, obs
+
+
+def test_exhausted_retries_attach_postmortem(seed):
+    system, obs = _failing_system(seed)
+    gateway = ServeGateway(system, GatewayConfig(shedding=False, max_retries=1))
+    request = gateway.submit(32, 0)
+    gateway.sim.run_until(request.completion)
+
+    assert request.state == "failed"
+    # Gateway retried before giving up: first failure requeued, second
+    # one terminal (max_retries=1).
+    assert request.failure_count == 2
+    assert request.postmortem, "terminal failure must carry a postmortem"
+
+    sites = [event.site for event in request.postmortem]
+    # The injected fault site is in the tail...
+    assert "flash.read_error" in sites
+    # ...as are the TA-side load retries it provoked...
+    assert "pipeline.load" in sites
+    # ...the gateway's re-queue of the first failed attempt...
+    assert "gateway.requeue" in sites
+    # ...and the terminal verdict itself, last.
+    assert request.postmortem[-1].site == "gateway.failed"
+    terminal = dict(request.postmortem[-1].data)
+    assert terminal["request_id"] == str(request.request_id)
+    assert terminal["klass"] == "retryable"
+
+    # Both dispatch attempts are visible in the tail.
+    attempts = [
+        dict(e.data)["attempt"]
+        for e in request.postmortem
+        if e.site == "gateway.dispatch"
+    ]
+    assert attempts == ["1", "2"]
+
+
+def test_postmortem_is_bounded_by_config(seed):
+    system, obs = _failing_system(seed)
+    gateway = ServeGateway(
+        system, GatewayConfig(shedding=False, max_retries=1, postmortem_events=4)
+    )
+    request = gateway.submit(32, 0)
+    gateway.sim.run_until(request.completion)
+    assert request.state == "failed"
+    assert len(request.postmortem) == 4
+    assert request.postmortem[-1].site == "gateway.failed"
+
+
+def test_no_observability_means_no_postmortem(seed):
+    system = TZLLM(TINYLLAMA, recovery=RecoveryPolicy.hardened())
+    system.run_infer(8, 0)
+    plan = FaultPlan(seed, [FaultSpec("flash.read_error", probability=1.0)])
+    plan.injector(system.sim).arm(system)
+    gateway = ServeGateway(system, GatewayConfig(shedding=False, max_retries=0))
+    request = gateway.submit(32, 0)
+    gateway.sim.run_until(request.completion)
+    assert request.state == "failed"
+    assert request.postmortem is None

@@ -1,0 +1,88 @@
+"""Tests for the critical-path report over a trace."""
+
+import json
+
+import pytest
+
+from repro.analysis import critical_path
+from repro.sim import Simulator, Span
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+def _tracer_with(spans):
+    tracer = Tracer(Simulator())
+    tracer.spans.extend(spans)
+    return tracer
+
+
+def test_overlap_is_merged_per_lane():
+    report = critical_path(
+        _tracer_with(
+            [
+                Span("load", "g0", 0.0, 1.0, "I/O"),
+                Span("load", "g1", 0.5, 2.0, "I/O"),  # overlaps g0
+                Span("compute", "m0", 1.0, 1.5, "NPU"),
+            ]
+        )
+    )
+    io = next(u for u in report.lanes if u.lane == "I/O")
+    npu = next(u for u in report.lanes if u.lane == "NPU")
+    # Merged [0, 2), not 1.0 + 1.5 summed.
+    assert io.busy == pytest.approx(2.0)
+    assert io.bubbles == pytest.approx(0.0)
+    assert npu.busy == pytest.approx(0.5)
+    assert npu.bubbles == pytest.approx(1.5)
+    # Category busy *does* sum raw durations.
+    assert report.category_busy["load"] == pytest.approx(2.5)
+    assert report.critical_lane == "I/O"
+    assert report.window == pytest.approx(2.0)
+
+
+def test_disjoint_spans_leave_bubbles():
+    report = critical_path(
+        _tracer_with(
+            [
+                Span("load", "a", 0.0, 1.0, "I/O"),
+                Span("load", "b", 3.0, 4.0, "I/O"),
+            ]
+        )
+    )
+    (io,) = report.lanes
+    assert io.busy == pytest.approx(2.0)
+    assert io.bubbles == pytest.approx(2.0)
+    assert io.utilization == pytest.approx(0.5)
+
+
+def test_empty_trace_yields_empty_report():
+    report = critical_path(NULL_TRACER)
+    assert report.window == 0.0
+    assert report.lanes == [] and report.category_busy == {}
+    assert report.to_dict()["critical_lane"] is None
+    assert "window 0.000000" in report.render()
+
+
+def test_report_exports_are_json_stable():
+    report = critical_path(
+        _tracer_with([Span("compute", "m", 0.0, 1.0, "NPU")])
+    )
+    doc = json.dumps(report.to_dict(), sort_keys=True)
+    assert json.loads(doc)["critical_lane"] == "NPU"
+    assert "critical lane: NPU" in report.render()
+
+
+def test_end_to_end_report_matches_tracer_totals():
+    from repro import TINYLLAMA, TZLLM
+
+    system = TZLLM(TINYLLAMA, trace=True)
+    system.run_infer(8, 0)
+    system.run_infer(64, 0)
+    report = critical_path(system.tracer)
+    for category in ("alloc", "load", "decrypt", "compute"):
+        assert report.category_busy[category] == pytest.approx(
+            system.tracer.total_time(category)
+        )
+    lanes = {u.lane for u in report.lanes}
+    assert {"CPU", "I/O engine", "NPU"} <= lanes
+    for usage in report.lanes:
+        assert 0.0 <= usage.utilization <= 1.0
+        assert usage.busy + usage.bubbles == pytest.approx(report.window)

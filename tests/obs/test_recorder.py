@@ -1,0 +1,56 @@
+"""Tests for the bounded flight recorder."""
+
+import json
+
+from repro.obs import FlightRecorder
+from repro.sim import Simulator
+
+
+def _recorder(capacity=4):
+    sim = Simulator()
+    return sim, FlightRecorder(sim, capacity=capacity)
+
+
+def test_events_are_stamped_with_sim_time():
+    sim, rec = _recorder()
+
+    def proc():
+        rec.record("fault", "flash.read_error", "injected", blob="m.gguf")
+        yield sim.timeout(1.5)
+        rec.record("retry", "pipeline.load", attempt=2)
+
+    sim.run_until(sim.process(proc()))
+    a, b = rec.events
+    assert a.at == 0.0 and a.site == "flash.read_error"
+    assert b.at == 1.5 and b.category == "retry"
+    assert dict(a.data) == {"blob": "m.gguf"}
+
+
+def test_ring_drops_oldest_and_counts_drops():
+    _sim, rec = _recorder(capacity=4)
+    for i in range(10):
+        rec.record("x", "site%d" % i)
+    assert rec.total == 10
+    assert rec.dropped == 6
+    assert [e.site for e in rec.events] == ["site6", "site7", "site8", "site9"]
+
+
+def test_tail_returns_last_n_oldest_first():
+    _sim, rec = _recorder(capacity=8)
+    for i in range(5):
+        rec.record("x", "s%d" % i)
+    assert [e.site for e in rec.tail(2)] == ["s3", "s4"]
+    assert rec.tail(0) == []
+    assert len(rec.tail(100)) == 5
+
+
+def test_render_and_to_dict():
+    _sim, rec = _recorder()
+    rec.record("fault", "cma.migration_fail", "pinned", frame=7, attempt=1)
+    text = rec.render()
+    assert "flight recorder: 1 events (0 dropped)" in text
+    assert "cma.migration_fail" in text and "frame=7" in text
+    doc = json.dumps(rec.to_dict(), sort_keys=True)
+    parsed = json.loads(doc)
+    assert parsed["total"] == 1
+    assert parsed["events"][0]["data"] == {"frame": "7", "attempt": "1"}

@@ -171,3 +171,38 @@ def test_accountant_export_is_json_stable():
     assert doc["classes"]["interactive"]["completed"] == 1
     assert doc["classes"]["interactive"]["ttft"]["p50"] == pytest.approx(1.0)
     assert doc["classes"]["batch"]["ttft"] is None  # no samples
+
+
+def test_histogram_buckets_edge_cases():
+    hist = LatencyHistogram("x")
+    # Empty histogram: no buckets, not an error.
+    assert hist.buckets() == []
+    # Single sample below the floor lands in the floor bucket.
+    hist.add(1e-6)
+    assert hist.buckets(base=2.0, floor=1e-3) == [(pytest.approx(1e-3), 1)]
+    # A sample exactly on a bucket edge counts in that bucket, not above.
+    hist2 = LatencyHistogram("y")
+    hist2.add(2e-3)  # == floor * base**1
+    ((edge, count),) = hist2.buckets(base=2.0, floor=1e-3)
+    assert edge == pytest.approx(2e-3)
+    assert count == 1
+
+
+def test_gauge_single_sample_mean_and_future_window():
+    gauge = GaugeSeries("depth")
+    gauge.sample(2.0, 3.0)
+    # One sample held for the whole window: the mean is that value.
+    assert gauge.time_weighted_mean(12.0) == pytest.approx(3.0)
+    # A window ending before the first sample has no area.
+    assert gauge.time_weighted_mean(1.0) == 0.0
+
+
+def test_gauge_samples_past_window_are_ignored():
+    gauge = GaugeSeries("depth")
+    gauge.sample(0.0, 1.0)
+    gauge.sample(4.0, 10.0)
+    gauge.sample(8.0, 100.0)
+    # Window [0, 4): only the first step contributes.
+    assert gauge.time_weighted_mean(4.0) == pytest.approx(1.0)
+    # Window [0, 6): 4s at 1.0, 2s at 10.0.
+    assert gauge.time_weighted_mean(6.0) == pytest.approx((4 * 1.0 + 2 * 10.0) / 6.0)

@@ -88,3 +88,130 @@ def test_end_to_end_pipeline_trace(tmp_path):
     tracer.write_chrome_trace(str(path))
     doc = json.loads(path.read_text())
     assert len(doc["traceEvents"]) > 50
+
+
+def test_span_handle_is_a_context_manager():
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    def proc():
+        with tracer.span("compute", "matmul", lane="NPU"):
+            yield sim.timeout(1.0)
+
+    sim.run_until(sim.process(proc()))
+    assert len(tracer.spans) == 1
+    assert tracer.spans[0].duration == pytest.approx(1.0)
+
+
+def test_span_handle_closes_on_exception():
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    def proc():
+        try:
+            with tracer.span("load", "g0", lane="I/O"):
+                yield sim.timeout(0.5)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        yield sim.timeout(0.0)
+
+    sim.run_until(sim.process(proc()))
+    # The failed span is still recorded, with the time it consumed.
+    assert len(tracer.spans) == 1
+    assert tracer.spans[0].duration == pytest.approx(0.5)
+
+
+def test_flow_events_require_valid_phase():
+    tracer = Tracer(Simulator())
+    with pytest.raises(ConfigurationError):
+        tracer.flow("x", 1, "request r1")
+
+
+def test_chrome_export_event_keys_per_phase():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.spans.append(Span("gateway", "serve r1", 0.0, 1.0, "gateway"))
+    tracer.instant("preempt", "r2 preempts r1", lane="gateway")
+    tracer.counter("queue_depth", 3)
+    tracer.flow("s", 1001, "request r1", lane="gateway")
+    tracer.flow("t", 1001, "request r1", lane="CPU")
+    tracer.flow("f", 1001, "request r1", lane="gateway")
+
+    doc = json.loads(tracer.to_chrome_trace())
+    events = doc["traceEvents"]
+    required = {
+        "X": {"pid", "tid", "cat", "name", "ts", "dur"},
+        "i": {"pid", "tid", "cat", "name", "ts", "s"},
+        "C": {"pid", "tid", "name", "ts", "args"},
+        "M": {"pid", "tid", "name", "args"},
+        "s": {"pid", "tid", "cat", "name", "id", "ts"},
+        "t": {"pid", "tid", "cat", "name", "id", "ts"},
+        "f": {"pid", "tid", "cat", "name", "id", "ts", "bp"},
+    }
+    seen = set()
+    for event in events:
+        ph = event["ph"]
+        seen.add(ph)
+        assert required[ph] <= set(event), (ph, event)
+        if "dur" in event:
+            assert event["dur"] >= 0
+        if "ts" in event:
+            assert event["ts"] >= 0
+    assert seen == set(required)
+    # Counters ride on tid 0, lanes on tids 1..n.
+    counter = next(e for e in events if e["ph"] == "C")
+    assert counter["tid"] == 0
+    lane_tids = {e["tid"] for e in events if e["ph"] == "M"}
+    assert lane_tids == {1, 2}
+    # The finish leg binds to the enclosing slice's end.
+    finish = next(e for e in events if e["ph"] == "f")
+    assert finish["bp"] == "e"
+    # Round trip: serializing the parsed doc loses nothing.
+    assert json.loads(json.dumps(doc)) == doc
+
+
+def test_null_tracer_has_full_api_parity():
+    from repro.sim.trace import NullTracer
+
+    real = {
+        name
+        for name in dir(Tracer)
+        if not name.startswith("_") and callable(getattr(Tracer, name))
+    }
+    null = {
+        name
+        for name in dir(NullTracer)
+        if not name.startswith("_") and callable(getattr(NullTracer, name))
+    }
+    assert real <= null, "NullTracer missing: %s" % (real - null)
+    # The read-side attributes exist and are empty.
+    assert NULL_TRACER.lanes() == []
+    assert NULL_TRACER.total_time("anything") == 0.0
+    doc = json.loads(NULL_TRACER.to_chrome_trace())
+    assert doc["traceEvents"] == []
+
+
+def test_null_tracer_never_allocates():
+    from repro.sim.trace import NullTracer
+
+    # The collections are shared class-level empty tuples: recording
+    # through the null tracer can never grow per-instance state.
+    assert NULL_TRACER.spans is NullTracer.spans is ()
+    assert NULL_TRACER.counters is NullTracer.counters is ()
+    assert NULL_TRACER.instants is NullTracer.instants is ()
+    assert NULL_TRACER.flows is NullTracer.flows is ()
+    NULL_TRACER.record("a", "b", 0.0)
+    NULL_TRACER.counter("q", 1)
+    NULL_TRACER.instant("a", "b")
+    NULL_TRACER.flow("s", 1, "r1")
+    with NULL_TRACER.span("a", "b"):
+        pass
+    assert NULL_TRACER.spans == () and NULL_TRACER.flows == ()
+    assert not hasattr(NULL_TRACER, "__dict__") or not NULL_TRACER.__dict__
+
+
+def test_flow_lanes_participate_in_lane_list():
+    tracer = Tracer(Simulator())
+    tracer.flow("s", 1, "request r1", lane="gateway")
+    assert tracer.lanes() == ["gateway"]

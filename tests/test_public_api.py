@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.llm",
     "repro.core",
     "repro.faults",
+    "repro.obs",
     "repro.serve",
     "repro.workloads",
     "repro.analysis",
