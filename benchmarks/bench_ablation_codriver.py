@@ -11,7 +11,15 @@ import pytest
 
 from repro.analysis import render_table
 
-from _common import DECODE_PROMPT, DECODE_TOKENS, bench_models, build_tzllm, once, warm
+from _common import (
+    DECODE_PROMPT,
+    DECODE_TOKENS,
+    bench_models,
+    build_tzllm,
+    emit_summary,
+    once,
+    warm,
+)
 
 
 def run_codriver_ablation():
@@ -73,3 +81,16 @@ def test_ablation_codriver_vs_detach_attach(benchmark):
         / results[(large.model_id, "detach-attach")][0]
     )
     assert ratio_small > ratio_large
+
+    emit_summary(
+        "ablation_codriver",
+        {
+            "cells": {
+                "%s/%s" % (m, mech): {
+                    "tokens_per_second": tps,
+                    "switch_time_s": switch,
+                }
+                for (m, mech), (tps, switch) in sorted(results.items())
+            },
+        },
+    )

@@ -11,7 +11,14 @@ import pytest
 from repro import PipelineConfig
 from repro.analysis import render_table
 
-from _common import WorstCasePressure, bench_models, build_tzllm, once, warm
+from _common import (
+    WorstCasePressure,
+    bench_models,
+    build_tzllm,
+    emit_summary,
+    once,
+    warm,
+)
 
 STEPS = [
     # name, kwargs
@@ -67,3 +74,12 @@ def test_ablation_feature_factors(benchmark):
         # The full stack lands in the headline band.
         total_gain = 1 - ttfts[-1] / ttfts[0]
         assert 0.7 < total_gain < 0.95
+
+    emit_summary(
+        "ablation_features",
+        {
+            "ttft_s": {
+                "%s/%s" % (m, step): v for (m, step), v in sorted(results.items())
+            },
+        },
+    )

@@ -16,7 +16,7 @@ import pytest
 from repro.analysis import render_table
 from repro.llm import TINYLLAMA
 
-from _common import build_tzllm, once, warm
+from _common import build_tzllm, emit_summary, once, warm
 
 MOE = replace(
     TINYLLAMA,
@@ -71,3 +71,13 @@ def test_ablation_moe_speculative_prefetch(benchmark):
     # ...and caching amortizes it away (future inferences reuse experts).
     assert cached_rec.ttft < 0.5 * moe_rec.ttft
     assert cached_rec.pipeline.loaded_bytes == 0
+
+    emit_summary(
+        "ablation_moe",
+        {
+            "dense_ttft_s": dense_rec.ttft,
+            "moe_cold_ttft_s": moe_rec.ttft,
+            "moe_cached_ttft_s": cached_rec.ttft,
+            "speculative_bytes": speculative,
+        },
+    )

@@ -13,7 +13,7 @@ from repro.analysis import render_table
 from repro.config import MiB
 from repro.llm import TINYLLAMA, container_path
 
-from _common import build_tzllm, once, warm
+from _common import build_tzllm, emit_summary, once, warm
 
 MODES = (("none", None), ("quantum-16MiB", 16 * MiB), ("uniform", "uniform"))
 
@@ -66,3 +66,17 @@ def test_ablation_size_obfuscation(benchmark):
     assert none_mem < quant_mem < uni_mem
     # But even full uniformity stays within ~4x TTFT for this model.
     assert uni_ttft < 4 * none_ttft
+
+    emit_summary(
+        "ablation_obfuscation",
+        {
+            "modes": {
+                name: {
+                    "distinct_load_sizes": sizes,
+                    "ttft_s": ttft,
+                    "secure_mem_bytes": mem,
+                }
+                for name, (sizes, ttft, mem) in sorted(results.items())
+            },
+        },
+    )

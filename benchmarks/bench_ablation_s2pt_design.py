@@ -18,7 +18,7 @@ from repro.llm import LLAMA3_8B
 from repro.ree.s2pt import S2PTState, s2pt_slowdown
 from repro.workloads import GEEKBENCH_SUITE, migration_slowdown, run_suite
 
-from _common import build_tzllm, once, warm
+from _common import build_tzllm, emit_summary, once, warm
 
 RATES_PER_HOUR = (1, 6, 30, 120, 360)
 
@@ -83,3 +83,16 @@ def test_ablation_s2pt_vs_cma_duty_cycle(benchmark):
     for rate, duty, cma_avg, s2pt_avg in rows:
         if cma_avg > s2pt_avg:
             assert duty > 0.5
+
+    emit_summary(
+        "ablation_s2pt_design",
+        {
+            "busy_overhead": busy_overhead,
+            "s2pt_overhead": s2pt_overhead,
+            "inference_span_s": span,
+            "rows": [
+                {"rate_per_hour": r, "duty": d, "cma_avg": c, "s2pt_avg": s}
+                for r, d, c, s in rows
+            ],
+        },
+    )

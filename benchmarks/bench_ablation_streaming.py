@@ -12,7 +12,7 @@ import pytest
 from repro.analysis import render_table
 from repro.llm import TINYLLAMA
 
-from _common import build_tzllm, once, warm
+from _common import build_tzllm, emit_summary, once, warm
 
 RESIDENCIES = (1.0, 0.75, 0.5, 0.25)
 DECODE_TOKENS = 12
@@ -57,3 +57,17 @@ def test_ablation_decode_streaming(benchmark):
     # The trade is severe, as the paper implies by deferring it: quarter
     # residency costs more than half the decode speed.
     assert results[0.25][0] < 0.5 * results[1.0][0]
+
+    emit_summary(
+        "ablation_streaming",
+        {
+            "residencies": {
+                "%.2f" % r: {
+                    "tokens_per_second": tps,
+                    "resident_bytes": mem,
+                    "streamed_bytes_per_token": streamed,
+                }
+                for r, (tps, mem, streamed) in sorted(results.items())
+            },
+        },
+    )

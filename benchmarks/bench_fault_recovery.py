@@ -16,7 +16,7 @@ from repro.faults import FaultPlan, FaultSpec, RecoveryPolicy
 from repro.serve import GatewayConfig, LoadGenerator, PriorityClass, ServeGateway
 from repro.workloads import TenantSpec, generate_multitenant_trace
 
-from _common import once
+from _common import emit_summary, once
 
 DURATION = 600.0
 TENANTS = [
@@ -148,3 +148,20 @@ def test_fault_recovery(benchmark):
     baseline = p95(results["fault-free"][1])
     for mode in ("flash-err-1%", "npu-stall"):
         assert p95(results[mode][1]) <= 2.0 * baseline, mode
+
+    emit_summary(
+        "fault_recovery",
+        {
+            "modes": {
+                mode: {
+                    "offered": loadgen.offered,
+                    "completed": len(gateway.completed),
+                    "failed": len(gateway.failed),
+                    "interactive_p95_ttft_s": p95(gateway),
+                }
+                for mode, (_system, gateway, loadgen, _injector) in sorted(
+                    results.items()
+                )
+            },
+        },
+    )

@@ -12,7 +12,7 @@ from repro import PAPER_PRESSURE
 from repro.analysis import render_table
 from repro.llm import LLAMA3_8B
 
-from _common import build_strawman, once
+from _common import build_strawman, emit_summary, once
 
 
 def run_strawman_breakdown():
@@ -48,3 +48,17 @@ def test_fig01_strawman_cold_start(benchmark):
     # Restoration overhead beyond compute is in the paper's ~11.6 s class.
     restore = record.ttft - pipe.cpu_compute_time
     assert 7.0 < restore < 16.0
+
+    emit_summary(
+        "fig01_strawman",
+        {
+            "init_time_s": record.init_time,
+            "data_setup_time_s": record.data_setup_time,
+            "alloc_time_s": pipe.alloc_time,
+            "io_time_s": pipe.io_time,
+            "decrypt_time_s": pipe.decrypt_time,
+            "cpu_compute_time_s": pipe.cpu_compute_time,
+            "ttft_s": record.ttft,
+            "restore_overhead_s": restore,
+        },
+    )

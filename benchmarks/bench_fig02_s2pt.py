@@ -12,7 +12,7 @@ from repro.analysis import mean, render_table
 from repro.ree.s2pt import S2PTState
 from repro.workloads import GEEKBENCH_SUITE, run_suite
 
-from _common import once
+from _common import emit_summary, once
 
 
 def run_fig02():
@@ -45,3 +45,15 @@ def test_fig02_s2pt_geekbench(benchmark):
     # Huge mappings are far cheaper — but fragmentation destroys them.
     for app in GEEKBENCH_SUITE:
         assert huge[app.name] >= fragmented[app.name]
+
+    emit_summary(
+        "fig02_s2pt",
+        {
+            "max_overhead_pct": max(overheads),
+            "mean_overhead_pct": mean(overheads),
+            "per_app_overhead_pct": {
+                app.name: (baseline[app.name] / fragmented[app.name] - 1.0) * 100
+                for app in GEEKBENCH_SUITE
+            },
+        },
+    )

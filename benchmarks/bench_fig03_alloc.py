@@ -15,7 +15,7 @@ from repro.stack import build_stack
 from repro.workloads import MemoryStress
 from repro.config import GB, GiB, MiB
 
-from _common import once
+from _common import emit_summary, once
 
 ALLOC_BYTES = 8 * 10 ** 9  # "8 GB for 8-bit Llama-3-8B"
 PRESSURES = [0, 4 * GB, 8 * GB, 11 * GB, 13 * GB]
@@ -89,3 +89,18 @@ def test_fig03_allocation_time(benchmark):
     assert cma4[-1] == pytest.approx(cma1[-1] / 2.0, rel=0.20)
     # Under low pressure CMA is as cheap as buddy.
     assert cma1[0] < 2 * buddy[0] + 0.5
+
+    emit_summary(
+        "fig03_alloc",
+        {
+            "rows": [
+                {
+                    "pressure_gb": p / GB,
+                    "buddy_s": b,
+                    "cma_1thread_s": c1,
+                    "cma_4thread_s": c4,
+                }
+                for p, b, c1, c4 in rows
+            ],
+        },
+    )

@@ -16,6 +16,7 @@ from _common import (
     SYSTEM_BUILDERS,
     WorstCasePressure,
     bench_models,
+    emit_summary,
     measure_ttft,
     once,
     warm,
@@ -87,3 +88,15 @@ def test_fig09_ttft_by_prompt_length(benchmark):
         long = next(r for m, T, r in memory_overheads if m == model.model_id and T == 512)
         assert short > 2.0  # restoration dominates short prompts
         assert long < 1.35  # hidden under computation at 512 (paper 13-18.9%)
+
+    emit_summary(
+        "fig09_ttft_prompts",
+        {
+            "ttft_s": {
+                "%s/%s/%d" % (m, s, T): v for (m, s, T), v in sorted(results.items())
+            },
+            "min_reduction_pct": min(reductions),
+            "max_reduction_pct": max(reductions),
+            "max_flash_overhead_pct": max(flash_overheads),
+        },
+    )

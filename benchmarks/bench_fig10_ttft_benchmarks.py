@@ -11,7 +11,14 @@ import pytest
 from repro.analysis import geomean, mean, reduction, render_table
 from repro.workloads import benchmark_names, generate_prompts
 
-from _common import SYSTEM_BUILDERS, WorstCasePressure, bench_models, once, warm
+from _common import (
+    SYSTEM_BUILDERS,
+    WorstCasePressure,
+    bench_models,
+    emit_summary,
+    once,
+    warm,
+)
 
 PROMPTS_PER_BENCHMARK = 4
 
@@ -81,3 +88,12 @@ def test_fig10_ttft_real_benchmarks(benchmark):
             for b in benchmark_names()
         }
         assert max(ratios, key=ratios.get) == "ultrachat"
+
+    emit_summary(
+        "fig10_ttft_benchmarks",
+        {
+            "mean_ttft_s": {
+                "%s/%s/%s" % (m, s, b): mean(v) for (m, s, b), v in sorted(results.items())
+            },
+        },
+    )

@@ -15,6 +15,7 @@ from _common import (
     DECODE_TOKENS,
     SYSTEM_BUILDERS,
     bench_models,
+    emit_summary,
     once,
     warm,
 )
@@ -68,3 +69,14 @@ def test_fig11_decode_speed(benchmark):
         assert results[(model.model_id, "REE-LLM-Memory")] == pytest.approx(
             results[(model.model_id, "REE-LLM-Flash")], rel=0.02
         )
+
+    emit_summary(
+        "fig11_decode",
+        {
+            "tokens_per_second": {
+                "%s/%s" % (m, s): v for (m, s), v in sorted(results.items())
+            },
+            "gain_vs_strawman_pct": dict(sorted(gains.items())),
+            "overhead_vs_ree_pct": dict(sorted(overheads.items())),
+        },
+    )

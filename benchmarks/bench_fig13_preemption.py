@@ -12,7 +12,15 @@ import pytest
 from repro import PipelineConfig
 from repro.analysis import render_table
 
-from _common import PROMPT_LENGTHS, WorstCasePressure, bench_models, build_tzllm, once, warm
+from _common import (
+    PROMPT_LENGTHS,
+    WorstCasePressure,
+    bench_models,
+    build_tzllm,
+    emit_summary,
+    once,
+    warm,
+)
 
 CONFIGS = {
     "no-pipeline": PipelineConfig(pipelined=False),
@@ -75,3 +83,14 @@ def test_fig13_preemptive_scheduling(benchmark):
         for m in models for T in PROMPT_LENGTHS
     )
     assert best_gain > 0.25  # paper: up to 31.7%
+
+    emit_summary(
+        "fig13_preemption",
+        {
+            "ttft_s": {
+                "%s/%s/%d" % (m, c, T): record.ttft
+                for (m, c, T), record in sorted(results.items())
+            },
+            "best_pipeline_gain": best_gain,
+        },
+    )

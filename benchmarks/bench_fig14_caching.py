@@ -12,7 +12,14 @@ import pytest
 from repro.analysis import render_table
 from repro.core.caching import ThresholdProfiler
 
-from _common import WorstCasePressure, bench_models, build_tzllm, once, warm
+from _common import (
+    WorstCasePressure,
+    bench_models,
+    build_tzllm,
+    emit_summary,
+    once,
+    warm,
+)
 
 FRACTIONS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
 PROMPTS = (32, 512)
@@ -76,3 +83,12 @@ def test_fig14_partial_parameter_caching(benchmark):
             [(f, results[(model.model_id, 512, f)]) for f in FRACTIONS]
         )
         assert knee_long <= knee_short
+
+    emit_summary(
+        "fig14_caching",
+        {
+            "ttft_s": {
+                "%s/%d/%.1f" % (m, T, f): v for (m, T, f), v in sorted(results.items())
+            },
+        },
+    )

@@ -16,7 +16,7 @@ from repro.hw import AddrRange
 from repro.llm import LLAMA3_8B, TINYLLAMA
 from repro.workloads import MOBILENET_V1, NNAppRunner, YOLOV5S
 
-from _common import build_ree_memory, build_tzllm, once, warm
+from _common import build_ree_memory, build_tzllm, emit_summary, once, warm
 
 WINDOW = 6.0
 DECODE_TOKENS = 24
@@ -105,6 +105,21 @@ def test_fig15_npu_time_sharing(benchmark):
             assert nn_extra < 0.10, (model.model_id, app.name, nn_extra)
             assert llm_extra < 0.10, (model.model_id, app.name, llm_extra)
 
+    emit_summary(
+        "fig15_npu_sharing",
+        {
+            "cells": {
+                "%s/%s/%s" % (m, a, side): {
+                    "nn_ex": nn_ex,
+                    "nn_sh": nn_sh,
+                    "llm_ex": llm_ex,
+                    "llm_sh": llm_sh,
+                }
+                for (m, a, side), (nn_ex, nn_sh, llm_ex, llm_sh) in sorted(cells.items())
+            },
+        },
+    )
+
 
 def run_switch_overhead_shares():
     """§7.3's quantification: smc + TZASC/TZPC/GIC time as a share of
@@ -144,3 +159,13 @@ def test_fig15b_switch_overhead_shares(benchmark):
         # Same order of magnitude as the paper's shares; always small.
         assert 0.0 <= ttft_share < 0.05
         assert 0.0 <= decode_share < 0.08
+
+    emit_summary(
+        "fig15b_switch_shares",
+        {
+            "shares": {
+                m: {"ttft_share": s[0], "decode_share": s[1]}
+                for m, s in sorted(shares.items())
+            },
+        },
+    )

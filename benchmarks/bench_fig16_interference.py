@@ -15,7 +15,7 @@ from repro.llm import LLAMA3_8B
 from repro.ree.s2pt import S2PTState
 from repro.workloads import GEEKBENCH_SUITE, run_suite
 
-from _common import build_ree_memory, build_tzllm, once, warm
+from _common import build_ree_memory, build_tzllm, emit_summary, once, warm
 
 PREFILL_ROUNDS = 2
 
@@ -87,3 +87,14 @@ def test_fig16_cma_interference(benchmark):
     # ...and *transient*: an idle window shows no degradation at all.
     for app in GEEKBENCH_SUITE:
         assert idle_scores[app.name] == pytest.approx(ree_scores[app.name], rel=1e-6)
+
+    emit_summary(
+        "fig16_interference",
+        {
+            "max_degradation_pct": max(degradations),
+            "degradation_pct": {
+                app.name: (1 - tz_scores[app.name] / ree_scores[app.name]) * 100
+                for app in GEEKBENCH_SUITE
+            },
+        },
+    )

@@ -11,7 +11,7 @@ from repro.analysis import render_table
 from repro.errors import AccessDenied
 from repro.hw import World
 
-from _common import once
+from _common import emit_summary, once
 
 TABLE1 = [
     # approach, accelerator, no-model-mod, quantization, e2e security, memory scaling
@@ -59,3 +59,13 @@ def test_tab01_approach_comparison(benchmark):
     # (5) no model modification: the container holds the unmodified
     # tensor set of the published architecture.
     assert record.pipeline is not None
+
+    emit_summary(
+        "tab01_approaches",
+        {
+            "secure_jobs_completed": system.stack.tee_npu.secure_jobs_completed,
+            "quant_bits": TINYLLAMA.quant_bits,
+            "protected_bytes": region.protected,
+            "planned_alloc_bytes": system.ta.plan.total_alloc_bytes,
+        },
+    )

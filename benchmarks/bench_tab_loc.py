@@ -10,7 +10,7 @@ the co-driver design avoids importing.
 
 from repro.analysis import PAPER_LOC, count_package_loc, render_table
 
-from _common import once
+from _common import emit_summary, once
 
 
 def run_loc():
@@ -48,3 +48,15 @@ def test_tab_loc_inventory(benchmark):
     assert tee_total < 0.15 * total  # TEE additions are a small slice
     assert tee_npu < ree_npu * 2.5  # the data plane stays driver-sized
     assert tee_npu < 400  # ~1 kLoC class in the paper; smaller here
+
+    emit_summary(
+        "tab_loc",
+        {
+            "total_loc": total,
+            "tee_loc": tee_total,
+            "ree_loc": sum(counts["ree"].values()),
+            "core_loc": sum(counts["core"].values()),
+            "tee_npu_driver_loc": tee_npu,
+            "ree_npu_driver_loc": ree_npu,
+        },
+    )

@@ -8,22 +8,32 @@ row (parameter loads) and the NPU row (secure matmul jobs) overlapping,
 exactly like the paper's pipelined-restoration timelines.  Alongside the
 trace it prints a Prometheus-format metrics excerpt and the flight
 recorder's tail, and writes the full registry snapshot to
-``tzllm_metrics.json``.
+``tzllm_metrics.json`` and a speedscope/FlameGraph-loadable collapsed
+stack to ``tzllm_profile.collapsed``.
 
-Run:  python examples/pipeline_trace.py
+Outputs land in ``--out`` (default ``out/``, gitignored).
+
+Run:  python examples/pipeline_trace.py [--out DIR]
 """
 
+import argparse
 import json
+import os
 
 from repro import TINYLLAMA, TZLLM
 from repro.analysis import critical_path, render_table
-from repro.obs import instrument
-
-OUT = "tzllm_trace.json"
-METRICS_OUT = "tzllm_metrics.json"
+from repro.obs import Profiler, instrument
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="out", help="output directory (default: out/)")
+    args = parser.parse_args()
+    os.makedirs(args.out, exist_ok=True)
+    trace_out = os.path.join(args.out, "tzllm_trace.json")
+    metrics_out = os.path.join(args.out, "tzllm_metrics.json")
+    profile_out = os.path.join(args.out, "tzllm_profile.collapsed")
+
     system = TZLLM(TINYLLAMA, trace=True)
     obs = instrument(system)
     system.run_infer(8, 0)  # cold start (traced too)
@@ -60,18 +70,26 @@ def main() -> None:
             print("... (%d lines total)" % len(text.splitlines()))
             break
 
-    with open(METRICS_OUT, "w") as fh:
+    with open(metrics_out, "w") as fh:
         json.dump(obs.registry.to_dict(), fh, indent=2, sort_keys=True)
         fh.write("\n")
-    print("\nwrote %s — full registry snapshot" % METRICS_OUT)
+    print("\nwrote %s — full registry snapshot" % metrics_out)
 
     # The flight recorder keeps the last events for postmortems; a clean
     # run still logs pipeline milestones.
     print("\n--- flight recorder tail ---")
     print(obs.recorder.render(8))
 
-    tracer.write_chrome_trace(OUT)
-    print("\nwrote %s — open in chrome://tracing or ui.perfetto.dev" % OUT)
+    # Virtual-time profile: lane accounting plus a collapsed-stack file.
+    profiler = Profiler(tracer, sim=system.sim)
+    profiler.add_record(record)
+    print("\n--- profiler ---")
+    print(profiler.render())
+    profiler.write_collapsed(profile_out)
+    print("\nwrote %s — load in speedscope.app or flamegraph.pl" % profile_out)
+
+    tracer.write_chrome_trace(trace_out)
+    print("wrote %s — open in chrome://tracing or ui.perfetto.dev" % trace_out)
     print("lanes: %s" % ", ".join(tracer.lanes()))
 
 

@@ -2,6 +2,15 @@
 
 from .critical_path import CriticalPathReport, LaneUsage, critical_path
 from .loc import PAPER_LOC, count_package_loc
+from .regress import (
+    Delta,
+    RegressionReport,
+    Tolerance,
+    compare,
+    flatten_metrics,
+    load_summaries,
+    render_markdown,
+)
 from .metrics import (
     LatencySummary,
     geomean,
@@ -15,17 +24,24 @@ from .tables import render_bars, render_table
 
 __all__ = [
     "CriticalPathReport",
+    "Delta",
     "LaneUsage",
     "LatencySummary",
     "PAPER_LOC",
+    "RegressionReport",
+    "Tolerance",
+    "compare",
     "critical_path",
     "count_package_loc",
+    "flatten_metrics",
     "geomean",
+    "load_summaries",
     "mean",
     "percent_change",
     "percentile",
     "reduction",
     "render_bars",
+    "render_markdown",
     "render_table",
     "speedup",
 ]

@@ -1,0 +1,304 @@
+"""Perf-regression gate: diff fresh bench summaries against baselines.
+
+The benchmarks emit machine-readable summaries
+(``bench_results/BENCH_<name>.json`` via
+``benchmarks._common.emit_summary``); golden copies live in
+``benchmarks/baselines/``.  This module flattens both sides to dotted
+metric paths, compares every numeric leaf inside a tolerance band, and
+renders a markdown delta table.  CI runs::
+
+    python -m repro.analysis.regress --check
+
+which exits non-zero when any metric drifts outside tolerance or a
+baselined benchmark produced no fresh summary — the perf gate.
+``--update`` promotes the fresh results to become the new baselines
+(the reviewed way to accept an intentional perf change).
+
+Volatile keys (wall time, git revision, timestamps) are ignored: the
+gate compares *simulated* results, which are deterministic, so the
+default tolerance is tight.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import glob
+import json
+import os
+import shutil
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Tolerance",
+    "Delta",
+    "RegressionReport",
+    "flatten_metrics",
+    "load_summaries",
+    "compare",
+    "render_markdown",
+    "main",
+]
+
+#: top-level summary keys that vary run-to-run and never gate.
+VOLATILE_KEYS = frozenset({"wall_time_s", "git_rev", "generated_at"})
+
+#: default tolerance: simulated metrics are deterministic, so the band
+#: exists only to absorb float formatting — but allow a little slack for
+#: metrics that legitimately wiggle with environment (e.g. LOC counts
+#: change every PR; callers widen those with patterns).
+DEFAULT_RTOL = 0.05
+DEFAULT_ATOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Tolerance band for metric paths matching a glob pattern."""
+
+    pattern: str
+    rtol: float = DEFAULT_RTOL
+    atol: float = DEFAULT_ATOL
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One compared metric leaf."""
+
+    bench: str
+    path: str
+    baseline: Optional[float]
+    fresh: Optional[float]
+    status: str  # "ok" | "drift" | "missing_fresh" | "new"
+
+    @property
+    def change(self) -> Optional[float]:
+        if self.baseline is None or self.fresh is None or self.baseline == 0:
+            return None
+        return (self.fresh - self.baseline) / abs(self.baseline)
+
+
+@dataclass
+class RegressionReport:
+    deltas: List[Delta]
+    missing_benches: List[str]
+
+    @property
+    def drifted(self) -> List[Delta]:
+        return [d for d in self.deltas if d.status in ("drift", "missing_fresh")]
+
+    @property
+    def passed(self) -> bool:
+        return not self.drifted and not self.missing_benches
+
+
+def flatten_metrics(value, prefix: str = "") -> Dict[str, float]:
+    """Flatten nested dicts/lists to ``a.b.0.c -> number`` leaves.
+
+    Non-numeric leaves (strings, None) are skipped — they carry labels,
+    not measurements.  Bools count as numbers (shape assertions).
+    """
+    out: Dict[str, float] = {}
+    if isinstance(value, dict):
+        for key in sorted(value):
+            path = "%s.%s" % (prefix, key) if prefix else str(key)
+            out.update(flatten_metrics(value[key], path))
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            path = "%s.%d" % (prefix, i) if prefix else str(i)
+            out.update(flatten_metrics(item, path))
+    elif isinstance(value, bool):
+        out[prefix] = float(value)
+    elif isinstance(value, (int, float)):
+        out[prefix] = float(value)
+    return out
+
+
+def load_summaries(directory: str) -> Dict[str, Dict[str, float]]:
+    """Load every ``BENCH_*.json`` in ``directory`` as flat metrics."""
+    out: Dict[str, Dict[str, float]] = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        name = payload.get("name") or os.path.basename(path)[len("BENCH_"):-len(".json")]
+        metrics = {k: v for k, v in payload.get("metrics", {}).items() if k not in VOLATILE_KEYS}
+        out[name] = flatten_metrics(metrics)
+    return out
+
+
+def _tolerance_for(path: str, tolerances: Tuple[Tolerance, ...]) -> Tuple[float, float]:
+    for tol in tolerances:
+        if fnmatch.fnmatch(path, tol.pattern):
+            return tol.rtol, tol.atol
+    return DEFAULT_RTOL, DEFAULT_ATOL
+
+
+def compare(
+    baselines: Dict[str, Dict[str, float]],
+    fresh: Dict[str, Dict[str, float]],
+    tolerances: Tuple[Tolerance, ...] = (),
+) -> RegressionReport:
+    """Diff fresh summaries against baselines, leaf by leaf."""
+    deltas: List[Delta] = []
+    missing_benches = sorted(set(baselines) - set(fresh))
+    for bench in sorted(set(baselines) & set(fresh)):
+        base_metrics = baselines[bench]
+        fresh_metrics = fresh[bench]
+        for path in sorted(set(base_metrics) | set(fresh_metrics)):
+            full = "%s.%s" % (bench, path)
+            base_v = base_metrics.get(path)
+            fresh_v = fresh_metrics.get(path)
+            if base_v is None:
+                deltas.append(Delta(bench, path, None, fresh_v, "new"))
+                continue
+            if fresh_v is None:
+                deltas.append(Delta(bench, path, base_v, None, "missing_fresh"))
+                continue
+            rtol, atol = _tolerance_for(full, tolerances)
+            ok = abs(fresh_v - base_v) <= atol + rtol * abs(base_v)
+            deltas.append(Delta(bench, path, base_v, fresh_v, "ok" if ok else "drift"))
+    # Benches present fresh but not baselined are informational only.
+    for bench in sorted(set(fresh) - set(baselines)):
+        for path in sorted(fresh[bench]):
+            deltas.append(Delta(bench, path, None, fresh[bench][path], "new"))
+    return RegressionReport(deltas, missing_benches)
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "—"
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return "%.6g" % value
+
+
+def render_markdown(report: RegressionReport, verbose: bool = False) -> str:
+    """Markdown delta table: drifted rows always, ok rows when verbose."""
+    lines = ["# Perf regression report", ""]
+    shown = [
+        d
+        for d in report.deltas
+        if verbose or d.status in ("drift", "missing_fresh")
+    ]
+    counts: Dict[str, int] = {}
+    for d in report.deltas:
+        counts[d.status] = counts.get(d.status, 0) + 1
+    summary = ", ".join("%d %s" % (counts[k], k) for k in sorted(counts))
+    lines.append(
+        "**%s** — %s" % ("PASS" if report.passed else "FAIL", summary or "no metrics")
+    )
+    lines.append("")
+    if report.missing_benches:
+        lines.append(
+            "Missing fresh summaries for: %s" % ", ".join(report.missing_benches)
+        )
+        lines.append("")
+    if shown:
+        lines.append("| bench | metric | baseline | fresh | Δ | status |")
+        lines.append("|---|---|---:|---:|---:|---|")
+        for d in shown:
+            change = d.change
+            lines.append(
+                "| %s | %s | %s | %s | %s | %s |"
+                % (
+                    d.bench,
+                    d.path,
+                    _fmt(d.baseline),
+                    _fmt(d.fresh),
+                    "—" if change is None else "%+.2f%%" % (change * 100.0),
+                    d.status,
+                )
+            )
+    else:
+        lines.append("No drift.")
+    return "\n".join(lines) + "\n"
+
+
+def _repo_root() -> str:
+    return os.path.abspath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..", "..")
+    )
+
+
+def update_baselines(fresh_dir: str, baseline_dir: str) -> List[str]:
+    """Promote fresh ``BENCH_*.json`` files to the baseline directory."""
+    os.makedirs(baseline_dir, exist_ok=True)
+    copied = []
+    for path in sorted(glob.glob(os.path.join(fresh_dir, "BENCH_*.json"))):
+        dest = os.path.join(baseline_dir, os.path.basename(path))
+        shutil.copyfile(path, dest)
+        copied.append(dest)
+    return copied
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.regress",
+        description="Diff fresh benchmark summaries against committed baselines.",
+    )
+    parser.add_argument(
+        "--fresh",
+        default=os.path.join(_repo_root(), "bench_results"),
+        help="directory of fresh BENCH_*.json summaries (default: bench_results/)",
+    )
+    parser.add_argument(
+        "--baselines",
+        default=os.path.join(_repo_root(), "benchmarks", "baselines"),
+        help="directory of committed baselines (default: benchmarks/baselines/)",
+    )
+    parser.add_argument(
+        "--check", action="store_true", help="exit 1 on drift or missing summaries"
+    )
+    parser.add_argument(
+        "--update", action="store_true", help="promote fresh summaries to baselines"
+    )
+    parser.add_argument("--markdown", help="also write the report to this path")
+    parser.add_argument(
+        "--verbose", action="store_true", help="include non-drifted rows in the table"
+    )
+    parser.add_argument(
+        "--tolerance",
+        action="append",
+        default=[],
+        metavar="PATTERN=RTOL",
+        help="per-metric-path relative tolerance, e.g. 'tab_loc.*=0.5' (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update:
+        copied = update_baselines(args.fresh, args.baselines)
+        for path in copied:
+            print("baseline updated: %s" % os.path.relpath(path, _repo_root()))
+        if not copied:
+            print("no fresh summaries found in %s" % args.fresh, file=sys.stderr)
+            return 1
+        return 0
+
+    tolerances = []
+    for spec in args.tolerance:
+        pattern, _, rtol = spec.partition("=")
+        tolerances.append(Tolerance(pattern, rtol=float(rtol or DEFAULT_RTOL)))
+    # Built-in widening: LOC counts move with every PR by design.
+    tolerances.append(Tolerance("tab_loc.*", rtol=0.6))
+
+    baselines = load_summaries(args.baselines)
+    fresh = load_summaries(args.fresh)
+    if not baselines:
+        print("no baselines found in %s" % args.baselines, file=sys.stderr)
+        return 1 if args.check else 0
+    report = compare(baselines, fresh, tuple(tolerances))
+    text = render_markdown(report, verbose=args.verbose)
+    print(text, end="")
+    if args.markdown:
+        parent = os.path.dirname(os.path.abspath(args.markdown))
+        os.makedirs(parent, exist_ok=True)
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    if args.check and not report.passed:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

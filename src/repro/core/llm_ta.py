@@ -108,10 +108,20 @@ class InferenceRecord:
     #: decode (serving-gateway priority preemption); the partial decode is
     #: in ``decode`` and the TA ran its normal release path.
     preempted: bool = False
+    #: gateway identity from the request's TraceContext (None for direct
+    #: CA invocations) — keys the profiler's decode-attribution rows.
+    request_id: Optional[int] = None
 
     @property
     def decode_tokens_per_second(self) -> float:
         return self.decode.tokens_per_second if self.decode else 0.0
+
+    @property
+    def decode_attribution(self) -> Optional[dict]:
+        """Summed per-component decode attribution (None without decode)."""
+        if self.decode is None or not self.decode.attribution:
+            return None
+        return self.decode.attribution_totals()
 
 
 class LLMTA(TrustedApplication):
@@ -303,6 +313,7 @@ class LLMTA(TrustedApplication):
             started_at=sim.now,
             cached_groups=self.cached_groups,
             cached_bytes=self.params_region.protected,
+            request_id=None if ctx is None else ctx.request_id,
         )
         switch_t0 = self.stack.tee_npu.world_switch_time
         smc0 = self.stack.board.monitor.smc_count
@@ -408,6 +419,14 @@ class LLMTA(TrustedApplication):
 
         record.world_switch_time = self.stack.tee_npu.world_switch_time - switch_t0
         record.smc_count = self.stack.board.monitor.smc_count - smc0
+        totals = record.decode_attribution
+        if totals is not None and self.metrics is not None:
+            counter = self.metrics.counter(
+                "decode_attribution_seconds_total",
+                "Decode latency per component (cpu/npu_compute/smc/sched_wait)",
+            )
+            for component, value in sorted(totals.items()):
+                counter.inc(value, component=component)
         self.records.append(record)
         return record
 

@@ -74,6 +74,9 @@ class PipelineMetrics:
     decrypt_time: float = 0.0
     cpu_compute_time: float = 0.0
     npu_compute_time: float = 0.0
+    #: cross-world share of ``npu_compute_time`` (SMC traps and
+    #: secure-mode switches), as attributed by the NPU backend.
+    npu_overhead_time: float = 0.0
     # bookkeeping
     loaded_bytes: int = 0
     preemptions: int = 0
@@ -218,6 +221,11 @@ class PrefillPipeline:
         busy.inc(m.io_time, phase="load")
         busy.inc(m.decrypt_time, phase="decrypt")
         busy.inc(m.cpu_compute_time + m.npu_compute_time, phase="compute")
+        if m.npu_overhead_time:
+            registry.counter(
+                "pipeline_npu_overhead_seconds_total",
+                "Cross-world share of prefill NPU time (SMC + world switches)",
+            ).inc(m.npu_overhead_time)
         registry.counter(
             "pipeline_loaded_bytes_total", "Model bytes restored by prefills"
         ).inc(m.loaded_bytes)
@@ -384,6 +392,7 @@ class PrefillPipeline:
                 if self.npu_backend is None:
                     raise ConfigurationError("graph has NPU ops but no NPU backend")
                 t0 = self.sim.now
+                overhead0 = getattr(self.npu_backend, "overhead_time", 0.0)
                 if self._flow_npu_pending:
                     # Flow step: first secure NPU job of this request.
                     self._flow_npu_pending = False
@@ -393,6 +402,9 @@ class PrefillPipeline:
                 with self.tracer.span("compute", op.name, lane="NPU"):
                     yield from self.npu_backend.run(op, duration)
                 self.metrics.npu_compute_time += self.sim.now - t0
+                self.metrics.npu_overhead_time += (
+                    getattr(self.npu_backend, "overhead_time", 0.0) - overhead0
+                )
 
     # ------------------------------------------------------------------
     # CPU worker: the scheduler of Fig. 5

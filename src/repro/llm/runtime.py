@@ -46,7 +46,17 @@ __all__ = [
 
 
 class NPUBackend:
-    """Strategy for running one NPU operator."""
+    """Strategy for running one NPU operator.
+
+    Backends keep two attribution accumulators the executor reads around
+    each dispatch: ``busy_time`` (device compute actually charged,
+    including any §6 quantum padding) and ``overhead_time`` (the
+    cross-world cost — SMC traps and secure-mode switches).  Whatever
+    wall time remains is scheduler wait, attributed by the caller.
+    """
+
+    busy_time = 0.0
+    overhead_time = 0.0
 
     def run(self, op: ComputeOp, duration: float):
         raise NotImplementedError
@@ -58,9 +68,13 @@ class DirectNPUBackend(NPUBackend):
     def __init__(self, sim: Simulator, platform: PlatformSpec):
         self.sim = sim
         self.platform = platform
+        self.busy_time = 0.0
+        self.overhead_time = 0.0
 
     def run(self, op: ComputeOp, duration: float):
         yield self.sim.timeout(self.platform.npu.job_launch_latency + duration)
+        self.busy_time += duration
+        self.overhead_time += self.platform.npu.job_launch_latency
 
 
 def _job_for(op: ComputeOp, duration: float, ctx: AddrRange, tag: str) -> NPUJob:
@@ -82,11 +96,14 @@ class REEDriverNPUBackend(NPUBackend):
     def __init__(self, ree_driver, ctx: AddrRange):
         self.driver = ree_driver
         self.ctx = ctx
+        self.busy_time = 0.0
+        self.overhead_time = 0.0
 
     def run(self, op: ComputeOp, duration: float):
         job = _job_for(op, duration, self.ctx, "ree")
         completion = self.driver.submit(job)
         yield completion
+        self.busy_time += duration
 
 
 class TEECoDriverNPUBackend(NPUBackend):
@@ -112,6 +129,8 @@ class TEECoDriverNPUBackend(NPUBackend):
         #: (None keeps the legacy unbounded wait).
         self.job_timeout = job_timeout
         self.max_reissues = max_reissues
+        self.busy_time = 0.0
+        self.overhead_time = 0.0
 
     def run(self, op: ComputeOp, duration: float):
         if self.duration_quantum > 0:
@@ -119,9 +138,12 @@ class TEECoDriverNPUBackend(NPUBackend):
 
             duration = math.ceil(duration / self.duration_quantum - 1e-12) * self.duration_quantum
         job = _job_for(op, duration, self.ctx, "tee")
+        switch0 = self.driver.world_switch_time
         yield from self.driver.submit_secure_job(
             job, timeout=self.job_timeout, max_reissues=self.max_reissues
         )
+        self.busy_time += duration
+        self.overhead_time += self.driver.world_switch_time - switch0
 
 
 class GraphExecutor:
@@ -140,6 +162,10 @@ class GraphExecutor:
         self.npu_backend = npu_backend
         self.cpu_busy_time = 0.0
         self.npu_wait_time = 0.0
+        #: attribution slices of ``npu_wait_time`` (see NPUBackend): device
+        #: compute, cross-world overhead, and whatever wait remains.
+        self.npu_busy_time = 0.0
+        self.npu_overhead_time = 0.0
 
     def op_time(self, op: ComputeOp) -> float:
         return op_duration(op.flops, op.bytes_touched, self.platform, op.engine)
@@ -159,8 +185,12 @@ class GraphExecutor:
             if self.npu_backend is None:
                 raise ConfigurationError("graph has NPU ops but no NPU backend")
             start = self.sim.now
+            busy0 = self.npu_backend.busy_time
+            overhead0 = self.npu_backend.overhead_time
             yield from self.npu_backend.run(op, duration)
             self.npu_wait_time += self.sim.now - start
+            self.npu_busy_time += self.npu_backend.busy_time - busy0
+            self.npu_overhead_time += self.npu_backend.overhead_time - overhead0
 
     def execute(self, graph: ComputationGraph, cpu_priority: float = 0.0):
         """Run the whole chain (generator)."""
@@ -178,6 +208,11 @@ def sample_token(model_id: str, step: int, vocab: int) -> int:
 class DecodeResult:
     token_ids: List[int] = field(default_factory=list)
     step_times: List[float] = field(default_factory=list)
+    #: per-token latency attribution: for each generated token a dict of
+    #: ``cpu`` (CPU op busy time), ``npu_compute`` (device busy time),
+    #: ``smc`` (cross-world overhead: traps + secure-mode switches), and
+    #: ``sched_wait`` (the rest: REE queueing, power-up, stalls, hooks).
+    attribution: List[dict] = field(default_factory=list)
     #: the loop was stopped by ``stop_hook`` before generating every token
     #: (serving-level preemption; see :mod:`repro.serve`).
     stopped_early: bool = False
@@ -186,6 +221,14 @@ class DecodeResult:
     def tokens_per_second(self) -> float:
         total = sum(self.step_times)
         return len(self.step_times) / total if total > 0 else 0.0
+
+    def attribution_totals(self) -> dict:
+        """Summed per-component decode time across all tokens."""
+        totals = {"cpu": 0.0, "npu_compute": 0.0, "smc": 0.0, "sched_wait": 0.0}
+        for step in self.attribution:
+            for key in totals:
+                totals[key] += step.get(key, 0.0)
+        return totals
 
 
 def decode_tokens(
@@ -223,6 +266,9 @@ def decode_tokens(
             result.stopped_early = True
             break
         start = sim.now
+        cpu0 = executor.cpu_busy_time
+        npu0 = executor.npu_busy_time
+        smc0 = executor.npu_overhead_time
         if grow_hook is not None:
             yield from grow_hook(kv)
         kv_bytes = kv.tokens * model.kv_dim * 2 * model.kv_bytes_per_element
@@ -230,7 +276,19 @@ def decode_tokens(
             op.flops = 4.0 * kv.tokens * model.hidden
             op.bytes_touched = kv_bytes
         yield from executor.execute(graph, cpu_priority=cpu_priority)
-        result.step_times.append(sim.now - start)
+        step_time = sim.now - start
+        result.step_times.append(step_time)
+        cpu_d = executor.cpu_busy_time - cpu0
+        npu_d = executor.npu_busy_time - npu0
+        smc_d = executor.npu_overhead_time - smc0
+        result.attribution.append(
+            {
+                "cpu": cpu_d,
+                "npu_compute": npu_d,
+                "smc": smc_d,
+                "sched_wait": max(0.0, step_time - cpu_d - npu_d - smc_d),
+            }
+        )
         result.token_ids.append(sample_token(model.model_id, step, model.vocab))
         kv.append_token()
     return result

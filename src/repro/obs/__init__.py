@@ -12,14 +12,23 @@ Three cooperating pieces, one import:
 * :class:`FlightRecorder` — a bounded ring buffer of typed events
   (faults, retries, watchdog fires, breaker flips) snapshotted as a
   postmortem when a request terminally fails.
+* :class:`Profiler` — virtual-time profiling: collapsed-stack
+  flamegraphs, per-resource queueing reports with a Little's-law
+  check, per-lane busy/wait/idle accounting and per-token decode
+  latency attribution.
+* :class:`AlertEngine` — declarative threshold and multi-window SLO
+  burn-rate rules evaluated over registry series on a virtual-time
+  ticker; transitions land in the flight recorder and Chrome trace.
 
 :func:`instrument` wires all of it into a built system in one call,
 mirroring how :class:`~repro.faults.injector.FaultInjector.arm` attaches
 fault sites.
 """
 
+from .alerts import AlertEngine, AlertTransition, BurnRateRule, ThresholdRule
 from .attach import Observability, instrument
 from .context import TraceContext
+from .profile import LaneBreakdown, Profiler, QueueRow
 from .recorder import FlightEvent, FlightRecorder
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
 
@@ -33,4 +42,11 @@ __all__ = [
     "FlightRecorder",
     "Observability",
     "instrument",
+    "Profiler",
+    "LaneBreakdown",
+    "QueueRow",
+    "AlertEngine",
+    "AlertTransition",
+    "ThresholdRule",
+    "BurnRateRule",
 ]

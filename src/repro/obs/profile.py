@@ -1,0 +1,347 @@
+"""Virtual-time profiler: where did every simulated second go?
+
+The :class:`Profiler` folds what the stack already records — tracer
+spans, resource queueing stats, the process ledger, decode attribution —
+into three deterministic reports:
+
+* :meth:`Profiler.collapsed_stacks` — a collapsed-stack flamegraph file
+  (one ``lane;category;name count_usec`` line per aggregated frame),
+  loadable in speedscope or Brendan Gregg's ``flamegraph.pl``;
+* :meth:`Profiler.queueing_report` — per-resource arrival counts,
+  mean/p99 wait, utilization and a Little's-law sanity check, computed
+  from the :class:`~repro.sim.ResourceStats` /
+  :class:`~repro.sim.PipeStats` the resources keep themselves;
+* :meth:`Profiler.lane_accounting` — per-lane busy/wait/idle that sums
+  to the lane's window *by construction*, so 100% of virtual time is
+  attributed (the Fig. 12 acceptance bar).
+
+Decode attribution (NPU compute vs. SMC vs. scheduler wait per token)
+rides on the :class:`~repro.llm.runtime.DecodeResult` records the TA
+returns; :meth:`Profiler.add_record` folds them in, keyed by the
+request id the :class:`~repro.obs.TraceContext` carried into the TA.
+
+Everything is derived from simulated time only — two same-seed runs
+produce byte-identical report text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.resources import BandwidthResource, Resource
+
+__all__ = ["LaneBreakdown", "QueueRow", "Profiler"]
+
+#: span categories counted as *wait* (not busy) in the lane accounting;
+#: spans named ``queue …`` (the gateway's queue spans) also count.
+WAIT_CATEGORIES = frozenset({"wait", "queue", "stall"})
+
+#: decode-attribution components, in report order.
+_DECODE_COMPONENTS = ("cpu", "npu_compute", "smc", "sched_wait")
+
+
+def _merge(intervals: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _interval_sum(intervals: List[Tuple[float, float]]) -> float:
+    return sum(end - start for start, end in intervals)
+
+
+@dataclass(frozen=True)
+class LaneBreakdown:
+    """One lane's virtual-time budget: busy + wait + idle == window."""
+
+    lane: str
+    window: float
+    busy: float
+    wait: float
+    idle: float
+
+    @property
+    def accounted(self) -> float:
+        """Fraction of the window attributed (1.0 by construction)."""
+        if self.window <= 0:
+            return 1.0
+        return (self.busy + self.wait + self.idle) / self.window
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "lane": self.lane,
+            "window": self.window,
+            "busy": self.busy,
+            "wait": self.wait,
+            "idle": self.idle,
+            "accounted": self.accounted,
+        }
+
+
+@dataclass(frozen=True)
+class QueueRow:
+    """One resource's queueing summary."""
+
+    name: str
+    kind: str  # "semaphore" | "pipe"
+    arrivals: int
+    completions: int
+    mean_wait: float
+    p99_wait: float
+    mean_service: float
+    utilization: float
+    mean_queue_length: float
+    littles_law_residual: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "arrivals": self.arrivals,
+            "completions": self.completions,
+            "mean_wait": self.mean_wait,
+            "p99_wait": self.p99_wait,
+            "mean_service": self.mean_service,
+            "utilization": self.utilization,
+            "mean_queue_length": self.mean_queue_length,
+            "littles_law_residual": self.littles_law_residual,
+        }
+
+
+class Profiler:
+    """Aggregates a run's observability into deterministic reports."""
+
+    def __init__(self, tracer, resources=(), ledger=None, sim=None):
+        self.tracer = tracer
+        self.sim = sim if sim is not None else getattr(tracer, "sim", None)
+        self.ledger = ledger
+        self._resources: List[Tuple[str, object]] = []
+        for entry in resources:
+            if isinstance(entry, tuple):
+                self.add_resource(entry[1], name=entry[0])
+            else:
+                self.add_resource(entry)
+        #: (request_key, per-component totals, tokens) decode rows.
+        self._decode_rows: List[Tuple[str, Dict[str, float], int]] = []
+
+    # ------------------------------------------------------------------
+    # inputs
+    # ------------------------------------------------------------------
+    def add_resource(self, resource, name: Optional[str] = None) -> "Profiler":
+        """Track a :class:`Resource` or :class:`BandwidthResource`."""
+        label = name or getattr(resource, "name", "") or "resource-%d" % len(self._resources)
+        self._resources.append((label, resource))
+        return self
+
+    def add_record(self, record) -> "Profiler":
+        """Fold in one :class:`~repro.core.llm_ta.InferenceRecord`'s decode."""
+        decode = getattr(record, "decode", None)
+        if decode is None or not getattr(decode, "attribution", None):
+            return self
+        request_id = getattr(record, "request_id", None)
+        key = "r%d" % request_id if request_id is not None else "direct-%d" % len(self._decode_rows)
+        self._decode_rows.append(
+            (key, decode.attribution_totals(), len(decode.attribution))
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # (a) collapsed-stack flamegraph
+    # ------------------------------------------------------------------
+    def collapsed_stacks(self) -> str:
+        """Collapsed-stack lines (``lane;category;name usec``), sorted.
+
+        Durations are aggregated per frame and rendered as integer
+        microseconds — the unit FlameGraph/speedscope treat as sample
+        counts.  Frame components are sanitized (``;`` and spaces) so
+        the output is always parseable.
+        """
+        frames: Dict[str, float] = {}
+        for span in getattr(self.tracer, "spans", ()):
+            frame = ";".join(
+                part.replace(";", ",").replace(" ", "_") or "-"
+                for part in (span.lane, span.category, span.name)
+            )
+            frames[frame] = frames.get(frame, 0.0) + span.duration
+        lines = [
+            "%s %d" % (frame, int(round(frames[frame] * 1e6)))
+            for frame in sorted(frames)
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_collapsed(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.collapsed_stacks())
+
+    # ------------------------------------------------------------------
+    # (b) lane accounting: busy + wait + idle == window
+    # ------------------------------------------------------------------
+    def lane_accounting(self) -> List[LaneBreakdown]:
+        spans = list(getattr(self.tracer, "spans", ()))
+        if not spans:
+            return []
+        window_start = min(s.start for s in spans)
+        window_end = max(s.end for s in spans)
+        window = window_end - window_start
+        by_lane: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+        for span in spans:
+            lane = by_lane.setdefault(span.lane, {"busy": [], "wait": []})
+            kind = (
+                "wait"
+                if span.category in WAIT_CATEGORIES or span.name.startswith("queue")
+                else "busy"
+            )
+            lane[kind].append((span.start, span.end))
+        out = []
+        for lane in sorted(by_lane):
+            busy_ivals = _merge(by_lane[lane]["busy"])
+            busy = _interval_sum(busy_ivals)
+            # Wait only counts where the lane is not already busy, so the
+            # three buckets partition the window exactly.
+            wait = _interval_sum(_merge(by_lane[lane]["wait"] + busy_ivals)) - busy
+            idle = max(0.0, window - busy - wait)
+            out.append(LaneBreakdown(lane, window, busy, wait, idle))
+        return out
+
+    # ------------------------------------------------------------------
+    # (c) queueing report
+    # ------------------------------------------------------------------
+    def queueing_report(self) -> List[QueueRow]:
+        now = self.sim.now if self.sim is not None else 0.0
+        rows = []
+        for label, resource in sorted(self._resources, key=lambda e: e[0]):
+            if isinstance(resource, BandwidthResource):
+                resource.sync()
+                stats = resource.stats
+                completed = sum(t.completed for t in stats.tags.values())
+                transfers = sum(t.transfers for t in stats.tags.values())
+                service = sum(t.service_time for t in stats.tags.values())
+                window = stats.window(now)
+                rows.append(
+                    QueueRow(
+                        name=label,
+                        kind="pipe",
+                        arrivals=transfers,
+                        completions=completed,
+                        mean_wait=0.0,  # processor sharing admits instantly
+                        p99_wait=0.0,
+                        mean_service=service / completed if completed else 0.0,
+                        utilization=stats.utilization(now),
+                        mean_queue_length=stats.active_area / window if window > 0 else 0.0,
+                        littles_law_residual=self._pipe_littles_residual(stats, now),
+                    )
+                )
+            elif isinstance(resource, Resource):
+                stats = resource.stats
+                stats.advance(now, resource.count, resource.queued)
+                rows.append(
+                    QueueRow(
+                        name=label,
+                        kind="semaphore",
+                        arrivals=stats.arrivals,
+                        completions=stats.releases,
+                        mean_wait=stats.mean_wait(),
+                        p99_wait=stats.p99_wait(),
+                        mean_service=stats.mean_service(),
+                        utilization=stats.utilization(now, resource.capacity),
+                        mean_queue_length=stats.mean_queue_length(now),
+                        littles_law_residual=stats.littles_law_residual(now),
+                    )
+                )
+        return rows
+
+    @staticmethod
+    def _pipe_littles_residual(stats, now: float) -> float:
+        """L = λW over the pipe's in-flight population."""
+        window = stats.window(now)
+        completed = sum(t.completed for t in stats.tags.values())
+        service = sum(t.service_time for t in stats.tags.values())
+        if window <= 0 or completed == 0:
+            return 0.0
+        L = stats.active_area / window
+        lam = completed / window
+        W = service / completed
+        scale = max(L, lam * W, 1e-12)
+        return abs(L - lam * W) / scale
+
+    # ------------------------------------------------------------------
+    # (d) decode attribution
+    # ------------------------------------------------------------------
+    def decode_attribution(self) -> List[Dict[str, object]]:
+        """Per-request decode totals, in the order records were added."""
+        rows = []
+        for key, totals, tokens in self._decode_rows:
+            row: Dict[str, object] = {"request": key, "tokens": tokens}
+            for component in _DECODE_COMPONENTS:
+                row[component] = totals.get(component, 0.0)
+            rows.append(row)
+        return rows
+
+    # ------------------------------------------------------------------
+    # exports
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "lanes": [b.to_dict() for b in self.lane_accounting()],
+            "queues": [r.to_dict() for r in self.queueing_report()],
+            "decode": self.decode_attribution(),
+        }
+        if self.ledger is not None:
+            out["processes"] = self.ledger.to_dict()
+        return out
+
+    def render(self) -> str:
+        lines = ["profiler report"]
+        lanes = self.lane_accounting()
+        if lanes:
+            lines.append("  lane accounting (busy + wait + idle = window):")
+            for b in lanes:
+                lines.append(
+                    "    %-12s window %10.6f  busy %10.6f  wait %10.6f  idle %10.6f  (%.1f%% accounted)"
+                    % (b.lane, b.window, b.busy, b.wait, b.idle, b.accounted * 100.0)
+                )
+        queues = self.queueing_report()
+        if queues:
+            lines.append("  queueing:")
+            for q in queues:
+                lines.append(
+                    "    %-16s %-9s arrivals %6d  mean wait %9.6f  p99 wait %9.6f  util %5.1f%%  L %7.3f  Little residual %6.3f"
+                    % (
+                        q.name,
+                        q.kind,
+                        q.arrivals,
+                        q.mean_wait,
+                        q.p99_wait,
+                        q.utilization * 100.0,
+                        q.mean_queue_length,
+                        q.littles_law_residual,
+                    )
+                )
+        decode = self.decode_attribution()
+        if decode:
+            lines.append("  decode attribution (s):")
+            for row in decode:
+                lines.append(
+                    "    %-10s tokens %4d  cpu %9.6f  npu %9.6f  smc %9.6f  wait %9.6f"
+                    % (
+                        row["request"],
+                        row["tokens"],
+                        row["cpu"],
+                        row["npu_compute"],
+                        row["smc"],
+                        row["sched_wait"],
+                    )
+                )
+        if self.ledger is not None:
+            lines.append("  processes:")
+            for name, row in self.ledger.rows():
+                lines.append(
+                    "    %-28s spawned %6d  resumes %8d  finished %6d"
+                    % (name, row["spawned"], row["resumes"], row["finished"])
+                )
+        return "\n".join(lines)

@@ -86,8 +86,14 @@ class _Instrument:
         return self._values.get(_label_key(labels), 0.0)
 
     def samples(self):
-        """All (label_key, value) pairs, sorted for determinism."""
-        return sorted(self._values.items())
+        """All (label_key, value) pairs, sorted for determinism.
+
+        Sorted on the label key alone: histogram values are dicts, which
+        must never participate in the comparison, and label keys are
+        already canonical (``_label_key`` sorts label names), so the
+        order is independent of label insertion order at the call site.
+        """
+        return sorted(self._values.items(), key=lambda kv: kv[0])
 
     def labeled(self, label_name):
         """Map from one label's value to the series value.

@@ -72,6 +72,12 @@ class REENPUDriver:
         self.shadow_jobs_dropped = 0
         self.power_cycles = 0
         self.power_up_time_total = 0.0
+        #: cumulative wall time spent inside shadow hand-off SMCs (the
+        #: REE-side view of the cross-world cost; repro.obs profiling).
+        self.smc_handoff_time = 0.0
+        #: observability attach points (repro.obs.instrument).
+        self.metrics = None
+        self.recorder = None
         self._last_activity = sim.now
         self._activity: Optional[Event] = None
         self._shadow_ids = itertools.count(1)
@@ -193,9 +199,17 @@ class REENPUDriver:
                 shadow.completion.succeed(None)
             return
         self.shadow_jobs_forwarded += 1
+        t0 = self.sim.now
         yield from self.monitor.smc(
             World.NONSECURE, "tee.npu_take_over", shadow.shadow_id, shadow.seq
         )
+        elapsed = self.sim.now - t0
+        self.smc_handoff_time += elapsed
+        if self.metrics is not None:
+            self.metrics.counter(
+                "ree_npu_handoff_seconds_total",
+                "Wall time the REE scheduler spent inside take-over SMCs",
+            ).inc(elapsed)
         shadow.completion.succeed(shadow.shadow_id)
 
     def _on_irq(self, irq: int, job: NPUJob) -> None:

@@ -160,6 +160,8 @@ class ServeGateway:
         self.preemption_signals = 0
         self.wasted_time = 0.0
         self.wasted_tokens = 0
+        #: set by AlertEngine(gateway=...) so health() can report alerts.
+        self.alert_engine = None
 
     # ------------------------------------------------------------------
     # submission
@@ -500,6 +502,31 @@ class ServeGateway:
     @property
     def queue_depth(self) -> int:
         return sum(self.admission.total_depth(m) for m in self.lanes)
+
+    def health(self) -> Dict[str, object]:
+        """One JSON-stable snapshot of gateway health at the current time:
+        per-lane breaker state, busyness and queue depth, total queue
+        depth, completion/failure counts, and any alerts firing (when an
+        :class:`~repro.obs.AlertEngine` is attached to this gateway)."""
+        lanes = {}
+        for model_id in sorted(self.lanes):
+            lane = self.lanes[model_id]
+            lanes[model_id] = {
+                "breaker": lane.breaker.state,
+                "busy": lane.busy,
+                "queue_depth": self.admission.total_depth(model_id),
+            }
+        firing = [] if self.alert_engine is None else self.alert_engine.firing()
+        return {
+            "at": self.sim.now,
+            "lanes": lanes,
+            "queue_depth": self.queue_depth,
+            "completed": len(self.completed),
+            "failed": len(self.failed),
+            "alerts_firing": firing,
+            "healthy": not firing
+            and all(l["breaker"] != "open" for l in lanes.values()),
+        }
 
     def request_log(self) -> str:
         """The full deterministic request log, newline-joined."""

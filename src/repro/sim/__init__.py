@@ -12,11 +12,20 @@ from .core import (
     Event,
     Interrupt,
     Process,
+    ProcessLedger,
     SimulationError,
     Simulator,
     Timeout,
 )
-from .resources import BandwidthResource, Request, Resource, Transfer
+from .resources import (
+    BandwidthResource,
+    PipeStats,
+    Request,
+    Resource,
+    ResourceStats,
+    TagStats,
+    Transfer,
+)
 from .trace import NULL_TRACER, FlowEvent, NullTracer, Span, Tracer
 
 __all__ = [
@@ -30,11 +39,15 @@ __all__ = [
     "BandwidthResource",
     "Event",
     "Interrupt",
+    "PipeStats",
     "Process",
+    "ProcessLedger",
     "Request",
     "Resource",
+    "ResourceStats",
     "SimulationError",
     "Simulator",
+    "TagStats",
     "Timeout",
     "Transfer",
 ]

@@ -31,12 +31,83 @@ __all__ = [
     "Event",
     "Timeout",
     "Process",
+    "ProcessLedger",
     "Interrupt",
     "SimulationError",
     "Simulator",
     "AllOf",
     "AnyOf",
 ]
+
+
+class ProcessLedger:
+    """Lightweight per-process activity accounting (opt-in).
+
+    Enable by setting ``sim.ledger = ProcessLedger()`` before spawning
+    processes; the default (``None``) costs one attribute read per
+    process step.  Rows aggregate by process *name* — many short-lived
+    processes share a name (``pipeline-io``, ``serve-r7``) and what a
+    profiler wants is "how much scheduler activity did each role see",
+    not a row per instance.  Resumes happen at instants of virtual time,
+    so the ledger counts events and tracks lifetimes rather than
+    pretending processes burn wall time between yields.
+    """
+
+    __slots__ = ("_rows",)
+
+    def __init__(self):
+        self._rows = {}
+
+    def _row(self, name):
+        row = self._rows.get(name)
+        if row is None:
+            row = self._rows[name] = {
+                "spawned": 0,
+                "resumes": 0,
+                "finished": 0,
+                "failed": 0,
+                "first_spawn_at": None,
+                "last_finish_at": None,
+                "lifetime": 0.0,
+            }
+        return row
+
+    def note_spawn(self, process: "Process", at: float) -> None:
+        row = self._row(process.name)
+        row["spawned"] += 1
+        if row["first_spawn_at"] is None:
+            row["first_spawn_at"] = at
+        process._spawned_at = at
+
+    def note_resume(self, process: "Process", at: float) -> None:
+        self._row(process.name)["resumes"] += 1
+
+    def note_finish(self, process: "Process", at: float, failed: bool = False) -> None:
+        row = self._row(process.name)
+        row["finished"] += 1
+        if failed:
+            row["failed"] += 1
+        row["last_finish_at"] = at
+        spawned_at = getattr(process, "_spawned_at", None)
+        if spawned_at is not None:
+            row["lifetime"] += at - spawned_at
+
+    # ------------------------------------------------------------------
+    def rows(self):
+        """(name, row) pairs sorted by name — deterministic export."""
+        return sorted(self._rows.items())
+
+    def to_dict(self):
+        return {name: dict(row) for name, row in self.rows()}
+
+    def render(self):
+        lines = ["%-28s %8s %8s %8s %12s" % ("process", "spawned", "resumes", "done", "lifetime")]
+        for name, row in self.rows():
+            lines.append(
+                "%-28s %8d %8d %8d %12.6f"
+                % (name, row["spawned"], row["resumes"], row["finished"], row["lifetime"])
+            )
+        return "\n".join(lines)
 
 
 class SimulationError(Exception):
@@ -175,6 +246,8 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
+        if sim.ledger is not None:
+            sim.ledger.note_spawn(self, sim.now)
         _Initialize(sim, self)
 
     @property
@@ -217,6 +290,8 @@ class Process(Event):
         sim = self.sim
         previous = sim.active_process
         sim.active_process = self
+        if sim.ledger is not None:
+            sim.ledger.note_resume(self, sim.now)
         try:
             if throw:
                 target = self._generator.throw(payload)
@@ -224,16 +299,22 @@ class Process(Event):
                 target = self._generator.send(payload)
         except StopIteration as stop:
             sim.active_process = previous
+            if sim.ledger is not None:
+                sim.ledger.note_finish(self, sim.now)
             self.succeed(getattr(stop, "value", None))
             return
         except Interrupt as exc:
             # An un-caught interrupt terminates the process "successfully"
             # with the interrupt cause; this keeps preemption non-fatal.
             sim.active_process = previous
+            if sim.ledger is not None:
+                sim.ledger.note_finish(self, sim.now)
             self.succeed(exc.cause)
             return
         except BaseException as exc:
             sim.active_process = previous
+            if sim.ledger is not None:
+                sim.ledger.note_finish(self, sim.now, failed=True)
             self.fail(exc)
             return
         sim.active_process = previous
@@ -318,6 +399,9 @@ class Simulator:
         self._seq = itertools.count()
         self.active_process: Optional[Process] = None
         self._step_count = 0
+        #: opt-in process-activity ledger (see :class:`ProcessLedger`);
+        #: ``None`` keeps process stepping on the fast path.
+        self.ledger: Optional[ProcessLedger] = None
 
     # ------------------------------------------------------------------
     # public API

@@ -14,11 +14,130 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 from .core import Event, SimulationError, Simulator
 
-__all__ = ["Request", "Resource", "BandwidthResource", "Transfer"]
+__all__ = [
+    "Request",
+    "Resource",
+    "ResourceStats",
+    "BandwidthResource",
+    "PipeStats",
+    "TagStats",
+    "Transfer",
+]
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty list (0 for empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class ResourceStats:
+    """Always-on queueing accounting for one :class:`Resource`.
+
+    Tracks per-request wait time (arrival → grant) and service time
+    (grant → release) plus two time integrals — occupied slots and queue
+    length — so a profiler can compute utilization, mean queue length,
+    and a Little's-law sanity check without re-simulating.  Updates are
+    O(1) per state change; nothing is formatted until asked.
+    """
+
+    __slots__ = (
+        "created_at",
+        "arrivals",
+        "grants",
+        "releases",
+        "cancellations",
+        "wait_times",
+        "service_times",
+        "_busy_area",
+        "_queue_area",
+        "_last_change",
+    )
+
+    def __init__(self, now: float):
+        self.created_at = now
+        self.arrivals = 0
+        self.grants = 0
+        self.releases = 0
+        self.cancellations = 0
+        self.wait_times: List[float] = []
+        self.service_times: List[float] = []
+        self._busy_area = 0.0  # ∫ held-slots dt
+        self._queue_area = 0.0  # ∫ queue-length dt
+        self._last_change = now
+
+    def advance(self, now: float, held: int, queued: int) -> None:
+        """Integrate the areas up to ``now`` with the *previous* state."""
+        elapsed = now - self._last_change
+        if elapsed > 0:
+            self._busy_area += held * elapsed
+            self._queue_area += queued * elapsed
+            self._last_change = now
+
+    # ------------------------------------------------------------------
+    def window(self, now: float) -> float:
+        return now - self.created_at
+
+    def mean_wait(self) -> float:
+        return sum(self.wait_times) / len(self.wait_times) if self.wait_times else 0.0
+
+    def p99_wait(self) -> float:
+        return _percentile(self.wait_times, 0.99)
+
+    def mean_service(self) -> float:
+        return (
+            sum(self.service_times) / len(self.service_times)
+            if self.service_times
+            else 0.0
+        )
+
+    def utilization(self, now: float, capacity: int) -> float:
+        window = self.window(now)
+        if window <= 0 or capacity <= 0:
+            return 0.0
+        return self._busy_area / (window * capacity)
+
+    def mean_queue_length(self, now: float) -> float:
+        window = self.window(now)
+        return self._queue_area / window if window > 0 else 0.0
+
+    def littles_law_residual(self, now: float) -> float:
+        """Relative gap between L and λW over the window (0 = exact).
+
+        Little's law for the waiting room: mean queue length L equals the
+        arrival-to-grant rate λ times mean wait W.  Finite windows leave
+        edge effects (requests still queued at ``now``), so the residual
+        is a sanity check, not an identity.
+        """
+        window = self.window(now)
+        if window <= 0 or not self.wait_times:
+            return 0.0
+        L = self.mean_queue_length(now)
+        lam = self.grants / window
+        lw = lam * self.mean_wait()
+        scale = max(L, lw, 1e-12)
+        return abs(L - lw) / scale
+
+    def to_dict(self, now: float, capacity: int) -> Dict[str, float]:
+        return {
+            "arrivals": self.arrivals,
+            "grants": self.grants,
+            "releases": self.releases,
+            "cancellations": self.cancellations,
+            "mean_wait": self.mean_wait(),
+            "p99_wait": self.p99_wait(),
+            "mean_service": self.mean_service(),
+            "utilization": self.utilization(now, capacity),
+            "mean_queue_length": self.mean_queue_length(now),
+            "littles_law_residual": self.littles_law_residual(now),
+        }
 
 
 class Request(Event):
@@ -34,6 +153,8 @@ class Request(Event):
         self.priority = priority
         self.data = data
         self.cancelled = False
+        self.arrived_at = resource.sim.now
+        self.granted_at: Optional[float] = None
 
     def cancel(self) -> None:
         """Withdraw a queued request; no-op if already granted."""
@@ -60,6 +181,7 @@ class Resource:
         self._users: List[Request] = []
         self._queue: List = []
         self._seq = itertools.count()
+        self.stats = ResourceStats(sim.now)
 
     @property
     def count(self) -> int:
@@ -70,31 +192,117 @@ class Resource:
     def queued(self) -> int:
         return len(self._queue)
 
+    def _account(self) -> None:
+        self.stats.advance(self.sim.now, len(self._users), len(self._queue))
+
     def request(self, priority: float = 0.0, data: Any = None) -> Request:
+        self._account()
         req = Request(self, priority, data)
+        self.stats.arrivals += 1
         key = priority if self._prioritized else 0.0
         heapq.heappush(self._queue, (key, next(self._seq), req))
         self._admit()
         return req
 
     def release(self, request: Request) -> None:
+        self._account()
         try:
             self._users.remove(request)
         except ValueError:
             raise SimulationError("releasing a request that does not hold %s" % self.name)
+        self.stats.releases += 1
+        if request.granted_at is not None:
+            self.stats.service_times.append(self.sim.now - request.granted_at)
         self._admit()
 
     def _drop(self, request: Request) -> None:
+        self._account()
+        self.stats.cancellations += 1
         self._queue = [entry for entry in self._queue if entry[2] is not request]
         heapq.heapify(self._queue)
 
     def _admit(self) -> None:
         while self._queue and len(self._users) < self.capacity:
+            self._account()
             _key, _seq, req = heapq.heappop(self._queue)
             if req.cancelled:
                 continue
+            req.granted_at = self.sim.now
+            self.stats.grants += 1
+            self.stats.wait_times.append(self.sim.now - req.arrived_at)
             self._users.append(req)
             req.succeed(req)
+
+
+class TagStats:
+    """Per-tag accounting for a :class:`BandwidthResource`.
+
+    ``occupancy`` is transfer-seconds: the integral of this tag's active
+    transfer count over time (two concurrent 1-second transfers make 2).
+    """
+
+    __slots__ = ("bytes", "transfers", "completed", "occupancy", "service_time")
+
+    def __init__(self):
+        self.bytes = 0.0
+        self.transfers = 0
+        self.completed = 0
+        self.occupancy = 0.0
+        self.service_time = 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "bytes": self.bytes,
+            "transfers": self.transfers,
+            "completed": self.completed,
+            "occupancy": self.occupancy,
+            "service_time": self.service_time,
+        }
+
+
+class PipeStats:
+    """Whole-pipe accounting for a :class:`BandwidthResource`.
+
+    ``busy_time`` is wall (virtual) time with at least one transfer in
+    flight; ``active_area`` is the integral of the concurrent-transfer
+    count.  Both are advanced lazily on the same settle boundaries the
+    progress accounting already uses, so ``busy_time + idle == window``
+    exactly — the invariant the queueing report leans on.
+    """
+
+    __slots__ = ("created_at", "busy_time", "active_area", "tags")
+
+    def __init__(self, now: float):
+        self.created_at = now
+        self.busy_time = 0.0
+        self.active_area = 0.0
+        self.tags: Dict[str, TagStats] = {}
+
+    def tag(self, tag: Any) -> TagStats:
+        key = "untagged" if tag is None else str(tag)
+        stats = self.tags.get(key)
+        if stats is None:
+            stats = self.tags[key] = TagStats()
+        return stats
+
+    def window(self, now: float) -> float:
+        return now - self.created_at
+
+    def idle_time(self, now: float) -> float:
+        return max(0.0, self.window(now) - self.busy_time)
+
+    def utilization(self, now: float) -> float:
+        window = self.window(now)
+        return self.busy_time / window if window > 0 else 0.0
+
+    def to_dict(self, now: float) -> Dict[str, object]:
+        return {
+            "busy_time": self.busy_time,
+            "idle_time": self.idle_time(now),
+            "active_area": self.active_area,
+            "utilization": self.utilization(now),
+            "tags": {k: v.to_dict() for k, v in sorted(self.tags.items())},
+        }
 
 
 class Transfer(Event):
@@ -143,6 +351,7 @@ class BandwidthResource:
         self._last_update = sim.now
         self._wake_generation = 0
         self.total_bytes = 0.0
+        self.stats = PipeStats(sim.now)
 
     # ------------------------------------------------------------------
     @property
@@ -158,13 +367,26 @@ class BandwidthResource:
             rate = min(rate, self.per_stream)
         return rate
 
+    def sync(self) -> None:
+        """Bring lazy progress/occupancy accounting up to ``sim.now``.
+
+        Readers (the profiler's queueing report) call this before looking
+        at :attr:`stats` mid-run; the pending wake-up stays valid because
+        settling never changes the completion schedule.
+        """
+        self._settle()
+
     def transfer(self, size: float, tag: Any = None) -> Transfer:
         """Start moving ``size`` bytes; returns the completion event."""
         self._settle()
         xfer = Transfer(self, size, tag)
         self.total_bytes += xfer.size
+        tag_stats = self.stats.tag(tag)
+        tag_stats.bytes += xfer.size
+        tag_stats.transfers += 1
         if xfer.size == 0:
             xfer.finished_at = self.sim.now
+            tag_stats.completed += 1
             xfer.succeed(xfer)
             return xfer
         self._active.append(xfer)
@@ -179,6 +401,10 @@ class BandwidthResource:
         self._last_update = now
         if elapsed <= 0 or not self._active:
             return
+        self.stats.busy_time += elapsed
+        self.stats.active_area += len(self._active) * elapsed
+        for xfer in self._active:
+            self.stats.tag(xfer.tag).occupancy += elapsed
         rate = self.current_rate()
         # A transfer with less than a nanosecond of work left is done:
         # float roundtrip error on large transfers leaves residues that
@@ -193,6 +419,9 @@ class BandwidthResource:
         for xfer in done:
             self._active.remove(xfer)
             xfer.finished_at = now
+            tag_stats = self.stats.tag(xfer.tag)
+            tag_stats.completed += 1
+            tag_stats.service_time += now - xfer.started_at
             xfer.succeed(xfer)
 
     def _rearm(self) -> None:

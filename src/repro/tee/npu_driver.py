@@ -111,6 +111,13 @@ class TEENPUDriver:
                 "tee_npu_jobs_total", "Secure NPU job outcomes at the co-driver"
             ).inc(outcome=outcome)
 
+    def _note_switch(self, elapsed: float) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "tee_npu_world_switch_seconds_total",
+                "Wall time spent entering/leaving secure NPU mode",
+            ).inc(elapsed)
+
     # ------------------------------------------------------------------
     # TA-facing API
     # ------------------------------------------------------------------
@@ -322,8 +329,10 @@ class TEENPUDriver:
             for slot in self.allowed_slots:
                 self.board.tzasc.allow_device(World.SECURE, slot, self.npu.name)
             yield sim.timeout(tz.tzasc_config_time)
-        self.world_switch_time += sim.now - start
+        elapsed = sim.now - start
+        self.world_switch_time += elapsed
         self.world_switches += 1
+        self._note_switch(elapsed)
 
     def _leave_secure_mode(self):
         sim = self.sim
@@ -338,4 +347,6 @@ class TEENPUDriver:
         yield sim.timeout(tz.tzpc_config_time)
         if self.reinit_on_switch:
             yield sim.timeout(self.npu.spec.driver_reinit_time)
-        self.world_switch_time += sim.now - start
+        elapsed = sim.now - start
+        self.world_switch_time += elapsed
+        self._note_switch(elapsed)

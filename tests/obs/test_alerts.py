@@ -1,0 +1,278 @@
+"""Tests for the declarative alert engine (repro.obs.alerts)."""
+
+import pytest
+
+from repro import TINYLLAMA, TZLLM
+from repro.errors import ConfigurationError, StorageError
+from repro.faults import FaultPlan, FaultSpec
+from repro.llm import container_path
+from repro.obs import AlertEngine, BurnRateRule, MetricsRegistry, ThresholdRule, instrument
+from repro.serve import ServeGateway
+from repro.sim import Simulator
+from repro.sim.trace import Tracer
+
+
+# ----------------------------------------------------------------------
+# rule validation
+# ----------------------------------------------------------------------
+def test_threshold_rule_rejects_unknown_op():
+    with pytest.raises(ConfigurationError):
+        ThresholdRule("bad", "m", "~", 1.0)
+
+
+def test_burn_rate_rule_needs_exactly_one_numerator():
+    with pytest.raises(ConfigurationError):
+        BurnRateRule("bad", total_metric="t")
+    with pytest.raises(ConfigurationError):
+        BurnRateRule("bad", total_metric="t", good_metric="g", bad_metric="b")
+    with pytest.raises(ConfigurationError):
+        BurnRateRule("bad", total_metric="t", good_metric="g", objective=1.0)
+    with pytest.raises(ConfigurationError):
+        BurnRateRule(
+            "bad", total_metric="t", good_metric="g", long_window=1.0, short_window=2.0
+        )
+
+
+def test_duplicate_rule_names_rejected():
+    sim = Simulator()
+    reg = MetricsRegistry()
+    rule = ThresholdRule("dup", "m", ">", 1.0)
+    with pytest.raises(ConfigurationError):
+        AlertEngine(sim, reg, [rule, rule])
+
+
+# ----------------------------------------------------------------------
+# threshold rules
+# ----------------------------------------------------------------------
+def test_threshold_fires_after_for_duration_and_resolves():
+    sim = Simulator()
+    reg = MetricsRegistry()
+    depth = reg.gauge("queue_depth")
+    engine = AlertEngine(
+        sim,
+        reg,
+        [ThresholdRule("deep-queue", "queue_depth", ">", 10.0, for_duration=2.0)],
+        interval=1.0,
+    )
+
+    def driver():
+        depth.set(20)
+        yield sim.timeout(5.0)
+        depth.set(3)
+        yield sim.timeout(3.0)
+
+    sim.process(driver())
+    engine.start(until=8.0)
+    sim.run()
+    states = [(t.at, t.state) for t in engine.transitions]
+    # Condition true from t=0; for_duration=2 means the tick at t>=2
+    # fires; the driver drops the gauge right before the t=5 tick, which
+    # resolves it.
+    assert states == [(3.0, "firing"), (5.0, "resolved")]
+    assert engine.firing() == []
+
+
+def test_threshold_for_duration_resets_on_recovery():
+    sim = Simulator()
+    reg = MetricsRegistry()
+    depth = reg.gauge("queue_depth")
+    engine = AlertEngine(
+        sim,
+        reg,
+        [ThresholdRule("flappy", "queue_depth", ">=", 5.0, for_duration=3.0)],
+        interval=1.0,
+    )
+
+    def driver():
+        # Blips shorter than for_duration never fire.
+        for _ in range(3):
+            depth.set(9)
+            yield sim.timeout(1.5)
+            depth.set(0)
+            yield sim.timeout(1.5)
+
+    sim.process(driver())
+    engine.start(until=10.0)
+    sim.run()
+    assert engine.transitions == []
+
+
+# ----------------------------------------------------------------------
+# burn-rate rules
+# ----------------------------------------------------------------------
+def _burn_engine(sim, reg, **overrides):
+    kwargs = dict(
+        total_metric="requests_total",
+        bad_metric="errors_total",
+        objective=0.999,
+        long_window=4.0,
+        short_window=1.0,
+        burn_factor=14.4,
+    )
+    kwargs.update(overrides)
+    return AlertEngine(sim, reg, [BurnRateRule("slo-burn", **kwargs)], interval=0.5)
+
+
+def test_burn_rate_fires_on_both_windows_and_resolves_fast():
+    sim = Simulator()
+    reg = MetricsRegistry()
+    total = reg.counter("requests_total")
+    errors = reg.counter("errors_total")
+    engine = _burn_engine(sim, reg)
+
+    def driver():
+        while sim.now < 30.0:
+            total.inc()
+            if 10.0 <= sim.now < 20.0:
+                errors.inc()
+            yield sim.timeout(0.25)
+
+    sim.process(driver())
+    engine.start(until=30.0)
+    sim.run()
+    states = [t.state for t in engine.transitions]
+    assert states == ["firing", "resolved"]
+    fired, resolved = engine.transitions
+    # Fires shortly after the error window opens...
+    assert 10.0 < fired.at < 12.0
+    assert fired.value >= 14.4
+    # ...and the short window resolves it quickly after recovery.
+    assert 20.0 < resolved.at < 22.0
+
+
+def test_burn_rate_good_metric_form_matches_bad_metric_form():
+    sim = Simulator()
+    reg = MetricsRegistry()
+    total = reg.counter("requests_total")
+    good = reg.counter("good_total")
+    engine = _burn_engine(
+        sim, reg, bad_metric=None, good_metric="good_total"
+    )
+
+    def driver():
+        while sim.now < 30.0:
+            total.inc()
+            if not (10.0 <= sim.now < 20.0):
+                good.inc()
+            yield sim.timeout(0.25)
+
+    sim.process(driver())
+    engine.start(until=30.0)
+    sim.run()
+    assert [t.state for t in engine.transitions] == ["firing", "resolved"]
+
+
+def test_quiet_series_never_fires():
+    sim = Simulator()
+    reg = MetricsRegistry()
+    reg.counter("requests_total")
+    reg.counter("errors_total")
+    engine = _burn_engine(sim, reg)
+    engine.start(until=10.0)
+    sim.run()
+    assert engine.transitions == []
+    assert engine.ticks == 20
+
+
+# ----------------------------------------------------------------------
+# seeded chaos end to end: fault window -> alert fires -> clears,
+# visible in the flight recorder and the Chrome trace.
+# ----------------------------------------------------------------------
+def _chaos_run(seed):
+    system = TZLLM(TINYLLAMA)
+    obs = instrument(system)
+    tracer = Tracer(system.sim)
+    plan = FaultPlan(
+        seed, [FaultSpec("flash.read_error", probability=1.0, window=(10.0, 20.0))]
+    )
+    plan.injector(system.sim).arm(system)
+    flash = system.stack.kernel.fs.flash
+    # The encrypted fs namespaces blobs ("fs:<path>"); read the one
+    # provisioned model container directly off the device.
+    (blob,) = [n for n in flash._blobs if container_path(TINYLLAMA.model_id) in n]
+    engine = AlertEngine(
+        system.sim,
+        obs.registry,
+        [
+            BurnRateRule(
+                "flash-slo-burn",
+                total_metric="flash_reads_total",
+                bad_metric="flash_read_errors_total",
+                objective=0.999,
+                long_window=4.0,
+                short_window=1.0,
+            )
+        ],
+        recorder=obs.recorder,
+        tracer=tracer,
+        interval=0.5,
+    )
+
+    def reader():
+        while system.sim.now < 30.0:
+            try:
+                yield from flash.read(blob, 0, 4096)
+            except StorageError:
+                pass
+            yield system.sim.timeout(0.25)
+
+    system.sim.process(reader())
+    engine.start(until=30.0)
+    system.sim.run()
+    return engine, obs, tracer
+
+
+def test_chaos_window_fires_and_clears_burn_rate_alert():
+    engine, obs, tracer = _chaos_run(seed=7)
+    assert [t.state for t in engine.transitions] == ["firing", "resolved"]
+    fired, resolved = engine.transitions
+    assert 10.0 < fired.at < 13.0
+    assert 20.0 < resolved.at < 22.0
+    # Both transitions landed in the flight recorder...
+    alert_events = [e for e in obs.recorder.events if e.category == "alert"]
+    assert [e.message for e in alert_events] == ["firing", "resolved"]
+    assert all(e.site == "alert.flash-slo-burn" for e in alert_events)
+    # ...next to the faults that caused them.
+    fault_sites = {e.site for e in obs.recorder.events if e.category == "fault"}
+    assert "flash.read_error" in fault_sites
+    # And as instants on the alerts lane of the trace.
+    assert [i.name for i in tracer.instants if i.lane == "alerts"] == [
+        "flash-slo-burn firing",
+        "flash-slo-burn resolved",
+    ]
+
+
+def test_chaos_alert_timeline_is_deterministic():
+    a, _, _ = _chaos_run(seed=7)
+    b, _, _ = _chaos_run(seed=7)
+    assert [(t.at, t.name, t.state) for t in a.transitions] == [
+        (t.at, t.name, t.state) for t in b.transitions
+    ]
+
+
+# ----------------------------------------------------------------------
+# gateway health snapshot
+# ----------------------------------------------------------------------
+def test_gateway_health_reports_breakers_queues_and_alerts():
+    system = TZLLM(TINYLLAMA)
+    obs = instrument(system)
+    system.run_infer(8, 0)
+    gateway = ServeGateway(system)
+    engine = AlertEngine(
+        system.sim,
+        obs.registry,
+        [ThresholdRule("always", "serve_completed_total", ">=", 0.0)],
+        gateway=gateway,
+    )
+    health = gateway.health()
+    model_id = TINYLLAMA.model_id
+    assert health["lanes"][model_id]["breaker"] == "closed"
+    assert health["lanes"][model_id]["queue_depth"] == 0
+    assert health["queue_depth"] == 0
+    assert health["alerts_firing"] == []
+    assert health["healthy"] is True
+    # Once the (vacuous) rule fires, health reflects it.
+    engine.tick()
+    health = gateway.health()
+    assert health["alerts_firing"] == ["always"]
+    assert health["healthy"] is False

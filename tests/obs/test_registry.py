@@ -122,3 +122,27 @@ def test_direct_instrument_classes_validate_names():
         Gauge("-")
     with pytest.raises(ConfigurationError):
         Histogram("nope!", buckets=(1.0,))
+
+
+def test_export_stable_under_label_insertion_order():
+    # Two registries fed the same series with labels passed in different
+    # keyword order and touched in different sequence must export
+    # byte-identical text and JSON.
+    import json
+
+    a = MetricsRegistry()
+    a.counter("req_total").inc(2, model="tiny", lane="tee")
+    a.counter("req_total").inc(1, lane="ree", model="big")
+    a.gauge("depth").set(3, **{"class": "interactive"})
+    a.histogram("lat").observe(0.02, model="tiny", op="decode")
+
+    b = MetricsRegistry()
+    b.histogram("lat").observe(0.02, op="decode", model="tiny")
+    b.gauge("depth").set(3, **{"class": "interactive"})
+    b.counter("req_total").inc(1, model="big", lane="ree")
+    b.counter("req_total").inc(2, lane="tee", model="tiny")
+
+    assert a.render() == b.render()
+    assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(
+        b.to_dict(), sort_keys=True
+    )

@@ -208,3 +208,103 @@ def test_many_concurrent_transfers_conserve_work():
     # Aggregate work = 100 bytes at 100 B/s -> the last finishes at t=1.
     assert max(finish) == pytest.approx(1.0)
     assert sorted(finish) == finish
+
+
+def test_per_stream_cap_tracks_changing_concurrency():
+    # The cap binds at low concurrency, fair-share at high: with
+    # bandwidth 100 and per_stream 40, one or two streams run at 40 B/s
+    # each, three run at 100/3.
+    sim = Simulator()
+    pipe = BandwidthResource(sim, bandwidth=100.0, per_stream=40.0)
+    finish = {}
+
+    def xfer(name, start, size):
+        yield sim.timeout(start)
+        yield pipe.transfer(size, tag=name)
+        finish[name] = sim.now
+
+    sim.process(xfer("a", 0.0, 40.0))
+    sim.process(xfer("b", 0.5, 40.0))
+    sim.process(xfer("c", 1.0, 40.0))
+    sim.run()
+    # a: 40 B/s throughout (cap binds alone and when sharing with b).
+    assert finish["a"] == pytest.approx(1.0)
+    # b: 40 B/s from 0.5 (cap still binds at 2 streams: 100/2 > 40).
+    assert finish["b"] == pytest.approx(1.5)
+    # c: starts at 1.0 as a finishes, 40 B/s alongside b then alone.
+    assert finish["c"] == pytest.approx(2.0)
+    # Time-integral accounting survives the concurrency changes.
+    assert pipe.stats.busy_time == pytest.approx(2.0)
+    assert pipe.stats.active_area == pytest.approx(3.0)  # 0.5*1+1.0*2+0.5*1
+
+
+def test_zero_size_transfer_does_not_disturb_stats():
+    sim = Simulator()
+    pipe = BandwidthResource(sim, bandwidth=10.0)
+
+    def proc():
+        yield pipe.transfer(0.0, tag="empty")
+        yield pipe.transfer(10.0, tag="real")
+        yield pipe.transfer(0.0, tag="empty")
+
+    done = sim.process(proc())
+    sim.run_until(done)
+    empty = pipe.stats.tags["empty"]
+    assert empty.transfers == 2
+    assert empty.completed == 2
+    assert empty.bytes == 0.0
+    assert empty.occupancy == 0.0
+    assert empty.service_time == 0.0
+    # The zero-size transfers never touch the pipe's busy time.
+    assert pipe.stats.busy_time == pytest.approx(1.0)
+    assert pipe.stats.active_area == pytest.approx(1.0)
+
+
+def test_pipe_settle_times_sum_to_virtual_window():
+    # busy + idle == window exactly, across idle gaps and overlap, and
+    # the per-tag occupancies sum to the pipe's active area.
+    sim = Simulator()
+    pipe = BandwidthResource(sim, bandwidth=100.0)
+
+    def xfer(start, size, tag):
+        yield sim.timeout(start)
+        yield pipe.transfer(size, tag=tag)
+
+    sim.process(xfer(0.0, 100.0, "a"))     # busy [0, 1.5] shared with b
+    sim.process(xfer(0.5, 50.0, "b"))
+    sim.process(xfer(3.0, 100.0, "c"))     # idle gap, then busy [3, 4]
+    sim.run()
+    pipe.sync()
+    now = sim.now
+    stats = pipe.stats
+    assert stats.busy_time + stats.idle_time(now) == pytest.approx(stats.window(now))
+    assert stats.busy_time == pytest.approx(2.5)  # [0, 1.5] + [3, 4]
+    occupancy = sum(t.occupancy for t in stats.tags.values())
+    assert occupancy == pytest.approx(stats.active_area)
+    # Per-tag service time equals finish - start for each transfer.
+    assert stats.tags["c"].service_time == pytest.approx(1.0)
+
+
+def test_pipe_sync_midrun_is_idempotent():
+    sim = Simulator()
+    pipe = BandwidthResource(sim, bandwidth=10.0)
+    observed = {}
+
+    def xfer():
+        yield pipe.transfer(20.0, tag="x")
+
+    def observer():
+        yield sim.timeout(1.0)
+        pipe.sync()
+        pipe.sync()  # double-settle must not double-count
+        observed["busy"] = pipe.stats.busy_time
+        observed["occ"] = pipe.stats.tag("x").occupancy
+
+    done = sim.process(xfer())
+    sim.process(observer())
+    sim.run_until(done)
+    assert observed["busy"] == pytest.approx(1.0)
+    assert observed["occ"] == pytest.approx(1.0)
+    # ...and the completion schedule was untouched by the mid-run reads.
+    assert sim.now == pytest.approx(2.0)
+    assert pipe.stats.busy_time == pytest.approx(2.0)
