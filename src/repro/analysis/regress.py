@@ -281,6 +281,11 @@ def main(argv=None) -> int:
         tolerances.append(Tolerance(pattern, rtol=float(rtol or DEFAULT_RTOL)))
     # Built-in widening: LOC counts move with every PR by design.
     tolerances.append(Tolerance("tab_loc.*", rtol=0.6))
+    # Batch occupancy shifts with admission timing (a scheduling detail,
+    # not a perf claim); the throughput keys stay at the default rtol.
+    tolerances.append(Tolerance("continuous_batching.*occupancy*", rtol=0.10))
+    tolerances.append(Tolerance("continuous_batching.*kv_extends", rtol=0.10))
+    tolerances.append(Tolerance("continuous_batching.*steps", rtol=0.10))
 
     baselines = load_summaries(args.baselines)
     fresh = load_summaries(args.fresh)

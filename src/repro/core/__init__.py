@@ -9,6 +9,7 @@ the end-to-end evaluated systems (:mod:`repro.core.system`).
 """
 
 from .backends import REERestoreBackend, RestoreBackend, TEERestoreBackend
+from .batch import BatchConfig, BatchedSequence, DecodeBatchEngine, ParkedSequence, SharedNPUBackend
 from .client import ChatReply, ClientApp, ClientSession
 from .caching import (
     CachePolicy,
@@ -24,14 +25,18 @@ from .restore_graph import RestorationPlan, RestoreGroup, build_restoration_plan
 from .system import PAPER_PRESSURE, REELLM, TZLLM, provision_model, strawman
 
 __all__ = [
+    "BatchConfig",
+    "BatchedSequence",
     "CachePolicy",
     "ChatReply",
     "ClientApp",
     "ClientSession",
+    "DecodeBatchEngine",
     "FractionCachePolicy",
     "InferenceRecord",
     "LLMTA",
     "PAPER_PRESSURE",
+    "ParkedSequence",
     "PipelineConfig",
     "PipelineMetrics",
     "PreemptionGate",
@@ -42,6 +47,7 @@ __all__ = [
     "RestorationPlan",
     "RestoreBackend",
     "RestoreGroup",
+    "SharedNPUBackend",
     "TEERestoreBackend",
     "ThresholdProfiler",
     "TZLLM",

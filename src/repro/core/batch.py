@@ -1,0 +1,523 @@
+"""Continuous batching for the TEE decode path (vLLM/Orca-style).
+
+The paper's TA serves one inference at a time (§4.2): the data region
+holds a single request's KV range and is fully released afterwards.
+This module multiplexes the *decode* phase instead: one
+:class:`DecodeBatchEngine` per TA runs every in-flight sequence through
+a shared fused :class:`~repro.llm.runtime.GraphExecutor` step, admitting
+new sequences from a waiting queue at token boundaries and evicting
+preempted ones by *parking* their KV blocks (the block list survives;
+resume re-joins the batch without re-running prefill).
+
+Memory stays inside the paper's model: all KV blocks live in the second
+TZASC region, which still only ever grows at its end (to the pool's
+high-water mark) and shrinks all the way back when the TA is fully
+drained — the free-list reuse absorbs per-sequence churn *inside* the
+protected span, so the §4.2 no-fragmentation property is preserved
+(see ``docs/batching.md``).
+
+Prefill is not batched: requests serialize through the TA's prefill
+lock (one restoration pipeline at a time, exactly the paper's §4.1
+machinery), then join the decode batch.  The one physical NPU is shared
+between a running prefill and the decode stepper through
+:class:`SharedNPUBackend`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from ..errors import ConfigurationError, OutOfMemory
+from ..llm.graph import build_batched_decode_graph
+from ..llm.kv_cache import BlockCheckpoint, KVBlockPool, PagedKVCache
+from ..llm.runtime import DecodeResult, GraphExecutor, NPUBackend, sample_token
+from ..sim import Resource
+
+__all__ = [
+    "BatchConfig",
+    "BatchedSequence",
+    "DecodeBatchEngine",
+    "ParkedSequence",
+    "SharedNPUBackend",
+]
+
+
+@dataclass
+class BatchConfig:
+    """Continuous-batching knobs for one TA."""
+
+    #: sequences decoding concurrently in one fused step.
+    max_batch_size: int = 4
+    #: tokens per KV block (the paged-KV granularity).
+    block_tokens: int = 16
+    #: total KV block budget; ``None`` sizes it so ``max_batch_size``
+    #: worst-case (``max_tokens``-long) sequences fit simultaneously.
+    budget_blocks: Optional[int] = None
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ConfigurationError("max_batch_size must be positive")
+        if self.block_tokens < 1:
+            raise ConfigurationError("block_tokens must be positive")
+        if self.budget_blocks is not None and self.budget_blocks < 1:
+            raise ConfigurationError("budget_blocks must be positive")
+
+    def resolved_budget(self, max_tokens: int) -> int:
+        if self.budget_blocks is not None:
+            return self.budget_blocks
+        per_seq = -(-max_tokens // self.block_tokens)
+        return self.max_batch_size * per_seq
+
+
+class SharedNPUBackend(NPUBackend):
+    """Serialize one physical NPU between prefill and the decode stepper.
+
+    Per-request backends never overlapped in the single-stream design;
+    with batching, a restoration pipeline's secure jobs and the decode
+    batch's fused-step jobs would interleave inside the co-driver's
+    sequence-number protocol.  A capacity-1 resource keeps whole jobs
+    atomic (the device runs one job at a time anyway).
+    """
+
+    def __init__(self, inner: NPUBackend, lock: Resource):
+        self.inner = inner
+        self.lock = lock
+
+    @property
+    def busy_time(self):
+        return self.inner.busy_time
+
+    @property
+    def overhead_time(self):
+        return self.inner.overhead_time
+
+    def run(self, op, duration):
+        request = self.lock.request()
+        yield request
+        try:
+            yield from self.inner.run(op, duration)
+        finally:
+            self.lock.release(request)
+
+
+@dataclass
+class BatchedSequence:
+    """One in-flight sequence's decode state inside the batch."""
+
+    seq_id: int
+    model_id: str
+    kv: PagedKVCache
+    prompt_tokens: int
+    #: total new tokens this sequence must generate (across park/resume).
+    target_tokens: int
+    done: object  # sim Event, succeeds when the sequence leaves the batch
+    gate: Optional[object] = None  # PreemptionGate (callable) or None
+    request_id: Optional[int] = None
+    #: decode-step index, global across park/resume — it keys
+    #: ``sample_token``, which is what makes a resumed stream identical
+    #: to an unpreempted one.
+    step_index: int = 0
+    token_ids: List[int] = field(default_factory=list)
+    step_times: List[float] = field(default_factory=list)
+    attribution: List[dict] = field(default_factory=list)
+    state: str = "waiting"  # waiting | active | finished | evicted | failed
+    error: Optional[BaseException] = None
+    joined_at: float = 0.0
+
+    @property
+    def remaining(self) -> int:
+        return self.target_tokens - len(self.token_ids)
+
+    def result(self, stopped_early: bool = False) -> DecodeResult:
+        return DecodeResult(
+            token_ids=list(self.token_ids),
+            step_times=list(self.step_times),
+            attribution=[dict(a) for a in self.attribution],
+            stopped_early=stopped_early,
+        )
+
+
+@dataclass
+class ParkedSequence:
+    """A preempted sequence's checkpoint: blocks kept, prefill kept."""
+
+    request_id: int
+    kv: PagedKVCache
+    checkpoint: BlockCheckpoint
+    token_ids: List[int]
+    step_times: List[float]
+    attribution: List[dict]
+    step_index: int
+    prompt_tokens: int
+    target_tokens: int
+    #: original-attempt timing, re-reported on the resumed record so the
+    #: gateway's TTFT reflects the *first* token, not the resume.
+    ttft: float = 0.0
+    first_token_at: float = 0.0
+    parked_at: float = 0.0
+
+
+class DecodeBatchEngine:
+    """The continuous-batching decode scheduler for one LLM TA.
+
+    A single stepper process runs while any sequence is active: each
+    iteration it (1) evicts sequences whose preemption gate fired —
+    parking their block lists, (2) admits waiting sequences up to
+    ``max_batch_size``, (3) pre-allocates this step's KV growth and
+    extends the data region to the pool's high-water mark, (4) executes
+    one fused batched decode step, and (5) retires finished sequences.
+    Everything is driven by deques and the sim clock — no RNG — so
+    batched serving stays deterministic end to end.
+    """
+
+    def __init__(self, ta, config: BatchConfig):
+        self.ta = ta
+        self.sim = ta.sim
+        self.config = config
+        self.pool = KVBlockPool(
+            ta.model, config.block_tokens, config.resolved_budget(ta.max_tokens)
+        )
+        #: job execution context + worst-case activation scratch, laid
+        #: out ahead of the block span in the data region.
+        self.fixed_bytes = 4096 + ta.model.activation_bytes(ta.max_tokens)
+        self.npu_lock = Resource(self.sim, capacity=1, name="npu-lock:" + ta.model.model_id)
+        #: serializes data-region growth: two interleaved extensions
+        #: would both observe the old end and balloon the same frames.
+        self._backing_lock = Resource(
+            self.sim, capacity=1, name="backing-lock:" + ta.model.model_id
+        )
+        self._inner_npu: Optional[NPUBackend] = None
+        self.npu_backend: Optional[SharedNPUBackend] = None
+        self.waiting: Deque[BatchedSequence] = deque()
+        self.active: List[BatchedSequence] = []
+        self.parked: Dict[int, ParkedSequence] = {}
+        self._stepper = None
+        self._seq_ids = 0
+        #: infer() attempts currently inside the TA (prefill or decode);
+        #: the data region may only shrink when this reaches zero.
+        self.inflight = 0
+        self._executor: Optional[GraphExecutor] = None
+        # engine-level stats (also exported through ta.metrics when set)
+        self.steps = 0
+        self.tokens_generated = 0
+        #: summed fused-step wall time: tokens_generated / busy_time is
+        #: the engine's aggregate decode throughput.
+        self.busy_time = 0.0
+        self.occupancy_steps: Dict[int, int] = {}
+        self.kv_extends = 0
+        self.evictions = 0
+        self.resumes = 0
+
+    # ------------------------------------------------------------------
+    # admission-side budget (called synchronously from gateway dispatch)
+    # ------------------------------------------------------------------
+    def blocks_needed(self, prompt_tokens: int, output_tokens: int) -> int:
+        return self.pool.blocks_for_tokens(prompt_tokens + output_tokens)
+
+    def can_admit(self, prompt_tokens: int, output_tokens: int, request_id=None) -> bool:
+        """Budget check for dispatch: a parked sequence already holds its
+        blocks (plus leftover hold), so resuming always fits."""
+        if request_id is not None and request_id in self.parked:
+            return True
+        return self.pool.can_admit(self.blocks_needed(prompt_tokens, output_tokens))
+
+    def reserve(self, prompt_tokens: int, output_tokens: int, request_id=None) -> int:
+        """Hold a request's worst-case block count until its cache
+        consumes it.  Returns the held count (0 for a parked resume)."""
+        if request_id is not None and request_id in self.parked:
+            return 0
+        blocks = self.blocks_needed(prompt_tokens, output_tokens)
+        self.pool.reserve(blocks)
+        return blocks
+
+    @property
+    def has_slot(self) -> bool:
+        return len(self.active) + len(self.waiting) < self.config.max_batch_size
+
+    # ------------------------------------------------------------------
+    # joining the batch
+    # ------------------------------------------------------------------
+    def join(
+        self,
+        kv: PagedKVCache,
+        prompt_tokens: int,
+        target_tokens: int,
+        gate=None,
+        request_id=None,
+    ) -> BatchedSequence:
+        """Queue a prefilled sequence for decode; returns the sequence
+        whose ``done`` event fires when it finishes, evicts, or fails."""
+        self._seq_ids += 1
+        seq = BatchedSequence(
+            seq_id=self._seq_ids,
+            model_id=self.ta.model.model_id,
+            kv=kv,
+            prompt_tokens=prompt_tokens,
+            target_tokens=target_tokens,
+            done=self.sim.event(),
+            gate=gate,
+            request_id=request_id,
+            joined_at=self.sim.now,
+        )
+        self.waiting.append(seq)
+        if self._stepper is None:
+            self._stepper = self.sim.process(
+                self._run(), name="batch-decode:" + self.ta.model.model_id
+            )
+        return seq
+
+    def rejoin(self, parked: ParkedSequence, gate=None) -> BatchedSequence:
+        """Resume a parked sequence: restore its checkpointed block list
+        and re-enter the waiting queue with its decode state intact."""
+        parked.kv.restore(parked.checkpoint)
+        self.resumes += 1
+        seq = self.join(
+            parked.kv,
+            parked.prompt_tokens,
+            parked.target_tokens,
+            gate=gate,
+            request_id=parked.request_id,
+        )
+        seq.step_index = parked.step_index
+        seq.token_ids = list(parked.token_ids)
+        seq.step_times = list(parked.step_times)
+        seq.attribution = [dict(a) for a in parked.attribution]
+        return seq
+
+    def park(self, seq: BatchedSequence, at: float) -> ParkedSequence:
+        checkpoint = seq.kv.park()
+        parked = ParkedSequence(
+            request_id=seq.request_id,
+            kv=seq.kv,
+            checkpoint=checkpoint,
+            token_ids=list(seq.token_ids),
+            step_times=list(seq.step_times),
+            attribution=[dict(a) for a in seq.attribution],
+            step_index=seq.step_index,
+            prompt_tokens=seq.prompt_tokens,
+            target_tokens=seq.target_tokens,
+            parked_at=at,
+        )
+        self.parked[seq.request_id] = parked
+        return parked
+
+    # ------------------------------------------------------------------
+    # data-region backing (end-grown to the pool's high-water mark)
+    # ------------------------------------------------------------------
+    def backing_bytes_needed(self) -> int:
+        granule = self.ta.data_region.granule
+        needed = self.fixed_bytes + self.pool.backing_blocks * self.pool.block_bytes
+        return -(-needed // granule) * granule
+
+    def ensure_backing(self):
+        """Extend the data region to cover every allocated block
+        (generator; the §4.2 mid-decode growth path, batched)."""
+        region = self.ta.data_region
+        if self.backing_bytes_needed() <= region.allocated:
+            return
+        request = self._backing_lock.request()
+        yield request
+        try:
+            # Re-check under the lock: a concurrent grower may have
+            # covered this need while we queued.
+            needed = self.backing_bytes_needed()
+            if needed > region.allocated:
+                delta = needed - region.allocated
+                yield from region.extend_allocated(delta, threads=1)
+                yield from region.extend_protected(delta)
+                self.kv_extends += 1
+        finally:
+            self._backing_lock.release(request)
+
+    def maybe_release_region(self):
+        """Shrink the data region once the TA is fully drained
+        (generator).  End-only TZASC shrink means nothing can release
+        while any sequence — active or parked — still owns blocks."""
+        if (
+            self.inflight == 0
+            and self.pool.used_blocks == 0
+            and not self.active
+            and not self.waiting
+            and self.ta.data_region.allocated > 0
+        ):
+            yield from self.ta.data_region.shrink_all()
+
+    # ------------------------------------------------------------------
+    # the stepper
+    # ------------------------------------------------------------------
+    def _backend(self) -> SharedNPUBackend:
+        if self.npu_backend is None:
+            from ..hw.common import AddrRange
+            from ..llm.runtime import TEECoDriverNPUBackend
+
+            ta = self.ta
+            job_ctx = AddrRange(ta.data_region.base_addr, 4096)
+            self._inner_npu = TEECoDriverNPUBackend(
+                ta.stack.tee_npu,
+                job_ctx,
+                duration_quantum=ta.npu_duration_quantum,
+                job_timeout=ta.recovery.npu_job_timeout,
+                max_reissues=ta.recovery.npu_max_reissues,
+            )
+            self.npu_backend = SharedNPUBackend(self._inner_npu, self.npu_lock)
+        return self.npu_backend
+
+    def _retire(self, seq: BatchedSequence, state: str, error=None) -> None:
+        seq.state = state
+        seq.error = error
+        seq.done.succeed(seq)
+
+    def _sweep_gates(self) -> None:
+        """Token-boundary preemption: evict gated sequences, parking the
+        ones the gateway can resume (a request identity is required to
+        key the parked checkpoint)."""
+        for seq in list(self.active):
+            if seq.gate is not None and seq.gate():
+                self.active.remove(seq)
+                self.evictions += 1
+                if seq.request_id is not None:
+                    self.park(seq, self.sim.now)
+                self._retire(seq, "evicted")
+        for seq in list(self.waiting):
+            if seq.gate is not None and seq.gate():
+                self.waiting.remove(seq)
+                self.evictions += 1
+                if seq.request_id is not None:
+                    self.park(seq, self.sim.now)
+                self._retire(seq, "evicted")
+
+    def _admit(self) -> None:
+        while self.waiting and len(self.active) < self.config.max_batch_size:
+            seq = self.waiting.popleft()
+            seq.state = "active"
+            self.active.append(seq)
+
+    def _prealloc_growth(self) -> None:
+        """Allocate this step's KV growth up front so the region can be
+        extended before compute touches it; a pool-exhausted sequence
+        fails alone instead of sinking the whole batch."""
+        for seq in list(self.active):
+            try:
+                seq.kv.ensure_capacity(seq.kv.tokens + 1)
+            except OutOfMemory as exc:
+                self.active.remove(seq)
+                self._retire(seq, "failed", error=exc)
+
+    def _note_step(self, occupancy: int, step_time: float) -> None:
+        self.steps += 1
+        self.tokens_generated += occupancy
+        self.busy_time += step_time
+        self.occupancy_steps[occupancy] = self.occupancy_steps.get(occupancy, 0) + 1
+        metrics = self.ta.metrics
+        model = self.ta.model.model_id
+        if metrics is not None:
+            metrics.gauge(
+                "batch_occupancy", "Sequences in the current fused decode step"
+            ).set(occupancy, model=model)
+            metrics.counter(
+                "batch_steps_total", "Fused decode steps by batch occupancy"
+            ).inc(model=model, occupancy=str(occupancy))
+            metrics.counter(
+                "batch_tokens_total", "Tokens generated by the batched decode path"
+            ).inc(occupancy, model=model)
+        self.ta.tracer.counter("batch_occupancy:%s" % model, occupancy)
+
+    def _run(self):
+        """The stepper process: one fused decode step per iteration."""
+        ta = self.ta
+        if self._executor is None:
+            self._executor = GraphExecutor(self.sim, ta.platform, ta.cpu, self._backend())
+        executor = self._executor
+        try:
+            while True:
+                self._sweep_gates()
+                self._admit()
+                if not self.active:
+                    break
+                self._prealloc_growth()
+                if not self.active:
+                    continue
+                yield from self.ensure_backing()
+                batch = list(self.active)
+                graph = build_batched_decode_graph(
+                    ta.model,
+                    ta.container.tensors,
+                    [seq.kv.tokens for seq in batch],
+                    use_npu=ta.decode_use_npu,
+                    platform=ta.platform,
+                )
+                start = self.sim.now
+                cpu0 = executor.cpu_busy_time
+                npu0 = executor.npu_busy_time
+                smc0 = executor.npu_overhead_time
+                try:
+                    yield from executor.execute(graph)
+                except Exception as exc:
+                    # A faulted fused step (TEE job hang, watchdog) fails
+                    # every sequence it was computing: each waiting
+                    # infer() re-raises the error and its finally block
+                    # releases that sequence's KV blocks — the engine
+                    # itself must not strand them.
+                    for seq in batch:
+                        if seq in self.active:
+                            self.active.remove(seq)
+                        self._retire(seq, "failed", error=exc)
+                    continue
+                step_time = self.sim.now - start
+                cpu_d = executor.cpu_busy_time - cpu0
+                npu_d = executor.npu_busy_time - npu0
+                smc_d = executor.npu_overhead_time - smc0
+                # Fair-share attribution: each sequence carries an equal
+                # slice of the fused step, so summed attributions across
+                # the batch reconstruct the wall time.
+                share = 1.0 / len(batch)
+                attribution = {
+                    "cpu": cpu_d * share,
+                    "npu_compute": npu_d * share,
+                    "smc": smc_d * share,
+                    "sched_wait": max(0.0, step_time - cpu_d - npu_d - smc_d) * share,
+                }
+                self._note_step(len(batch), step_time)
+                for seq in batch:
+                    seq.token_ids.append(
+                        sample_token(seq.model_id, seq.step_index, ta.model.vocab)
+                    )
+                    seq.step_index += 1
+                    seq.step_times.append(step_time)
+                    seq.attribution.append(dict(attribution))
+                    seq.kv.append_token()
+                    if seq.remaining <= 0:
+                        self.active.remove(seq)
+                        self._retire(seq, "finished")
+        finally:
+            self._stepper = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def occupancy_mean(self) -> float:
+        if self.steps == 0:
+            return 0.0
+        return self.tokens_generated / self.steps
+
+    def to_dict(self) -> dict:
+        return {
+            "steps": self.steps,
+            "tokens_generated": self.tokens_generated,
+            "busy_time": self.busy_time,
+            "mean_occupancy": self.occupancy_mean(),
+            "occupancy_steps": {str(k): v for k, v in sorted(self.occupancy_steps.items())},
+            "kv_extends": self.kv_extends,
+            "evictions": self.evictions,
+            "resumes": self.resumes,
+            "parked": len(self.parked),
+            "pool": {
+                "block_tokens": self.pool.block_tokens,
+                "total_blocks": self.pool.total_blocks,
+                "used_blocks": self.pool.used_blocks,
+                "reserved": self.pool.reserved,
+                "backing_blocks": self.pool.backing_blocks,
+            },
+        }

@@ -17,7 +17,7 @@ cache-policy-driven parameter release.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from ..config import PlatformSpec
 from ..errors import ConfigurationError, StorageError
@@ -26,7 +26,7 @@ from ..hw.common import AddrRange
 from ..llm.checkpoint import cold_init, restore_checkpoint, save_checkpoint
 from ..llm.gguf import ModelContainer, container_path
 from ..llm.graph import build_prefill_graph
-from ..llm.kv_cache import KVCache
+from ..llm.kv_cache import KVCache, PagedKVCache
 from ..llm.models import ModelSpec
 from ..llm.runtime import (
     DecodeResult,
@@ -41,6 +41,7 @@ from ..stack import Stack
 from ..tee.secure_memory import SecureRegion
 from ..tee.ta import TrustedApplication
 from .backends import TEERestoreBackend
+from .batch import BatchConfig, DecodeBatchEngine
 from .caching import CachePolicy, FractionCachePolicy
 from .pipeline import PipelineConfig, PipelineMetrics, PrefillPipeline
 from .restore_graph import RestorationPlan, build_restoration_plan
@@ -108,6 +109,19 @@ class InferenceRecord:
     #: decode (serving-gateway priority preemption); the partial decode is
     #: in ``decode`` and the TA ran its normal release path.
     preempted: bool = False
+    #: batched-mode preemption: the sequence's KV block list was *parked*
+    #: instead of released — its tokens survive, and the resumed attempt
+    #: continues the same stream (no work was wasted).
+    parked: bool = False
+    #: this attempt resumed a previously parked sequence (prefill and the
+    #: partial decode were inherited, not re-run).
+    resumed: bool = False
+    #: the request ran through the continuous-batching decode engine.
+    batched: bool = False
+    #: absolute sim time of the first token — for a resumed attempt this
+    #: is the *original* attempt's TTFT instant, which ``started_at +
+    #: ttft`` can no longer express.
+    first_token_at: Optional[float] = None
     #: gateway identity from the request's TraceContext (None for direct
     #: CA invocations) — keys the profiler's decode-attribution rows.
     request_id: Optional[int] = None
@@ -142,6 +156,7 @@ class LLMTA(TrustedApplication):
         npu_duration_quantum: float = 0.0,
         decode_param_residency: float = 1.0,
         recovery: Optional["RecoveryPolicy"] = None,
+        batch_config: Optional[BatchConfig] = None,
     ):
         super().__init__("llm-ta:" + model.model_id)
         #: §6 mitigations: None = off, "uniform" = pad groups to the
@@ -183,6 +198,22 @@ class LLMTA(TrustedApplication):
         self.cpu = Resource(stack.sim, capacity=1, priority=True, name="ta-cpu")
         self._initialized = False
         self._checkpoint_saved = False
+        #: continuous-batching mode (repro.core.batch); the engine itself
+        #: is wired by setup() once the data region exists.
+        self.batch_config = batch_config
+        self.batch_engine: Optional[DecodeBatchEngine] = None
+        self._prefill_lock: Optional[Resource] = None
+        if batch_config is not None:
+            self._prefill_lock = Resource(
+                stack.sim, capacity=1, name="prefill-lock:" + model.model_id
+            )
+        #: framework state is resident while the batch engine has work.
+        self._framework_resident = False
+        #: gateway-held KV block reservations awaiting their dispatch.
+        self._kv_reservations: Dict[int, int] = {}
+        #: the legacy (unbatched) path's live KV cache, if any — exposed
+        #: through ``kv_bytes_in_use`` so leak regressions are observable.
+        self._active_kv: Optional[KVCache] = None
         self.records: List[InferenceRecord] = []
         # Regions, plan and backend are wired by setup().
         self.plan: Optional[RestorationPlan] = None
@@ -248,6 +279,8 @@ class LLMTA(TrustedApplication):
             self.file_path,
             self.model_key,
         )
+        if self.batch_config is not None:
+            self.batch_engine = DecodeBatchEngine(self, self.batch_config)
 
     def _region_name(self, kind: str) -> str:
         return "%s:%s" % (self.model.model_id, kind)
@@ -259,6 +292,7 @@ class LLMTA(TrustedApplication):
         granule: int,
         max_tokens: int,
         size_obfuscation=None,
+        batch_config: Optional[BatchConfig] = None,
     ):
         """(params_bytes, data_bytes) the kernel must reserve at boot."""
         planning_graph = build_prefill_graph(model, container.tensors, 1, use_npu=False)
@@ -268,7 +302,14 @@ class LLMTA(TrustedApplication):
 
             quantum = None if size_obfuscation == "uniform" else int(size_obfuscation)
             apply_size_obfuscation(plan, quantum)
-        data = model.kv_bytes(max_tokens) + model.activation_bytes(max_tokens) + 4096
+        if batch_config is None:
+            data = model.kv_bytes(max_tokens) + model.activation_bytes(max_tokens) + 4096
+        else:
+            # Batched layout: job ctx + worst-case activation scratch,
+            # then the full KV block budget.
+            budget = batch_config.resolved_budget(max_tokens)
+            block_bytes = model.kv_bytes(batch_config.block_tokens)
+            data = 4096 + model.activation_bytes(max_tokens) + budget * block_bytes
         data = -(-data // granule) * granule
         return plan.total_alloc_bytes, data
 
@@ -280,6 +321,36 @@ class LLMTA(TrustedApplication):
         if self.plan is None or self.params_region is None:
             return 0
         return self.plan.groups_for_bytes(self.params_region.protected)
+
+    @property
+    def kv_bytes_in_use(self) -> int:
+        """Logical KV footprint across both decode paths: the legacy
+        path's live cache plus every pool block (active *and* parked).
+        The leak-regression tests pin this to zero after any faulted
+        inference."""
+        total = 0
+        if self._active_kv is not None:
+            total += self._active_kv.bytes_used
+        if self.batch_engine is not None:
+            total += self.batch_engine.pool.bytes_used
+        return total
+
+    # ------------------------------------------------------------------
+    # batched-mode admission surface (called synchronously by dispatch)
+    # ------------------------------------------------------------------
+    def kv_can_admit(self, prompt_tokens: int, output_tokens: int, request_id=None) -> bool:
+        if self.batch_engine is None:
+            return True
+        return self.batch_engine.can_admit(prompt_tokens, output_tokens, request_id)
+
+    def kv_reserve(self, request_id: int, prompt_tokens: int, output_tokens: int) -> None:
+        """Hold the request's worst-case block count from dispatch until
+        its attempt builds (or resumes) its paged cache."""
+        if self.batch_engine is None:
+            return
+        blocks = self.batch_engine.reserve(prompt_tokens, output_tokens, request_id)
+        if blocks:
+            self._kv_reservations[request_id] = blocks
 
     # ------------------------------------------------------------------
     # the inference entry point
@@ -315,6 +386,11 @@ class LLMTA(TrustedApplication):
             cached_bytes=self.params_region.protected,
             request_id=None if ctx is None else ctx.request_id,
         )
+        if self.batch_engine is not None:
+            record = yield from self._infer_batched(
+                prompt_tokens, output_tokens, preempt, ctx, record
+            )
+            return record
         switch_t0 = self.stack.tee_npu.world_switch_time
         smc0 = self.stack.board.monitor.smc_count
 
@@ -378,35 +454,46 @@ class LLMTA(TrustedApplication):
             recorder=self.recorder,
             ctx=ctx,
         )
+        kv: Optional[KVCache] = None
         try:
-            record.pipeline = yield from pipeline.run()
-            record.ttft = sim.now - record.started_at
+            try:
+                record.pipeline = yield from pipeline.run()
+                record.ttft = sim.now - record.started_at
+                record.first_token_at = sim.now
 
-            # --- decode -------------------------------------------------------
-            if output_tokens > 0:
-                executor = GraphExecutor(sim, self.platform, self.cpu, self._npu_backend)
-                kv = KVCache(self.model, self.max_tokens)
-                kv.init_prompt(prompt_tokens)
-                hook = grow_kv
-                if self.decode_param_residency < 1.0:
-                    hook = yield from self._enter_streaming_decode(record, grow_kv)
-                record.decode = yield from decode_tokens(
-                    executor,
-                    self.model,
-                    self.container.tensors,
-                    kv,
-                    output_tokens,
-                    use_npu=self.decode_use_npu,
-                    grow_hook=hook,
-                    stop_hook=preempt,
-                )
-                record.preempted = record.decode.stopped_early
-        except Exception:
-            # Failed restoration (I/O error, Iago detection): release all
-            # transient memory so the TA stays serviceable, then surface
-            # the error to the CA.
-            yield from self._recover()
-            raise
+                # --- decode ---------------------------------------------------
+                if output_tokens > 0:
+                    executor = GraphExecutor(sim, self.platform, self.cpu, self._npu_backend)
+                    kv = KVCache(self.model, self.max_tokens)
+                    self._active_kv = kv
+                    kv.init_prompt(prompt_tokens)
+                    hook = grow_kv
+                    if self.decode_param_residency < 1.0:
+                        hook = yield from self._enter_streaming_decode(record, grow_kv)
+                    record.decode = yield from decode_tokens(
+                        executor,
+                        self.model,
+                        self.container.tensors,
+                        kv,
+                        output_tokens,
+                        use_npu=self.decode_use_npu,
+                        grow_hook=hook,
+                        stop_hook=preempt,
+                    )
+                    record.preempted = record.decode.stopped_early
+            except Exception:
+                # Failed restoration (I/O error, Iago detection): release
+                # all transient memory so the TA stays serviceable, then
+                # surface the error to the CA.
+                yield from self._recover()
+                raise
+        finally:
+            # The KV capacity must come back on *every* exit — success,
+            # preemption, or a fault thrown out of the decode loop (TEE
+            # job hang, watchdog ABANDONED, mid-decode OutOfMemory).
+            if kv is not None:
+                kv.reset()
+            self._active_kv = None
 
         # --- release ----------------------------------------------------------
         t0 = sim.now
@@ -429,6 +516,166 @@ class LLMTA(TrustedApplication):
                 counter.inc(value, component=component)
         self.records.append(record)
         return record
+
+    def _infer_batched(self, prompt_tokens, output_tokens, preempt, ctx, record):
+        """The continuous-batching request path (generator).
+
+        Prefill serializes through the TA's prefill lock (one §4.1
+        restoration pipeline at a time); decode joins the shared
+        :class:`~repro.core.batch.DecodeBatchEngine` and co-executes with
+        every other in-flight sequence.  Preemption evicts from the batch
+        and *parks* the KV block list keyed by the gateway request id;
+        the resumed attempt skips init and prefill entirely and
+        continues the parked stream.  Block release is guaranteed
+        exactly once by the try/finally — unless the sequence parked, in
+        which case the checkpoint owns the blocks until resume.
+        """
+        sim = self.sim
+        engine = self.batch_engine
+        record.batched = True
+        request_id = record.request_id
+        parked = None
+        if request_id is not None:
+            parked = engine.parked.pop(request_id, None)
+        reserved = 0
+        if request_id is not None and parked is None:
+            reserved = self._kv_reservations.pop(request_id, 0)
+        engine.inflight += 1
+        kv: Optional[PagedKVCache] = None
+        parked_out = False
+        seq = None
+        try:
+            if parked is None:
+                lock_request = self._prefill_lock.request()
+                yield lock_request
+                try:
+                    t0 = sim.now
+                    if not self._framework_resident:
+                        yield from self._init_framework()
+                        self._framework_resident = True
+                    record.init_time = sim.now - t0
+                    t0 = sim.now
+                    yield from engine.ensure_backing()  # job ctx + scratch
+                    yield sim.timeout(self.platform.timing.kv_activation_alloc)
+                    record.data_setup_time = sim.now - t0
+                    # Re-snapshot the cache state *under the lock*: a
+                    # concurrent request's pipeline may have loaded (and
+                    # protected) groups since this record was created,
+                    # and re-loading a protected group would trap.
+                    record.cached_groups = self.cached_groups
+                    record.cached_bytes = self.params_region.protected
+                    graph = build_prefill_graph(
+                        self.model,
+                        self.container.tensors,
+                        prompt_tokens,
+                        use_npu=self.use_npu,
+                        platform=self.platform,
+                    )
+                    pipeline = PrefillPipeline(
+                        sim,
+                        self.platform,
+                        graph,
+                        self.plan,
+                        self.backend,
+                        engine._backend(),
+                        cached_groups=record.cached_groups,
+                        config=self.pipeline_config,
+                        recovery=self.recovery,
+                        tracer=self.tracer,
+                        registry=self.metrics,
+                        recorder=self.recorder,
+                        ctx=ctx,
+                    )
+                    try:
+                        record.pipeline = yield from pipeline.run()
+                    except Exception:
+                        yield from self._recover_batched()
+                        raise
+                finally:
+                    self._prefill_lock.release(lock_request)
+                record.ttft = sim.now - record.started_at
+                record.first_token_at = sim.now
+                kv = PagedKVCache(engine.pool, reserved_blocks=reserved)
+                reserved = 0  # the cache owns the hold now
+                kv.init_prompt(prompt_tokens)
+                yield from engine.ensure_backing()
+                if output_tokens > 0:
+                    seq = engine.join(
+                        kv,
+                        prompt_tokens,
+                        output_tokens,
+                        gate=preempt,
+                        request_id=request_id,
+                    )
+                    yield seq.done
+            else:
+                record.resumed = True
+                record.ttft = parked.ttft
+                record.first_token_at = parked.first_token_at
+                kv = parked.kv
+                seq = engine.rejoin(parked, gate=preempt)
+                yield seq.done
+            if seq is not None:
+                if seq.state == "failed":
+                    raise seq.error
+                record.decode = seq.result(stopped_early=(seq.state == "evicted"))
+                if seq.state == "evicted":
+                    record.preempted = True
+                    if request_id is not None and request_id in engine.parked:
+                        record.parked = True
+                        checkpoint = engine.parked[request_id]
+                        checkpoint.ttft = record.ttft
+                        checkpoint.first_token_at = (
+                            record.first_token_at
+                            if record.first_token_at is not None
+                            else record.started_at + record.ttft
+                        )
+                        parked_out = True
+        finally:
+            engine.inflight -= 1
+            if reserved:
+                # The attempt died before its cache consumed the hold.
+                engine.pool.cancel_reservation(reserved)
+            if kv is not None and not parked_out:
+                kv.release()
+            yield from engine.maybe_release_region()
+
+        # --- drain-time release (params stay resident while any other
+        # sequence — active, waiting, or parked — still needs them) -----
+        t0 = sim.now
+        if (
+            engine.inflight == 0
+            and not engine.active
+            and not engine.waiting
+            and not engine.parked
+        ):
+            self._framework_resident = False
+            keep_bytes = self.cache_policy.bytes_to_keep(self)
+            keep_groups = self.plan.groups_for_bytes(keep_bytes)
+            keep = self.plan.cached_prefix_bytes(keep_groups)
+            yield from self.backend.release_to(keep)
+        record.release_time = sim.now - t0
+
+        totals = record.decode_attribution
+        if totals is not None and self.metrics is not None:
+            counter = self.metrics.counter(
+                "decode_attribution_seconds_total",
+                "Decode latency per component (cpu/npu_compute/smc/sched_wait)",
+            )
+            for component, value in sorted(totals.items()):
+                counter.inc(value, component=component)
+        self.records.append(record)
+        return record
+
+    def _recover_batched(self):
+        """Error-path cleanup for the batched TA (generator): a failed
+        restoration releases its own transient state, but parameters
+        other in-flight sequences are decoding against must survive —
+        only a fully idle TA can be swept clean."""
+        yield from self.params_region.release_unprotected_tail()
+        if self.batch_engine.inflight == 1 and self.batch_engine.pool.used_blocks == 0:
+            self._framework_resident = False
+            yield from self.backend.release_to(0)
 
     def _enter_streaming_decode(self, record: "InferenceRecord", grow_kv):
         """Shrink parameter memory to the residency target and return a

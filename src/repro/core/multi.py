@@ -43,6 +43,7 @@ class TZLLMMulti:
         decode_use_npu: Union[bool, str] = "auto",
         pipeline_config: Optional[PipelineConfig] = None,
         recovery=None,
+        batch_config=None,
         trace: bool = False,
     ):
         if not models:
@@ -68,7 +69,9 @@ class TZLLMMulti:
                     derive_key(b"probe", "hw"),
                 )
             )
-            params, data = LLMTA.cma_requirements(model, probe, granule, max_tokens)
+            params, data = LLMTA.cma_requirements(
+                model, probe, granule, max_tokens, batch_config=batch_config
+            )
             cma_regions["%s:params" % model.model_id] = params
             cma_regions["%s:data" % model.model_id] = data
         total_cma = sum(cma_regions.values())
@@ -99,6 +102,7 @@ class TZLLMMulti:
                 pipeline_config=pipeline_config,
                 cache_policy=FractionCachePolicy(cache_fraction),
                 recovery=recovery,
+                batch_config=batch_config,
             )
             ta.setup()
             self.tas[model.model_id] = ta

@@ -101,6 +101,7 @@ class TZLLM(_SystemBase):
         npu_duration_quantum: float = 0.0,
         decode_param_residency: float = 1.0,
         recovery=None,
+        batch_config=None,
         trace: bool = False,
         name: str = "TZ-LLM",
     ):
@@ -114,7 +115,12 @@ class TZLLM(_SystemBase):
             pack_model(model, derive_key(b"probe", model.model_id), derive_key(b"probe", "hw"))
         )
         params_bytes, data_bytes = LLMTA.cma_requirements(
-            model, probe_container, granule, max_tokens, size_obfuscation=size_obfuscation
+            model,
+            probe_container,
+            granule,
+            max_tokens,
+            size_obfuscation=size_obfuscation,
+            batch_config=batch_config,
         )
         self.stack = build_stack(
             spec=platform,
@@ -142,6 +148,7 @@ class TZLLM(_SystemBase):
             npu_duration_quantum=npu_duration_quantum,
             decode_param_residency=decode_param_residency,
             recovery=recovery,
+            batch_config=batch_config,
         )
         self.ta.setup()
         self.tracer = None
@@ -279,14 +286,17 @@ class REELLM(_SystemBase):
             executor = GraphExecutor(sim, self.stack.spec, self.cpu, self.npu_backend)
             kv = KVCache(self.model, self.max_tokens)
             kv.init_prompt(prompt_tokens)
-            record.decode = yield from decode_tokens(
-                executor,
-                self.model,
-                self.container.tensors,
-                kv,
-                output_tokens,
-                use_npu=self.decode_use_npu,
-            )
+            try:
+                record.decode = yield from decode_tokens(
+                    executor,
+                    self.model,
+                    self.container.tensors,
+                    kv,
+                    output_tokens,
+                    use_npu=self.decode_use_npu,
+                )
+            finally:
+                kv.reset()
         if self.release_after:
             yield from self.backend.release_to(0)
         self.records.append(record)

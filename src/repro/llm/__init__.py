@@ -10,8 +10,14 @@ roofline cost model (:mod:`repro.llm.ops`), graph execution and decoding
 
 from .checkpoint import checkpoint_path, cold_init, restore_checkpoint, save_checkpoint
 from .gguf import ModelContainer, container_path, pack_model, parse_container
-from .graph import ComputationGraph, ComputeOp, build_decode_step_graph, build_prefill_graph
-from .kv_cache import KVCache
+from .graph import (
+    ComputationGraph,
+    ComputeOp,
+    build_batched_decode_graph,
+    build_decode_step_graph,
+    build_prefill_graph,
+)
+from .kv_cache import BlockCheckpoint, KVBlockPool, KVCache, PagedKVCache
 from .models import LLAMA3_8B, MODELS, PHI3_MINI, QWEN25_3B, TINYLLAMA, ModelSpec, get_model
 from .ops import Engine, op_duration, op_duration_with_launch
 from .quantization import dequantize_q8, quantize_q8
@@ -37,11 +43,14 @@ __all__ = [
     "TINYLLAMA",
     "ComputationGraph",
     "ComputeOp",
+    "BlockCheckpoint",
     "DecodeResult",
     "DirectNPUBackend",
     "Engine",
     "GraphExecutor",
+    "KVBlockPool",
     "KVCache",
+    "PagedKVCache",
     "ModelContainer",
     "ModelSpec",
     "NPUBackend",
@@ -52,6 +61,7 @@ __all__ = [
     "TensorMeta",
     "TensorRole",
     "Tokenizer",
+    "build_batched_decode_graph",
     "build_decode_step_graph",
     "build_prefill_graph",
     "build_tensor_table",

@@ -24,7 +24,13 @@ from .models import ModelSpec
 from .ops import Engine, op_duration_with_launch
 from .tensors import TensorMeta, TensorRole
 
-__all__ = ["ComputeOp", "ComputationGraph", "build_prefill_graph", "build_decode_step_graph"]
+__all__ = [
+    "ComputeOp",
+    "ComputationGraph",
+    "build_prefill_graph",
+    "build_decode_step_graph",
+    "build_batched_decode_graph",
+]
 
 
 @dataclass
@@ -202,4 +208,55 @@ def build_decode_step_graph(
         if op.name.endswith(".attention"):
             op.flops = 4.0 * kv_tokens * model.hidden
             op.bytes_touched = kv_bytes
+    return graph
+
+
+#: decode-graph op classification by name suffix: matmuls stream their
+#: weights once per step regardless of how many sequences share it.
+_WEIGHT_OP_SUFFIXES = (".attn_proj", ".ffn_proj", "lm_head")
+
+
+def build_batched_decode_graph(
+    model: ModelSpec,
+    tensors: Sequence[TensorMeta],
+    kv_token_counts: Sequence[int],
+    use_npu: Union[bool, str] = "auto",
+    platform: Optional[PlatformSpec] = None,
+) -> ComputationGraph:
+    """One *fused* decode iteration over a batch of sequences.
+
+    ``kv_token_counts`` holds the per-sequence context length; the batch
+    size is its length.  This is where batching pays: per step the
+    weight matmuls stream their parameters **once** (the setup cost, a
+    fixed per-step charge) while their flops scale with the batch (the
+    per-token marginal cost) — decode is bandwidth-bound, so the roofline
+    ``max(flops/rate, bytes/bandwidth)`` barely moves until the batch is
+    large enough to make compute dominate.  Attention reads every
+    sequence's own KV blocks, so both its flops and bytes are sums over
+    the batch.  Activation-bound ops (embed, norms) scale in both terms.
+
+    Engines are re-picked against the *batched* costs: a matmul that is
+    CPU-cheapest for one token can cross the NPU's launch-latency
+    break-even once four sequences share the launch (§7.1.2 inverted).
+    """
+    if not kv_token_counts:
+        raise ConfigurationError("batch must contain at least one sequence")
+    batch = len(kv_token_counts)
+    graph = build_prefill_graph(model, tensors, 1, use_npu=False)
+    kv_flops = sum(4.0 * t * model.hidden for t in kv_token_counts)
+    kv_bytes = sum(
+        t * model.kv_dim * 2 * model.kv_bytes_per_element for t in kv_token_counts
+    )
+    for op in graph.ops:
+        if op.name.endswith(".attention"):
+            op.flops = kv_flops
+            op.bytes_touched = kv_bytes
+            op.engine = Engine.CPU
+        elif op.name.endswith(_WEIGHT_OP_SUFFIXES):
+            op.flops *= batch  # weights stream once; activations per sequence
+            op.engine = _pick_engine(use_npu, op.flops, op.bytes_touched, platform)
+        else:
+            op.flops *= batch
+            op.bytes_touched *= batch
+            op.engine = Engine.CPU
     return graph

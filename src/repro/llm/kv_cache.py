@@ -1,17 +1,31 @@
 """KV-cache bookkeeping for the second TZASC region (§4.2).
 
-The KV cache is initialized to the prompt size at prefill, grows by one
-token per decode step, and is fully released after the inference — which
-is what lets it share a contiguous region with the fixed-size activation
-buffers without fragmenting it.
+Two layouts share this module:
+
+* :class:`KVCache` — the paper's deployed layout: one contiguous KV
+  range per request, initialized to the prompt size at prefill, grown by
+  one token per decode step, and fully released after the inference —
+  which is what lets it share a contiguous region with the fixed-size
+  activation buffers without fragmenting it.
+* :class:`KVBlockPool` + :class:`PagedKVCache` — the continuous-batching
+  extension (vLLM/Orca-style): the same data region carved into
+  fixed-size *token blocks*; each in-flight sequence holds a list of
+  block ids instead of a contiguous range, and a free list recycles
+  blocks between sequences.  The TZASC range itself stays a single
+  contiguous, end-grown span (``docs/batching.md`` explains why this
+  preserves the §4.2 no-fragmentation claim).
 """
 
 from __future__ import annotations
 
+import heapq
+from dataclasses import dataclass
+from typing import List, Tuple
+
 from ..errors import ConfigurationError, OutOfMemory
 from .models import ModelSpec
 
-__all__ = ["KVCache"]
+__all__ = ["KVCache", "KVBlockPool", "PagedKVCache", "BlockCheckpoint"]
 
 
 class KVCache:
@@ -47,3 +61,177 @@ class KVCache:
 
     def reset(self) -> None:
         self.tokens = 0
+
+
+@dataclass(frozen=True)
+class BlockCheckpoint:
+    """A parked sequence's KV state: exactly which blocks hold its cache.
+
+    Frozen so the checkpoint taken at eviction is byte-identical to the
+    one restore sees — the determinism tests compare the tuples.
+    """
+
+    block_ids: Tuple[int, ...]
+    tokens: int
+
+
+class KVBlockPool:
+    """Fixed-size token blocks over the data region's KV span.
+
+    The pool owns a budget of ``total_blocks`` block slots.  Allocation
+    always hands out the *lowest-numbered* free block (a min-heap free
+    list): freed blocks are recycled before the span grows, which keeps
+    the high-water mark — and therefore the protected TZASC range — as
+    low as the live working set allows.  ``reserved`` is the admission
+    side's hold: the gateway reserves a request's worst-case block count
+    at dispatch, and each allocation made on behalf of that request
+    consumes one unit of the hold (check-then-reserve is race-free
+    because dispatch never yields).
+    """
+
+    def __init__(self, model: ModelSpec, block_tokens: int, total_blocks: int):
+        if block_tokens < 1:
+            raise ConfigurationError("block_tokens must be positive")
+        if total_blocks < 1:
+            raise ConfigurationError("total_blocks must be positive")
+        self.model = model
+        self.block_tokens = block_tokens
+        self.total_blocks = total_blocks
+        self._free: List[int] = list(range(total_blocks))  # already a heap
+        self.reserved = 0
+        #: one past the highest block id ever handed out since the last
+        #: full drain: the number of block slots the secure region must
+        #: back.  TZASC shrink is end-only, so this only resets when the
+        #: pool is completely empty.
+        self.backing_blocks = 0
+
+    @property
+    def block_bytes(self) -> int:
+        return self.model.kv_bytes(self.block_tokens)
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_blocks(self) -> int:
+        return self.total_blocks - len(self._free)
+
+    @property
+    def bytes_used(self) -> int:
+        return self.used_blocks * self.block_bytes
+
+    def blocks_for_tokens(self, tokens: int) -> int:
+        return -(-tokens // self.block_tokens)
+
+    def can_admit(self, blocks: int) -> bool:
+        """Would ``blocks`` fit on top of every existing hold?"""
+        return self.free_blocks - self.reserved >= blocks
+
+    def reserve(self, blocks: int) -> None:
+        if not self.can_admit(blocks):
+            raise OutOfMemory(
+                "cannot reserve %d KV blocks (%d free, %d already reserved)"
+                % (blocks, self.free_blocks, self.reserved)
+            )
+        self.reserved += blocks
+
+    def cancel_reservation(self, blocks: int) -> None:
+        self.reserved = max(0, self.reserved - blocks)
+
+    def alloc_block(self, from_reservation: bool = False) -> int:
+        if not self._free:
+            raise OutOfMemory("KV block pool exhausted (%d blocks)" % self.total_blocks)
+        block = heapq.heappop(self._free)
+        if from_reservation:
+            self.reserved = max(0, self.reserved - 1)
+        self.backing_blocks = max(self.backing_blocks, block + 1)
+        return block
+
+    def release_block(self, block: int) -> None:
+        heapq.heappush(self._free, block)
+        if self.used_blocks == 0:
+            self.backing_blocks = 0
+
+
+class PagedKVCache:
+    """One sequence's KV cache as a list of pool blocks.
+
+    Duck-compatible with :class:`KVCache` where the decode loop cares
+    (``tokens``, ``bytes_used``, ``init_prompt``, ``append_token``,
+    ``reset``), but growth allocates whole blocks from the shared pool
+    on boundary crossings instead of assuming a private contiguous
+    range.  ``release()`` (and its alias ``reset()``) is idempotent:
+    the TA's try/finally may race the engine's cleanup, and blocks must
+    go back to the free list exactly once.
+    """
+
+    def __init__(self, pool: KVBlockPool, reserved_blocks: int = 0):
+        self.pool = pool
+        self.model = pool.model
+        self.block_ids: List[int] = []
+        self.tokens = 0
+        #: unconsumed admission hold; each block allocation drains one.
+        self.reserved_blocks = reserved_blocks
+        self.released = False
+        self.parked = False
+
+    @property
+    def bytes_used(self) -> int:
+        """Physical footprint: whole blocks, not just live tokens."""
+        return len(self.block_ids) * self.pool.block_bytes
+
+    @property
+    def capacity_tokens(self) -> int:
+        return self.pool.total_blocks * self.pool.block_tokens
+
+    def ensure_capacity(self, tokens: int) -> None:
+        """Allocate blocks (without advancing ``tokens``) so the cache
+        can hold ``tokens`` — the engine pre-allocates a step's growth
+        before extending the region backing it."""
+        needed = self.pool.blocks_for_tokens(tokens)
+        while len(self.block_ids) < needed:
+            use_hold = self.reserved_blocks > 0
+            block = self.pool.alloc_block(from_reservation=use_hold)
+            if use_hold:
+                self.reserved_blocks -= 1
+            self.block_ids.append(block)
+
+    def _grow_to(self, tokens: int) -> None:
+        self.ensure_capacity(tokens)
+        self.tokens = tokens
+
+    def init_prompt(self, prompt_tokens: int) -> None:
+        self._grow_to(prompt_tokens)
+
+    def append_token(self) -> None:
+        self._grow_to(self.tokens + 1)
+
+    def release(self) -> None:
+        """Return every block and any leftover hold to the pool (once)."""
+        if self.released:
+            return
+        self.released = True
+        self.parked = False
+        for block in self.block_ids:
+            self.pool.release_block(block)
+        self.block_ids = []
+        self.tokens = 0
+        if self.reserved_blocks:
+            self.pool.cancel_reservation(self.reserved_blocks)
+            self.reserved_blocks = 0
+
+    # The legacy decode paths call ``reset()``; same exactly-once release.
+    reset = release
+
+    def park(self) -> BlockCheckpoint:
+        """Checkpoint the block list for an evicted-but-resumable
+        sequence.  Blocks and the leftover hold stay owned."""
+        self.parked = True
+        return BlockCheckpoint(tuple(self.block_ids), self.tokens)
+
+    def restore(self, checkpoint: BlockCheckpoint) -> None:
+        """Validate the resume against the parked checkpoint."""
+        if tuple(self.block_ids) != checkpoint.block_ids or self.tokens != checkpoint.tokens:
+            raise ConfigurationError("parked block list diverged from its checkpoint")
+        self.parked = False

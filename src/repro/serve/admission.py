@@ -140,6 +140,25 @@ class AdmissionController:
         (it keeps its arrival-order claim within the class)."""
         self.queues[(request.model_id, request.priority)].appendleft(request)
 
+    def peek_next(self, model_id: str, scheduling: str) -> Optional[ServeRequest]:
+        """The request :meth:`pop_next` would return, without removing it
+        — batch-aware dispatch checks the KV-block budget before
+        committing to the pop."""
+        if scheduling == "priority":
+            for cls in PriorityClass:
+                queue = self.queues[(model_id, cls)]
+                if queue:
+                    return queue[0]
+            return None
+        if scheduling != "fifo":
+            raise ConfigurationError("scheduling must be 'priority' or 'fifo'")
+        best: Optional[ServeRequest] = None
+        for cls in PriorityClass:
+            queue = self.queues[(model_id, cls)]
+            if queue and (best is None or queue[0].request_id < best.request_id):
+                best = queue[0]
+        return best
+
     def pop_next(self, model_id: str, scheduling: str) -> Optional[ServeRequest]:
         """The next request the lane should run, or None.
 

@@ -17,6 +17,13 @@ that is:
   discarded and the request re-queued at the head of its class — its
   cached parameter prefix survives, so the retry skips restoration.
 
+With ``batching=True`` (requires TAs built with a
+:class:`~repro.core.batch.BatchConfig`) a lane seats up to the TA's
+batch size of concurrently decoding requests: dispatch fills the batch
+up to the KV-block budget before queueing, and preemption evicts a
+victim from the batch with its blocks *parked* so the resume skips both
+prefill and the already-decoded tokens.
+
 Admission (bounded queues + deadline shedding) happens before anything
 queues; see :mod:`repro.serve.admission`.  All scheduling state lives in
 deques and counters — no RNG — so serving is deterministic end to end.
@@ -52,6 +59,12 @@ class GatewayConfig:
     scheduling: str = "priority"  # "priority" | "fifo"
     preemption: bool = True
     shedding: bool = True
+    #: continuous batching: lanes hold up to the TA's batch size of
+    #: concurrently decoding requests, dispatch fills the batch up to the
+    #: KV-block budget, and preemption evicts from the batch with the
+    #: victim's blocks *parked* for a prefill-free resume.  Requires the
+    #: system's TAs to be built with a ``BatchConfig``.
+    batching: bool = False
     policies: Dict[PriorityClass, ClassPolicy] = field(default_factory=default_policies)
     predictor_alpha: float = 0.3
     #: failure handling (repro.faults): how many times a request whose
@@ -82,19 +95,37 @@ class GatewayConfig:
 
 
 class _Lane:
-    """One model's TA: at most one request running."""
+    """One model's TA: up to ``capacity`` requests running (1 without
+    batching — the paper's single-stream TA)."""
 
-    __slots__ = ("model_id", "busy", "current", "gate", "dispatched_at", "breaker", "probe_armed")
+    __slots__ = ("model_id", "capacity", "running", "gates", "dispatched_at", "breaker", "probe_armed")
 
-    def __init__(self, model_id: str, breaker: CircuitBreaker):
+    def __init__(self, model_id: str, breaker: CircuitBreaker, capacity: int = 1):
         self.model_id = model_id
-        self.busy = False
-        self.current: Optional[ServeRequest] = None
-        self.gate: Optional[PreemptionGate] = None
+        self.capacity = capacity
+        self.running: List[ServeRequest] = []
+        self.gates: Dict[int, PreemptionGate] = {}
         self.dispatched_at = 0.0
         self.breaker = breaker
         #: a wake-up process is already scheduled for the cooldown end.
         self.probe_armed = False
+
+    @property
+    def busy(self) -> bool:
+        return len(self.running) >= self.capacity
+
+    @property
+    def current(self) -> Optional[ServeRequest]:
+        return self.running[0] if self.running else None
+
+    def add(self, request: ServeRequest, gate: PreemptionGate) -> None:
+        self.running.append(request)
+        self.gates[request.request_id] = gate
+
+    def remove(self, request: ServeRequest) -> None:
+        if request in self.running:
+            self.running.remove(request)
+        self.gates.pop(request.request_id, None)
 
 
 class ServeGateway:
@@ -131,6 +162,18 @@ class ServeGateway:
             model_ids = list(system.tas)
         else:
             model_ids = [system.model.model_id]
+        #: batching mode: the TA behind each lane (lane capacity = the
+        #: TA's batch size; dispatch consults its KV-block budget).
+        self._tas: Dict[str, object] = {}
+        if self.config.batching:
+            for m in model_ids:
+                ta = system.tas[m] if isinstance(system, TZLLMMulti) else system.ta
+                if ta.batch_engine is None:
+                    raise ConfigurationError(
+                        "batching=True requires TAs built with a BatchConfig "
+                        "(model %r has no batch engine)" % m
+                    )
+                self._tas[m] = ta
         self.lanes: Dict[str, _Lane] = {}
         for m in model_ids:
             breaker = CircuitBreaker(
@@ -141,7 +184,10 @@ class ServeGateway:
             breaker.lane = m
             breaker.metrics = self.registry
             breaker.recorder = self.recorder
-            self.lanes[m] = _Lane(m, breaker)
+            capacity = 1
+            if m in self._tas:
+                capacity = self._tas[m].batch_engine.config.max_batch_size
+            self.lanes[m] = _Lane(m, breaker, capacity=capacity)
         self.predictor = ServiceTimePredictor(alpha=self.config.predictor_alpha)
         self.admission = AdmissionController(
             model_ids,
@@ -272,16 +318,31 @@ class ServeGateway:
         if not self.config.policies[request.priority].preemptor:
             return
         lane = self.lanes[request.model_id]
-        if not lane.busy or lane.current is None or lane.gate is None:
+        if not lane.busy:
+            # A free slot exists: dispatch will seat the arrival.  (A
+            # KV-budget shortage never preempts — parking a victim keeps
+            # its blocks, so eviction would not free capacity anyway.)
             return
-        victim = lane.current
-        if victim.priority <= request.priority:
-            return  # equal or more urgent: no preemption
-        if not self.config.policies[victim.priority].preemptible:
+        # Victim: the least urgent preemptible running request whose gate
+        # has not been signalled yet; ties broken toward the newest (it
+        # has the least sunk decode work).
+        victim: Optional[ServeRequest] = None
+        for candidate in lane.running:
+            gate = lane.gates.get(candidate.request_id)
+            if gate is None or gate.requested:
+                continue  # one signal is enough; that slot is yielding
+            if candidate.priority <= request.priority:
+                continue  # equal or more urgent: not a victim
+            if not self.config.policies[candidate.priority].preemptible:
+                continue
+            if victim is None or (candidate.priority, candidate.request_id) > (
+                victim.priority,
+                victim.request_id,
+            ):
+                victim = candidate
+        if victim is None:
             return
-        if lane.gate.requested:
-            return  # one signal is enough; the lane is already yielding
-        lane.gate.request(cause="r%04d" % request.request_id, at=self.sim.now)
+        lane.gates[victim.request_id].request(cause="r%04d" % request.request_id, at=self.sim.now)
         self.preemption_signals += 1
         self.log.append(
             victim.log_line("preempt", self.sim.now, "by=r%04d" % request.request_id)
@@ -293,31 +354,42 @@ class ServeGateway:
         )
 
     def _maybe_dispatch(self, model_id: str) -> None:
+        """Fill the lane: seat queued requests while there is a free slot
+        *and* (in batching mode) KV-block budget for the head request.  A
+        head that does not fit blocks the queue — head-of-line order is
+        what makes shedding predictions and priority order meaningful."""
         lane = self.lanes[model_id]
-        if lane.busy:
-            return
-        if not lane.breaker.allow():
-            # Open lane: nothing dispatches until the cooldown elapses.
-            # Schedule a wake-up so queued requests get their probe.
-            self._arm_probe_timer(lane)
-            return
-        request = self.admission.pop_next(model_id, self.config.scheduling)
-        if request is None:
-            return
-        if lane.breaker.state != "closed":
-            lane.breaker.on_dispatch()  # this request is the probe
-        self.accountant.note_queue_depth(
-            request.priority, self.admission.depth(model_id, request.priority)
-        )
-        gate = PreemptionGate()
-        lane.busy = True
-        lane.current = request
-        lane.gate = gate
-        lane.dispatched_at = self.sim.now
-        self.sim.process(
-            self._run_attempt(lane, request, gate),
-            name="serve-r%d" % request.request_id,
-        )
+        ta = self._tas.get(model_id)
+        while not lane.busy:
+            if not lane.breaker.allow():
+                # Open lane: nothing dispatches until the cooldown elapses.
+                # Schedule a wake-up so queued requests get their probe.
+                self._arm_probe_timer(lane)
+                return
+            if lane.breaker.state != "closed" and lane.running:
+                return  # half-open: one probe at a time
+            request = self.admission.peek_next(model_id, self.config.scheduling)
+            if request is None:
+                return
+            if ta is not None and not ta.kv_can_admit(
+                request.prompt_tokens, request.output_tokens, request.request_id
+            ):
+                return  # head-of-line block until blocks drain
+            self.admission.pop_next(model_id, self.config.scheduling)
+            if ta is not None:
+                ta.kv_reserve(request.request_id, request.prompt_tokens, request.output_tokens)
+            if lane.breaker.state != "closed":
+                lane.breaker.on_dispatch()  # this request is the probe
+            self.accountant.note_queue_depth(
+                request.priority, self.admission.depth(model_id, request.priority)
+            )
+            gate = PreemptionGate()
+            lane.add(request, gate)
+            lane.dispatched_at = self.sim.now
+            self.sim.process(
+                self._run_attempt(lane, request, gate),
+                name="serve-r%d" % request.request_id,
+            )
 
     def _arm_probe_timer(self, lane: _Lane) -> None:
         if lane.probe_armed:
@@ -355,17 +427,13 @@ class ServeGateway:
             record = yield from self._infer(request, gate)
         except Exception as exc:
             self.accountant.note_release(lane.model_id)
-            lane.busy = False
-            lane.current = None
-            lane.gate = None
+            lane.remove(request)
             self._handle_failure(lane, request, exc, span_start)
             self._maybe_dispatch(lane.model_id)
             return
         lane.breaker.record_success()
         self.accountant.note_release(lane.model_id)
-        lane.busy = False
-        lane.current = None
-        lane.gate = None
+        lane.remove(request)
         elapsed = self.sim.now - span_start
         self.tracer.record(
             "gateway",
@@ -376,8 +444,11 @@ class ServeGateway:
         if record.preempted:
             request.preemptions += 1
             request.state = "queued"
-            self.wasted_time += elapsed
-            self.wasted_tokens += len(record.decode.token_ids) if record.decode else 0
+            if not record.parked:
+                # Parked victims keep their KV blocks and decoded tokens
+                # for a prefill-free resume — nothing was wasted.
+                self.wasted_time += elapsed
+                self.wasted_tokens += len(record.decode.token_ids) if record.decode else 0
             self.accountant.note_preemption(request.priority)
             self.admission.requeue_front(request)
             self.accountant.note_queue_depth(
@@ -389,7 +460,11 @@ class ServeGateway:
         else:
             request.record = record
             request.state = "done"
-            request.first_token_at = record.started_at + record.ttft
+            request.first_token_at = (
+                record.first_token_at
+                if record.first_token_at is not None
+                else record.started_at + record.ttft
+            )
             request.finished_at = self.sim.now
             if request.trace is not None:
                 # Flow finish: bound to the end of the serve span.
@@ -514,6 +589,7 @@ class ServeGateway:
             lanes[model_id] = {
                 "breaker": lane.breaker.state,
                 "busy": lane.busy,
+                "running": len(lane.running),
                 "queue_depth": self.admission.total_depth(model_id),
             }
         firing = [] if self.alert_engine is None else self.alert_engine.firing()

@@ -30,12 +30,24 @@ __all__ = [
 
 
 def _percentile(values: List[float], q: float) -> float:
-    """Nearest-rank percentile of a non-empty list (0 for empty)."""
+    """The ``q``-quantile (q in [0, 1]) by linear interpolation between
+    ranks — the same definition as
+    :func:`repro.analysis.metrics.percentile` (implemented locally: the
+    sim layer must not import analysis), so a resource's ``p99_wait``
+    and an analysis-side summary of the same samples agree exactly.
+    Returns 0.0 for an empty list (stats reports tolerate no samples).
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
-    rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
-    return ordered[rank]
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q * (len(ordered) - 1)
+    low = int(rank)
+    frac = rank - low
+    if frac == 0.0:
+        return ordered[low]
+    return ordered[low] * (1.0 - frac) + ordered[low + 1] * frac
 
 
 class ResourceStats:

@@ -1,0 +1,147 @@
+"""Unit tests for the block-paged KV cache (repro.llm.kv_cache)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, OutOfMemory
+from repro.llm import TINYLLAMA, KVBlockPool, PagedKVCache
+
+
+def make_pool(block_tokens=16, total_blocks=8):
+    return KVBlockPool(TINYLLAMA, block_tokens, total_blocks)
+
+
+# ----------------------------------------------------------------------
+# pool
+# ----------------------------------------------------------------------
+def test_pool_validates_config():
+    with pytest.raises(ConfigurationError):
+        KVBlockPool(TINYLLAMA, 0, 8)
+    with pytest.raises(ConfigurationError):
+        KVBlockPool(TINYLLAMA, 16, 0)
+
+
+def test_pool_block_accounting():
+    pool = make_pool()
+    assert pool.block_bytes == TINYLLAMA.kv_bytes(16)
+    assert pool.free_blocks == 8
+    assert pool.blocks_for_tokens(1) == 1
+    assert pool.blocks_for_tokens(16) == 1
+    assert pool.blocks_for_tokens(17) == 2
+    assert pool.blocks_for_tokens(0) == 0
+
+
+def test_pool_alloc_free_and_exhaustion():
+    pool = make_pool(total_blocks=2)
+    a = pool.alloc_block()
+    b = pool.alloc_block()
+    assert pool.used_blocks == 2 and pool.free_blocks == 0
+    with pytest.raises(OutOfMemory):
+        pool.alloc_block()
+    pool.release_block(a)
+    pool.release_block(b)
+    assert pool.used_blocks == 0
+    assert pool.bytes_used == 0
+
+
+def test_pool_reuses_lowest_block_id_first():
+    """Free-list reuse keeps the high-water mark low — churn is absorbed
+    inside the already-protected span (the §4.2 argument)."""
+    pool = make_pool()
+    ids = [pool.alloc_block() for _ in range(4)]
+    assert ids == [0, 1, 2, 3]
+    pool.release_block(1)
+    pool.release_block(0)
+    assert pool.alloc_block() == 0
+    assert pool.alloc_block() == 1
+    assert pool.backing_blocks == 4  # never grew past the peak
+
+
+def test_pool_backing_high_water_resets_only_at_full_drain():
+    pool = make_pool()
+    ids = [pool.alloc_block() for _ in range(3)]
+    assert pool.backing_blocks == 3
+    pool.release_block(ids[2])
+    assert pool.backing_blocks == 3  # partially drained: mark holds
+    pool.release_block(ids[0])
+    pool.release_block(ids[1])
+    assert pool.backing_blocks == 0  # empty: the region may shrink
+
+
+def test_pool_reservations_gate_admission():
+    pool = make_pool(total_blocks=4)
+    assert pool.can_admit(4)
+    pool.reserve(3)
+    assert not pool.can_admit(2)
+    assert pool.can_admit(1)
+    # A reservation converts into real blocks without double counting.
+    pool.alloc_block(from_reservation=True)
+    assert pool.reserved == 2
+    pool.cancel_reservation(2)
+    assert pool.reserved == 0
+    assert pool.can_admit(3)
+
+
+# ----------------------------------------------------------------------
+# paged cache
+# ----------------------------------------------------------------------
+def test_paged_cache_grows_by_blocks():
+    pool = make_pool(block_tokens=16)
+    kv = PagedKVCache(pool)
+    kv.init_prompt(20)  # 2 blocks
+    assert kv.tokens == 20
+    assert len(kv.block_ids) == 2
+    for _ in range(12):
+        kv.append_token()
+    assert kv.tokens == 32 and len(kv.block_ids) == 2
+    kv.append_token()  # 33rd token needs a third block
+    assert len(kv.block_ids) == 3
+    assert kv.bytes_used == 3 * pool.block_bytes
+
+
+def test_paged_cache_release_is_idempotent():
+    pool = make_pool()
+    kv = PagedKVCache(pool)
+    kv.init_prompt(40)
+    assert pool.used_blocks == 3
+    kv.release()
+    assert pool.used_blocks == 0
+    kv.release()  # exactly-once semantics: second call is a no-op
+    assert pool.used_blocks == 0
+    assert kv.bytes_used == 0
+
+
+def test_paged_cache_release_cancels_leftover_reservation():
+    pool = make_pool(total_blocks=8)
+    held = 4
+    pool.reserve(held)
+    kv = PagedKVCache(pool, reserved_blocks=held)
+    kv.init_prompt(20)  # consumes 2 of the 4 held blocks
+    assert pool.reserved == 2
+    kv.release()
+    assert pool.reserved == 0
+    assert pool.used_blocks == 0
+
+
+def test_park_and_restore_roundtrip():
+    pool = make_pool()
+    kv = PagedKVCache(pool)
+    kv.init_prompt(20)
+    kv.append_token()
+    checkpoint = kv.park()
+    assert checkpoint.tokens == 21
+    assert checkpoint.block_ids == tuple(kv.block_ids)
+    assert pool.used_blocks == 2  # parked blocks stay owned
+    kv.restore(checkpoint)
+    kv.append_token()
+    assert kv.tokens == 22
+
+
+def test_restore_rejects_tampered_block_list():
+    pool = make_pool()
+    kv = PagedKVCache(pool)
+    kv.init_prompt(20)
+    checkpoint = kv.park()
+    other = PagedKVCache(pool)
+    other.init_prompt(4)
+    with pytest.raises(ConfigurationError):
+        other.restore(checkpoint)
