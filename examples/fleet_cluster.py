@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""An evening of traffic on a simulated eight-device fleet.
+
+Eight heterogeneous devices — two hub-class boxes, a tablet, three
+phones and two budget handsets, all scaled from the RK3588 reference —
+sit behind one routing tier serving a multi-tenant session trace:
+sticky interactive chat, shared-prefix copilot turns, batch mail
+summarization and background indexing.  The cache-aware placement
+policy routes each turn toward the device that already holds its
+session's KV (or its tenant's shared prefix), spilling to the next
+ranked device when admission refuses, and the run ends with the fleet
+health rollup, the routing scorecard, and the device-labeled metrics
+export.
+
+Outputs land in ``--out`` (default ``out/``, gitignored):
+
+* ``fleet_summary.json``  — the routing scorecard + health rollup
+* ``fleet_metrics.prom``  — fleet-wide Prometheus export (per-device
+  series carry ``device=<id>`` labels)
+
+Run:  python examples/fleet_cluster.py [--out DIR] [--policy NAME]
+"""
+
+import argparse
+import json
+import os
+
+from dataclasses import replace
+
+from repro import TINYLLAMA
+from repro.analysis import render_table
+from repro.config import RK3588
+from repro.fleet import Fleet, FleetLoadGenerator, POLICIES, scale_platform
+from repro.workloads import FleetTenantSpec, generate_fleet_trace
+
+HORIZON = 2 * 3600.0  # two simulated hours of session starts
+
+ASSISTANT = replace(TINYLLAMA, model_id="assistant-1.1b")
+SUMMARIZER = replace(TINYLLAMA, model_id="summarizer-1.1b")
+
+PLATFORMS = [
+    ("hub-0", scale_platform(RK3588, "hub", cpu=1.6, npu=1.8, mem=1.5, flash=1.6)),
+    ("hub-1", scale_platform(RK3588, "hub", cpu=1.6, npu=1.8, mem=1.5, flash=1.6)),
+    ("tablet-0", scale_platform(RK3588, "tablet", cpu=1.25, npu=1.4, mem=1.2, flash=1.2)),
+    ("phone-0", RK3588),
+    ("phone-1", RK3588),
+    ("phone-2", RK3588),
+    ("budget-0", scale_platform(RK3588, "budget", cpu=0.7, npu=0.6, mem=0.75, flash=0.7)),
+    ("budget-1", scale_platform(RK3588, "budget", cpu=0.7, npu=0.6, mem=0.75, flash=0.7)),
+]
+
+TENANTS = [
+    FleetTenantSpec("chat", ASSISTANT.model_id, "interactive",
+                    sessions_per_hour=600.0, mean_turns=5.0, mean_think_time=30.0,
+                    stickiness=1.0, prefix_tokens=96, prefix_pool=4,
+                    output_tokens=(4, 12)),
+    FleetTenantSpec("copilot", ASSISTANT.model_id, "interactive",
+                    sessions_per_hour=450.0, mean_turns=4.0, mean_think_time=15.0,
+                    stickiness=0.8, prefix_tokens=160, prefix_pool=8,
+                    output_tokens=(2, 8)),
+    FleetTenantSpec("mail", SUMMARIZER.model_id, "batch",
+                    sessions_per_hour=250.0, workload="personachat",
+                    mean_turns=2.0, mean_think_time=60.0, stickiness=0.5,
+                    prefix_tokens=64, prefix_pool=2, output_tokens=(16, 32)),
+    FleetTenantSpec("indexer", SUMMARIZER.model_id, "background",
+                    sessions_per_hour=180.0, workload="droidtask",
+                    mean_turns=1.5, mean_think_time=45.0, stickiness=0.0,
+                    output_tokens=(24, 48)),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="out", help="output directory (default: out/)")
+    parser.add_argument("--policy", default="cache-aware", choices=sorted(POLICIES),
+                        help="placement policy (default: cache-aware)")
+    args = parser.parse_args()
+    os.makedirs(args.out, exist_ok=True)
+
+    trace = generate_fleet_trace(HORIZON, TENANTS, seed=42)
+    print("Trace: %d requests (%d tenants) over %.0f simulated hours on %d devices"
+          % (len(trace), len(TENANTS), HORIZON / 3600, len(PLATFORMS)))
+
+    fleet = Fleet(PLATFORMS, [ASSISTANT, SUMMARIZER],
+                  policy=args.policy, warm=True)
+    fleet.start_alerts(until=HORIZON + 1800.0)
+    summary = FleetLoadGenerator(fleet.router, trace).run_blocking().summary()
+
+    print()
+    print(render_table(
+        ["policy", "done", "shed", "spill", "rps",
+         "TTFT p50", "p99", "SLO", "rebalanced"],
+        [[args.policy, summary["completed"], summary["shed"],
+          summary["spillover"], "%.3f" % summary["throughput_rps"],
+          "%.3f" % summary["ttft_p50"], "%.3f" % summary["ttft_p99"],
+          "%.4f" % summary["slo_attainment"], summary["rebalanced_sessions"]]],
+        title="Routing scorecard (%s)" % args.policy))
+
+    health = fleet.health()
+    rows = []
+    for device_id, info in health["devices"].items():
+        rows.append([
+            device_id, info["platform"],
+            "yes" if info["healthy"] else "NO",
+            summary["per_device"].get(device_id, 0),
+            info["completed"], info["sessions_resident"],
+            info["prefixes_resident"],
+        ])
+    print()
+    print(render_table(
+        ["device", "platform", "healthy", "routed", "served",
+         "sessions", "prefixes"],
+        rows, title="Fleet health rollup (healthy=%s, alerts=%s)"
+        % (health["healthy"], health["alerts_firing"] or "none")))
+
+    summary_out = os.path.join(args.out, "fleet_summary.json")
+    with open(summary_out, "w") as fh:
+        json.dump({"policy": args.policy, "summary": summary, "health": health},
+                  fh, indent=2, sort_keys=True, default=str)
+    metrics_out = os.path.join(args.out, "fleet_metrics.prom")
+    with open(metrics_out, "w") as fh:
+        fh.write(fleet.render_metrics())
+    print()
+    print("Wrote %s and %s" % (summary_out, metrics_out))
+
+
+if __name__ == "__main__":
+    main()

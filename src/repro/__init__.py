@@ -19,6 +19,7 @@ Sub-packages: :mod:`repro.sim` (discrete-event engine), :mod:`repro.hw`
 :mod:`repro.tee` (the two OS worlds), :mod:`repro.llm` (inference
 substrate), :mod:`repro.core` (the paper's contribution),
 :mod:`repro.serve` (the multi-tenant serving gateway),
+:mod:`repro.fleet` (a simulated device cluster with cache-aware routing),
 :mod:`repro.faults` (deterministic fault injection + recovery policies),
 :mod:`repro.workloads`, and :mod:`repro.analysis`.
 """

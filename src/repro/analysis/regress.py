@@ -286,6 +286,9 @@ def main(argv=None) -> int:
     tolerances.append(Tolerance("continuous_batching.*occupancy*", rtol=0.10))
     tolerances.append(Tolerance("continuous_batching.*kv_extends", rtol=0.10))
     tolerances.append(Tolerance("continuous_batching.*steps", rtol=0.10))
+    # Host wall time is CI-machine noise, not a simulated result: gate it
+    # only against order-of-magnitude blowups.
+    tolerances.append(Tolerance("fleet_router.wall_s", rtol=3.0))
 
     baselines = load_summaries(args.baselines)
     fresh = load_summaries(args.fresh)

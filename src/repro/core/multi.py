@@ -45,7 +45,11 @@ class TZLLMMulti:
         recovery=None,
         batch_config=None,
         trace: bool = False,
+        sim=None,
+        device_name: str = "",
+        device_seed=None,
     ):
+        self.device_name = device_name
         if not models:
             raise ConfigurationError("need at least one model")
         ids = [m.model_id for m in models]
@@ -85,6 +89,9 @@ class TZLLMMulti:
             granule=granule,
             os_footprint=os_footprint,
             cma_regions=cma_regions,
+            sim=sim,
+            name=device_name,
+            device_seed=device_seed,
         )
         self.tas: Dict[str, LLMTA] = {}
         for model in models:

@@ -104,9 +104,13 @@ class TZLLM(_SystemBase):
         batch_config=None,
         trace: bool = False,
         name: str = "TZ-LLM",
+        sim=None,
+        device_name: str = "",
+        device_seed=None,
     ):
         self.model = model
         self.name = name
+        self.device_name = device_name
         # Sizing the boot-time CMA reservations needs the container's
         # tensor table, which is independent of the device stack — build
         # the container first against a scratch key schedule, then build
@@ -131,6 +135,9 @@ class TZLLM(_SystemBase):
                 "%s:data" % model.model_id: data_bytes,
             },
             npu_reinit_on_switch=npu_reinit_on_switch,
+            sim=sim,
+            name=device_name,
+            device_seed=device_seed,
         )
         self.container = provision_model(self.stack, model)
         self.stack.tee_os.grant_model_access(model.model_id, "llm-ta:" + model.model_id)

@@ -1,0 +1,58 @@
+"""repro.fleet — a simulated device cluster with a cache-aware routing tier.
+
+The paper deploys one TrustZone device; this package asks the systems
+question one level up: given a *fleet* of heterogeneous TZ-LLM devices
+on one virtual clock, where should each request run?  Placement interacts
+with everything the single-device stack models — cold restores, partial
+parameter caching, session KV, admission control, circuit breakers — so
+the routing tier reuses those pieces verbatim and adds only placement:
+
+* :class:`DeviceNode` — one device: a per-device system (analytical
+  :class:`SurrogateLLM` or full-fidelity TZLLM) behind its own
+  :class:`~repro.serve.gateway.ServeGateway`, plus the session-KV and
+  prefix caches that make placement matter;
+* :class:`FleetRouter` — pluggable placement policies with spillover,
+  fleet-level shedding, session pinning, and breaker-driven rebalance;
+* :class:`Fleet` — facade wiring N devices + router + one fleet-wide
+  metrics registry (per-device children) + burn-rate alerts;
+* :class:`FleetLoadGenerator` — replays a
+  :func:`~repro.workloads.fleet.generate_fleet_trace` stream and scores
+  the run (throughput, TTFT percentiles, SLO attainment, sheds).
+"""
+
+from .cluster import Fleet
+from .device import DeviceNode
+from .loadgen import FleetLoadGenerator
+from .policies import (
+    POLICIES,
+    CacheAwarePolicy,
+    LeastOutstandingPolicy,
+    ModelAwarePolicy,
+    PlacementPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    SessionAffinityPolicy,
+    make_policy,
+)
+from .router import FleetRouter, FleetSaturated
+from .surrogate import SurrogateConfig, SurrogateLLM, scale_platform
+
+__all__ = [
+    "CacheAwarePolicy",
+    "DeviceNode",
+    "Fleet",
+    "FleetLoadGenerator",
+    "FleetRouter",
+    "FleetSaturated",
+    "LeastOutstandingPolicy",
+    "ModelAwarePolicy",
+    "POLICIES",
+    "PlacementPolicy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "SessionAffinityPolicy",
+    "SurrogateConfig",
+    "SurrogateLLM",
+    "make_policy",
+    "scale_platform",
+]

@@ -1,0 +1,108 @@
+"""One-stop fleet assembly: devices + router + observability on one clock.
+
+:class:`Fleet` is the facade the examples and benchmarks use: give it
+``(device_id, PlatformSpec)`` pairs and the model set, and it stands up
+one shared :class:`~repro.sim.Simulator`, a fleet-wide
+:class:`~repro.obs.MetricsRegistry` (per-device series through child
+registries), one :class:`~repro.fleet.device.DeviceNode` per entry, the
+:class:`~repro.fleet.router.FleetRouter`, and — on request — an
+:class:`~repro.obs.AlertEngine` with the router's default burn-rate
+rules.  Tests that need finer control wire the pieces directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..config import PlatformSpec
+from ..errors import ConfigurationError
+from ..llm.models import ModelSpec
+from ..obs import MetricsRegistry
+from ..obs.alerts import AlertEngine
+from ..serve.gateway import GatewayConfig
+from ..sim import Simulator
+from .device import DeviceNode
+from .policies import PlacementPolicy
+from .router import FleetRouter
+from .surrogate import SurrogateConfig
+
+__all__ = ["Fleet"]
+
+
+class Fleet:
+    """A simulated device cluster behind one routing tier."""
+
+    def __init__(
+        self,
+        platforms: Sequence[Tuple[str, PlatformSpec]],
+        models: Sequence[ModelSpec],
+        policy: Union[PlacementPolicy, str] = "cache-aware",
+        gateway_config: Optional[GatewayConfig] = None,
+        surrogate_config: Optional[SurrogateConfig] = None,
+        warm: bool = False,
+        sim: Optional[Simulator] = None,
+        registry: Optional[MetricsRegistry] = None,
+        session_capacity: int = 64,
+        prefix_capacity: int = 16,
+    ):
+        if not platforms:
+            raise ConfigurationError("a fleet needs at least one platform")
+        self.sim = sim if sim is not None else Simulator()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.devices: Dict[str, DeviceNode] = {}
+        for device_id, platform in platforms:
+            self.devices[device_id] = DeviceNode(
+                device_id,
+                models=models,
+                platform=platform,
+                sim=self.sim,
+                gateway_config=gateway_config,
+                registry=self.registry,
+                surrogate_config=surrogate_config,
+                session_capacity=session_capacity,
+                prefix_capacity=prefix_capacity,
+            )
+        if warm:
+            for device in self.devices.values():
+                for model in models:
+                    device.system.warm(model.model_id)
+        self.router = FleetRouter(
+            list(self.devices.values()), policy=policy, registry=self.registry
+        )
+        self.alert_engine: Optional[AlertEngine] = None
+
+    # -- conveniences --------------------------------------------------
+    def device(self, device_id: str) -> DeviceNode:
+        try:
+            return self.devices[device_id]
+        except KeyError:
+            raise ConfigurationError("no device %r in the fleet" % device_id)
+
+    def route(self, request):
+        return self.router.route(request)
+
+    def health(self) -> Dict[str, object]:
+        info = self.router.health()
+        if self.alert_engine is not None:
+            info["alerts_firing"] = self.alert_engine.firing()
+            info["healthy"] = info["healthy"] and not info["alerts_firing"]
+        return info
+
+    def start_alerts(
+        self, until: float, rules=None, interval: float = 0.25
+    ) -> AlertEngine:
+        """Attach an alert engine over the fleet registry and start its
+        virtual-time ticker (default rules: the router's burn rates)."""
+        if self.alert_engine is not None:
+            raise ConfigurationError("alert engine already started")
+        self.alert_engine = AlertEngine(
+            self.sim,
+            self.registry,
+            rules=list(rules) if rules is not None else self.router.default_alert_rules(),
+            interval=interval,
+        )
+        self.alert_engine.start(until)
+        return self.alert_engine
+
+    def render_metrics(self) -> str:
+        return self.registry.render()

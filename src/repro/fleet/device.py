@@ -1,0 +1,193 @@
+"""One fleet member: a serving gateway plus the caches routing feeds on.
+
+A :class:`DeviceNode` wraps a per-device system (a fleet
+:class:`~repro.fleet.surrogate.SurrogateLLM` by default, or a
+full-fidelity :class:`~repro.core.system.TZLLM` /
+:class:`~repro.core.multi.TZLLMMulti` when the experiment warrants it)
+behind its own :class:`~repro.serve.gateway.ServeGateway`, and tracks the
+two cache populations that make placement matter:
+
+* **session KV** — a served turn leaves the session's KV resident, so a
+  follow-up routed back here prefers prefilling only its *new* tokens;
+* **prefix cache** — tenants sharing a system prompt reuse its prefill
+  when they land where that prefix was recently computed.
+
+Those caches live at the fleet layer by design: the TA model underneath
+(surrogate or full) sees only the *effective* prompt length after cache
+discounts, which keeps full-fidelity and surrogate devices routable by
+the same policies.  All metrics land on a per-device child of the
+fleet-wide registry, labeled ``device=<id>``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence
+
+from ..config import PlatformSpec, RK3588
+from ..errors import ConfigurationError
+from ..llm.models import ModelSpec
+from ..serve.gateway import GatewayConfig, ServeGateway
+from ..serve.request import ServeRequest
+from ..workloads.fleet import FleetRequest
+from .surrogate import SurrogateConfig, SurrogateLLM
+
+__all__ = ["DeviceNode"]
+
+
+class _ObsView:
+    """The minimal observability bundle the gateway consumes."""
+
+    __slots__ = ("registry", "recorder")
+
+    def __init__(self, registry, recorder=None):
+        self.registry = registry
+        self.recorder = recorder
+
+
+class DeviceNode:
+    """A device in the fleet: gateway + platform + routing-relevant caches."""
+
+    def __init__(
+        self,
+        device_id: str,
+        models: Sequence[ModelSpec] = (),
+        platform: PlatformSpec = RK3588,
+        sim=None,
+        system=None,
+        gateway_config: Optional[GatewayConfig] = None,
+        registry=None,
+        recorder=None,
+        surrogate_config: Optional[SurrogateConfig] = None,
+        session_capacity: int = 64,
+        prefix_capacity: int = 16,
+    ):
+        if not device_id:
+            raise ConfigurationError("device_id must be non-empty")
+        self.device_id = device_id
+        self.platform = platform
+        if system is None:
+            if not models:
+                raise ConfigurationError(
+                    "device %r needs models (or a prebuilt system)" % device_id
+                )
+            system = SurrogateLLM(
+                models,
+                platform=platform,
+                config=surrogate_config,
+                sim=sim,
+                device_name=device_id,
+            )
+        self.system = system
+        self.sim = system.sim
+        #: per-device metrics: a child of the fleet registry when one is
+        #: given (series labeled ``device=<id>``), else standalone.
+        observability = None
+        if registry is not None:
+            observability = _ObsView(registry.child(device=device_id), recorder)
+        self.gateway = ServeGateway(
+            system,
+            config=gateway_config,
+            observability=observability,
+            gateway_id=device_id,
+        )
+        self.session_capacity = session_capacity
+        self.prefix_capacity = prefix_capacity
+        #: session_id -> KV tokens resident here (LRU).
+        self.sessions: "OrderedDict[str, int]" = OrderedDict()
+        #: prefix_id -> prefix tokens computed here (LRU).
+        self.prefixes: "OrderedDict[str, int]" = OrderedDict()
+        self.served: List[ServeRequest] = []
+
+    # -- routing signals ----------------------------------------------
+    def hosts(self, model_id: str) -> bool:
+        return model_id in self.gateway.lanes
+
+    def breaker_open(self, model_id: str) -> bool:
+        lane = self.gateway.lanes.get(model_id)
+        return lane is not None and lane.breaker.state == "open"
+
+    def outstanding(self) -> int:
+        """Queued plus running — the router's load signal."""
+        return self.gateway.queue_depth + sum(
+            len(lane.running) for lane in self.gateway.lanes.values()
+        )
+
+    def model_warm(self, model_id: str) -> bool:
+        """The model's parameters are resident (no cold restore needed)."""
+        resident = getattr(self.system, "resident_models", None)
+        if resident is not None:
+            return model_id in resident()
+        # Full-fidelity systems: a TA with cached parameter groups counts.
+        tas = getattr(self.system, "tas", None)
+        ta = tas.get(model_id) if tas is not None else getattr(self.system, "ta", None)
+        return bool(getattr(ta, "cached_groups", 0))
+
+    def session_hit_tokens(self, request: FleetRequest) -> int:
+        """KV tokens this device can reuse for the request's session."""
+        stored = self.sessions.get(request.session_id)
+        if stored is None:
+            return 0
+        return min(stored, request.prefix_tokens + request.context_tokens)
+
+    def prefix_hit_tokens(self, request: FleetRequest) -> int:
+        if not request.prefix_id or request.prefix_id not in self.prefixes:
+            return 0
+        return min(self.prefixes[request.prefix_id], request.prefix_tokens)
+
+    def effective_prompt_tokens(self, request: FleetRequest) -> int:
+        """Prompt length after discounting KV already resident here.
+
+        A session hit subsumes the prefix hit (the session's KV starts
+        with the prefix), so the larger of the two applies, never both.
+        """
+        discount = max(self.session_hit_tokens(request), self.prefix_hit_tokens(request))
+        return max(1, request.prompt_tokens - discount)
+
+    # -- submission ----------------------------------------------------
+    def submit(self, request: FleetRequest) -> ServeRequest:
+        """Admit one fleet request here (may raise AdmissionRejected)."""
+        served = self.gateway.submit(
+            prompt_tokens=self.effective_prompt_tokens(request),
+            output_tokens=request.output_tokens,
+            model_id=request.model_id,
+            priority=request.priority,
+            tenant=request.tenant,
+        )
+        served.fleet_request = request
+        served.device_id = self.device_id
+        served.completion.callbacks.append(
+            lambda _event: self._note_served(request, served)
+        )
+        return served
+
+    def _note_served(self, request: FleetRequest, served: ServeRequest) -> None:
+        if served.failed:
+            return
+        self.served.append(served)
+        # The turn's full KV (prefix + history + this turn + reply) is now
+        # resident here; the session entry refreshes its LRU position.
+        self.sessions.pop(request.session_id, None)
+        self.sessions[request.session_id] = (
+            request.prompt_tokens + request.output_tokens
+        )
+        while len(self.sessions) > self.session_capacity:
+            self.sessions.popitem(last=False)
+        if request.prefix_id:
+            self.prefixes.pop(request.prefix_id, None)
+            self.prefixes[request.prefix_id] = request.prefix_tokens
+            while len(self.prefixes) > self.prefix_capacity:
+                self.prefixes.popitem(last=False)
+
+    def drop_session(self, session_id: str) -> None:
+        self.sessions.pop(session_id, None)
+
+    # -- health --------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        info = self.gateway.health()
+        info["device_id"] = self.device_id
+        info["platform"] = self.platform.name
+        info["outstanding"] = self.outstanding()
+        info["sessions_resident"] = len(self.sessions)
+        info["prefixes_resident"] = len(self.prefixes)
+        return info

@@ -1,0 +1,181 @@
+"""Placement policies: who serves the next request, in preference order.
+
+A policy ranks the *eligible* devices (those hosting the model with a
+closed breaker — the router pre-filters) for one request; the router
+then tries them in order, falling through to the next on admission
+rejection (spillover).  Returning a ranking rather than a single pick is
+what makes spillover natural: the policy's second choice is exactly
+where an overflowing request should land.
+
+Every policy is deterministic: :class:`RandomPolicy` owns a seeded RNG,
+ties everywhere break on ``device_id``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+from ..errors import ConfigurationError
+from ..workloads.fleet import FleetRequest
+from .device import DeviceNode
+
+__all__ = [
+    "PlacementPolicy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "LeastOutstandingPolicy",
+    "SessionAffinityPolicy",
+    "ModelAwarePolicy",
+    "CacheAwarePolicy",
+    "POLICIES",
+    "make_policy",
+]
+
+
+class PlacementPolicy:
+    """Interface: rank eligible devices for a request."""
+
+    name = "abstract"
+
+    def rank(
+        self, devices: List[DeviceNode], request: FleetRequest, router
+    ) -> List[DeviceNode]:
+        raise NotImplementedError
+
+
+class RandomPolicy(PlacementPolicy):
+    """Uniform-random placement — the baseline every comparison needs."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 7):
+        self._rng = random.Random(seed)
+
+    def rank(self, devices, request, router):
+        order = sorted(devices, key=lambda d: d.device_id)
+        self._rng.shuffle(order)
+        return order
+
+
+class RoundRobinPolicy(PlacementPolicy):
+    """Rotate through devices in id order, one step per request."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def rank(self, devices, request, router):
+        order = sorted(devices, key=lambda d: d.device_id)
+        start = self._next % len(order)
+        self._next += 1
+        return order[start:] + order[:start]
+
+
+class LeastOutstandingPolicy(PlacementPolicy):
+    """Join the shortest queue (queued + running)."""
+
+    name = "least-outstanding"
+
+    def rank(self, devices, request, router):
+        return sorted(devices, key=lambda d: (d.outstanding(), d.device_id))
+
+
+class SessionAffinityPolicy(PlacementPolicy):
+    """Return multi-turn sessions to the device holding their KV.
+
+    The router's pin map (session -> device that served the last turn)
+    ranks first; everyone else follows the fallback policy's order.
+    """
+
+    name = "session-affinity"
+
+    def __init__(self, fallback: PlacementPolicy = None):
+        self.fallback = fallback or LeastOutstandingPolicy()
+
+    def rank(self, devices, request, router):
+        order = self.fallback.rank(devices, request, router)
+        pinned = router.pins.get(request.session_id)
+        if pinned is not None:
+            order = sorted(
+                order, key=lambda d: 0 if d.device_id == pinned else 1
+            )  # stable: fallback order within each group
+        return order
+
+
+class ModelAwarePolicy(PlacementPolicy):
+    """Prefer devices where the model's TA is warm (no cold restore)."""
+
+    name = "model-aware"
+
+    def __init__(self, fallback: PlacementPolicy = None):
+        self.fallback = fallback or LeastOutstandingPolicy()
+
+    def rank(self, devices, request, router):
+        order = self.fallback.rank(devices, request, router)
+        return sorted(
+            order, key=lambda d: 0 if d.model_warm(request.model_id) else 1
+        )
+
+
+class CacheAwarePolicy(PlacementPolicy):
+    """Score devices on every cache signal at once, minus load.
+
+    ``score = session-KV tokens reusable + prefix tokens reusable
+    + model-warm bonus - outstanding-work penalty`` — the composite the
+    fleet benchmark pits against random and least-outstanding routing.
+    The warm bonus and load penalty are in token units: a warm model is
+    worth roughly the prompt tokens a cold restore would otherwise cost,
+    and each outstanding request costs about one average prompt of
+    queueing.
+    """
+
+    name = "cache-aware"
+
+    def __init__(
+        self,
+        warm_bonus_tokens: float = 512.0,
+        load_penalty_tokens: float = 256.0,
+    ):
+        self.warm_bonus_tokens = warm_bonus_tokens
+        self.load_penalty_tokens = load_penalty_tokens
+
+    def score(self, device: DeviceNode, request: FleetRequest, router) -> float:
+        score = float(
+            max(
+                device.session_hit_tokens(request),
+                device.prefix_hit_tokens(request),
+            )
+        )
+        if device.model_warm(request.model_id):
+            score += self.warm_bonus_tokens
+        score -= self.load_penalty_tokens * device.outstanding()
+        return score
+
+    def rank(self, devices, request, router):
+        return sorted(
+            devices,
+            key=lambda d: (-self.score(d, request, router), d.device_id),
+        )
+
+
+#: name -> zero-argument factory (policies carry per-run state).
+POLICIES: Dict[str, Callable[[], PlacementPolicy]] = {
+    "random": RandomPolicy,
+    "round-robin": RoundRobinPolicy,
+    "least-outstanding": LeastOutstandingPolicy,
+    "session-affinity": SessionAffinityPolicy,
+    "model-aware": ModelAwarePolicy,
+    "cache-aware": CacheAwarePolicy,
+}
+
+
+def make_policy(name: str) -> PlacementPolicy:
+    """Instantiate a policy by registry name."""
+    factory = POLICIES.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            "unknown policy %r (want one of %s)" % (name, "/".join(sorted(POLICIES)))
+        )
+    return factory()

@@ -1,0 +1,222 @@
+"""The fleet routing tier: placement, spillover, shedding, rebalance.
+
+:class:`FleetRouter` fronts N :class:`~repro.fleet.device.DeviceNode`\\ s
+sharing one simulator.  Per request it:
+
+1. filters to *eligible* devices — those hosting the model whose lane
+   breaker is not open (a device-level circuit open takes the device out
+   of rotation, reusing :mod:`repro.serve.breaker` verbatim);
+2. asks the placement policy for a preference ranking;
+3. tries admission in rank order — a rejection (queue full, SLO shed,
+   lane cooling down) *spills over* to the next choice rather than
+   failing the request;
+4. sheds at the fleet level (:class:`FleetSaturated`) only when every
+   eligible device refused.
+
+Multi-turn affinity lives here: a served turn pins its session to the
+device (the KV holder), and the pin dissolves when that device's breaker
+opens — the rebalance path — so sessions migrate off sick devices
+instead of queueing behind them.
+
+Fleet-wide counters land on the shared parent registry (unlabeled or
+``device``-labeled), alongside the per-device children, so one export
+and one :class:`~repro.obs.AlertEngine` cover the whole fleet;
+:func:`FleetRouter.default_alert_rules` gives burn-rate coverage of the
+fleet SLO and shed rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..errors import ConfigurationError
+from ..obs import MetricsRegistry
+from ..obs.alerts import BurnRateRule
+from ..serve.errors import AdmissionRejected
+from ..serve.request import ServeRequest
+from ..workloads.fleet import FleetRequest
+from .device import DeviceNode
+from .policies import PlacementPolicy, make_policy
+
+__all__ = ["FleetSaturated", "FleetRouter"]
+
+
+class FleetSaturated(AdmissionRejected):
+    """Every eligible device refused admission (or none was eligible)."""
+
+    reason = "fleet-saturated"
+
+
+class FleetRouter:
+    """Routes fleet requests across devices under a placement policy."""
+
+    def __init__(
+        self,
+        devices: Sequence[DeviceNode],
+        policy: Union[PlacementPolicy, str] = "cache-aware",
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if not devices:
+            raise ConfigurationError("a fleet needs at least one device")
+        ids = [d.device_id for d in devices]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("duplicate device ids: %s" % sorted(ids))
+        sims = {id(d.sim) for d in devices}
+        if len(sims) != 1:
+            raise ConfigurationError("all fleet devices must share one simulator")
+        self.devices: Dict[str, DeviceNode] = {d.device_id: d for d in devices}
+        self.sim = devices[0].sim
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: session_id -> device_id of the KV holder (last served turn).
+        self.pins: Dict[str, str] = {}
+        self.rebalanced_sessions = 0
+        self.routed: List[ServeRequest] = []
+        self.shed: List[FleetRequest] = []
+        self.shed_reasons: Dict[str, int] = {}
+        reg = self.registry
+        self._requests_total = reg.counter(
+            "fleet_requests_total", "requests offered to the fleet router"
+        )
+        self._routed_total = reg.counter(
+            "fleet_routed_total", "requests admitted, by serving device"
+        )
+        self._spillover_total = reg.counter(
+            "fleet_spillover_total", "admissions that fell through to a lower-ranked device"
+        )
+        # Unlabeled on purpose: the shed burn-rate rule reads the bare
+        # series; per-reason counts live in ``shed_reasons``.
+        self._shed_total = reg.counter(
+            "fleet_shed_total", "requests refused by every eligible device"
+        )
+        self._rebalance_total = reg.counter(
+            "fleet_rebalance_total", "session pins dissolved by a breaker opening"
+        )
+        self._slo_requests_total = reg.counter(
+            "fleet_slo_requests_total", "completed fleet requests with an SLO verdict"
+        )
+        self._slo_total = reg.counter(
+            "fleet_slo_total", "fleet SLO verdicts, by outcome"
+        )
+
+    # -- routing -------------------------------------------------------
+    def eligible(self, request: FleetRequest) -> List[DeviceNode]:
+        return [
+            d
+            for d in self.devices.values()
+            if d.hosts(request.model_id) and not d.breaker_open(request.model_id)
+        ]
+
+    def route(self, request: FleetRequest) -> ServeRequest:
+        """Place one request; raises :class:`FleetSaturated` on shed."""
+        self._requests_total.inc()
+        self._rebalance_if_pinned_sick(request)
+        eligible = self.eligible(request)
+        if not eligible:
+            self._note_shed(request, "no-eligible-device")
+            raise FleetSaturated(
+                "no eligible device hosts %r" % request.model_id
+            )
+        ranked = self.policy.rank(list(eligible), request, self)
+        for rank, device in enumerate(ranked):
+            try:
+                served = device.submit(request)
+            except AdmissionRejected:
+                self._spillover_total.inc(device=device.device_id)
+                continue
+            if rank > 0:
+                served.spilled_over = True
+            self._routed_total.inc(device=device.device_id)
+            self.pins[request.session_id] = device.device_id
+            served.completion.callbacks.append(
+                lambda _event, served=served: self._note_done(served)
+            )
+            self.routed.append(served)
+            return served
+        self._note_shed(request, "fleet-saturated")
+        raise FleetSaturated(
+            "all %d eligible devices refused request for %r"
+            % (len(ranked), request.model_id)
+        )
+
+    def _rebalance_if_pinned_sick(self, request: FleetRequest) -> None:
+        pinned = self.pins.get(request.session_id)
+        if pinned is None:
+            return
+        device = self.devices.get(pinned)
+        if device is None or device.breaker_open(request.model_id):
+            del self.pins[request.session_id]
+            self.rebalanced_sessions += 1
+            self._rebalance_total.inc()
+
+    def rebalance(self) -> int:
+        """Sweep every pin; dissolve those held by open-breaker devices.
+
+        Returns the number of sessions cut loose.  The router also
+        rebalances lazily per arriving request; this sweep is for
+        operators reacting to a breaker-open alert.
+        """
+        cut = 0
+        for session_id, device_id in list(self.pins.items()):
+            device = self.devices.get(device_id)
+            if device is None or any(
+                lane.breaker.state == "open"
+                for lane in device.gateway.lanes.values()
+            ):
+                del self.pins[session_id]
+                cut += 1
+        if cut:
+            self.rebalanced_sessions += cut
+            self._rebalance_total.inc(cut)
+        return cut
+
+    def _note_shed(self, request: FleetRequest, reason: str) -> None:
+        self.shed.append(request)
+        self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
+        self._shed_total.inc()
+
+    def _note_done(self, served: ServeRequest) -> None:
+        attained = served.slo_attained
+        if attained is None:
+            return
+        self._slo_requests_total.inc()
+        self._slo_total.inc(outcome="attained" if attained else "violated")
+
+    # -- observability -------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        """Fleet rollup of every device's :meth:`ServeGateway.health`."""
+        devices = {
+            device_id: self.devices[device_id].health()
+            for device_id in sorted(self.devices)
+        }
+        return {
+            "at": self.sim.now,
+            "devices": devices,
+            "queue_depth": sum(d["queue_depth"] for d in devices.values()),
+            "completed": sum(d["completed"] for d in devices.values()),
+            "failed": sum(d["failed"] for d in devices.values()),
+            "shed": len(self.shed),
+            "pinned_sessions": len(self.pins),
+            "rebalanced_sessions": self.rebalanced_sessions,
+            "healthy": all(d["healthy"] for d in devices.values()),
+        }
+
+    def default_alert_rules(
+        self, slo_objective: float = 0.9, shed_objective: float = 0.95
+    ) -> List[BurnRateRule]:
+        """Multi-window burn-rate rules over the fleet-level counters."""
+        return [
+            BurnRateRule(
+                name="fleet-slo-burn",
+                total_metric="fleet_slo_requests_total",
+                bad_metric="fleet_slo_total",
+                bad_labels=(("outcome", "violated"),),
+                objective=slo_objective,
+            ),
+            BurnRateRule(
+                name="fleet-shed-burn",
+                total_metric="fleet_requests_total",
+                bad_metric="fleet_shed_total",
+                objective=shed_objective,
+            ),
+        ]

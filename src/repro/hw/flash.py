@@ -22,11 +22,11 @@ __all__ = ["Flash"]
 class Flash:
     """The NVMe device: named blobs behind a shared-bandwidth pipe."""
 
-    def __init__(self, sim: Simulator, spec: FlashSpec):
+    def __init__(self, sim: Simulator, spec: FlashSpec, name: str = "flash"):
         self.sim = sim
         self.spec = spec
         self.pipe = BandwidthResource(
-            sim, spec.seq_read_bw, per_stream=spec.per_stream_bw, name="flash"
+            sim, spec.seq_read_bw, per_stream=spec.per_stream_bw, name=name
         )
         self._blobs: Dict[str, bytearray] = {}
         self.reads = 0

@@ -22,24 +22,34 @@ __all__ = ["Board"]
 
 
 class Board:
-    """All hardware blocks of one device, wired to one simulator."""
+    """All hardware blocks of one device, wired to one simulator.
 
-    def __init__(self, sim: Simulator, spec: PlatformSpec = RK3588):
+    ``name`` namespaces every named sub-resource ("dev0:big-cpus",
+    "dev0:flash") so N boards can share one :class:`Simulator` without
+    their queueing stats, profiler lanes, or tracer rows colliding — the
+    fleet tier builds one board per device this way.
+    """
+
+    def __init__(self, sim: Simulator, spec: PlatformSpec = RK3588, name: str = ""):
         self.sim = sim
         self.spec = spec
+        self.name = name
+        prefix = name + ":" if name else ""
         tz = spec.trustzone
         self.tzasc = TZASC(tz.tzasc_regions, tz.tzasc_config_time)
         self.tzpc = TZPC(tz.tzpc_config_time)
         self.gic = GIC(tz.gic_config_time)
         self.monitor = SecureMonitor(sim, tz.smc_latency)
         self.memory = PhysicalMemory(spec.memory.total_bytes, self.tzasc)
-        self.flash = Flash(sim, spec.flash)
+        self.flash = Flash(sim, spec.flash, name=prefix + "flash")
         self.npu = NPU(sim, spec.npu, self.memory, self.tzpc, self.gic)
         #: big cluster: the LLM TA's compute + restoration CPU pool.
-        self.big_cpus = Resource(sim, spec.cpu.big_cores, priority=True, name="big-cpus")
+        self.big_cpus = Resource(
+            sim, spec.cpu.big_cores, priority=True, name=prefix + "big-cpus"
+        )
         #: little cluster: REE background applications (pinned apart, §7).
         self.little_cpus = Resource(
-            sim, spec.cpu.little_cores, priority=True, name="little-cpus"
+            sim, spec.cpu.little_cores, priority=True, name=prefix + "little-cpus"
         )
 
     @property

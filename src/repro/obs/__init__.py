@@ -30,13 +30,14 @@ from .attach import Observability, instrument
 from .context import TraceContext
 from .profile import LaneBreakdown, Profiler, QueueRow
 from .recorder import FlightEvent, FlightRecorder
-from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .registry import ChildRegistry, Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ChildRegistry",
     "TraceContext",
     "FlightEvent",
     "FlightRecorder",

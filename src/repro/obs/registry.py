@@ -31,6 +31,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ChildRegistry",
 ]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -182,6 +183,142 @@ class Histogram(_Instrument):
         return 0.0 if series is None else series["sum"]
 
 
+class _BoundInstrument:
+    """An instrument view that injects constant labels on every call.
+
+    Writes (``inc``/``set``/``dec``/``observe``) merge the constant
+    labels into the call-site labels; reads (``value``/``sum``/
+    ``samples``/``labeled``) address only the series carrying the
+    constant labels — so a per-device view never counts another device's
+    series.  The underlying series live in the *parent* instrument,
+    which keeps one ``render()``/``to_dict()`` export covering every
+    device with the registry's usual deterministic ordering (label keys
+    are canonically sorted, so ``device`` interleaves alphabetically no
+    matter which device wrote first).
+    """
+
+    __slots__ = ("_inst", "_constant")
+
+    def __init__(self, inst, constant):
+        self._inst = inst
+        self._constant = dict(constant)
+
+    # -- passthrough identity ------------------------------------------
+    @property
+    def name(self):
+        return self._inst.name
+
+    @property
+    def kind(self):
+        return self._inst.kind
+
+    @property
+    def help(self):
+        return self._inst.help
+
+    @property
+    def buckets(self):
+        return self._inst.buckets  # histograms only; AttributeError otherwise
+
+    def _merge(self, labels):
+        for key in labels:
+            if key in self._constant:
+                raise ConfigurationError(
+                    "label %r on %s is constant in this child registry"
+                    % (key, self._inst.name)
+                )
+        merged = dict(self._constant)
+        merged.update(labels)
+        return merged
+
+    # -- writes --------------------------------------------------------
+    def inc(self, amount=1, **labels):
+        return self._inst.inc(amount, **self._merge(labels))
+
+    def set(self, value, **labels):
+        return self._inst.set(value, **self._merge(labels))
+
+    def dec(self, amount=1, **labels):
+        return self._inst.dec(amount, **self._merge(labels))
+
+    def observe(self, value, **labels):
+        return self._inst.observe(value, **self._merge(labels))
+
+    # -- reads ---------------------------------------------------------
+    def value(self, **labels):
+        return self._inst.value(**self._merge(labels))
+
+    def sum(self, **labels):
+        return self._inst.sum(**self._merge(labels))
+
+    def samples(self):
+        """Parent samples restricted to series carrying the constant labels."""
+        want = set(_label_key(self._constant))
+        return [(key, value) for key, value in self._inst.samples() if want <= set(key)]
+
+    def labeled(self, label_name):
+        out = {}
+        for key, value in self.samples():
+            for k, v in key:
+                if k == label_name:
+                    out[v] = out.get(v, 0.0) + value
+        return out
+
+
+class ChildRegistry:
+    """A registry view that stamps constant labels onto every instrument.
+
+    ``registry.child(device="dev0")`` gives a subsystem its own handle;
+    everything it records lands in the parent's instruments with
+    ``device="dev0"`` attached, so per-device series aggregate in one
+    deterministic Prometheus export.  Children nest (labels merge) and
+    may not redefine a parent label.
+    """
+
+    def __init__(self, parent, constant_labels):
+        key = _label_key(constant_labels)  # validates label names
+        if not key:
+            raise ConfigurationError("child registry needs at least one label")
+        self.parent = parent
+        self.constant_labels = dict(constant_labels)
+
+    def counter(self, name, help=""):
+        return _BoundInstrument(self.parent.counter(name, help), self.constant_labels)
+
+    def gauge(self, name, help=""):
+        return _BoundInstrument(self.parent.gauge(name, help), self.constant_labels)
+
+    def histogram(self, name, help="", buckets=DEFAULT_BUCKETS):
+        return _BoundInstrument(
+            self.parent.histogram(name, help, buckets=buckets), self.constant_labels
+        )
+
+    def get(self, name):
+        inst = self.parent.get(name)
+        return None if inst is None else _BoundInstrument(inst, self.constant_labels)
+
+    def child(self, **labels):
+        for key in labels:
+            if key in self.constant_labels:
+                raise ConfigurationError(
+                    "child registry already fixes label %r" % (key,)
+                )
+        merged = dict(self.constant_labels)
+        merged.update(labels)
+        return ChildRegistry(self.parent, merged)
+
+    # Exports always cover the whole parent namespace — a child is a
+    # write/read view, not a separate store.
+    def render(self):
+        return self.parent.render()
+
+    def to_dict(self):
+        return self.parent.to_dict()
+
+    def instruments(self):
+        return self.parent.instruments()
+
+
 class MetricsRegistry:
     """One namespace of instruments shared by every subsystem.
 
@@ -192,6 +329,12 @@ class MetricsRegistry:
 
     def __init__(self):
         self._instruments = {}
+
+    def child(self, **labels) -> "ChildRegistry":
+        """A view of this registry with ``labels`` attached to every
+        series it writes or reads — e.g. ``registry.child(device="d0")``
+        for per-device serving metrics that still export together."""
+        return ChildRegistry(self, labels)
 
     def _get_or_create(self, cls, name, help, **kwargs):
         existing = self._instruments.get(name)

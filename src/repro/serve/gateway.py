@@ -137,6 +137,7 @@ class ServeGateway:
         config: Optional[GatewayConfig] = None,
         tracer=None,
         observability=None,
+        gateway_id: Optional[str] = None,
     ):
         self.system = system
         self.sim = system.sim
@@ -158,16 +159,26 @@ class ServeGateway:
 
             self.registry = MetricsRegistry()
             self.recorder = None
-        if isinstance(system, TZLLMMulti):
+        # Multi-model systems are recognised structurally (a ``tas`` dict
+        # of model_id -> TA and a model-id-first ``infer``), so fleet
+        # surrogates and future system types route without isinstance
+        # checks against the concrete classes.
+        self._multi_model = hasattr(system, "tas")
+        if self._multi_model:
             model_ids = list(system.tas)
         else:
             model_ids = [system.model.model_id]
+        #: stable identity surfaced by health() and fleet rollups: the
+        #: explicit ``gateway_id`` wins, then the system's device name,
+        #: then a deterministic id derived from the hosted models.
+        device_name = getattr(system, "device_name", "")
+        self.gateway_id = gateway_id or device_name or "gw:" + "+".join(sorted(model_ids))
         #: batching mode: the TA behind each lane (lane capacity = the
         #: TA's batch size; dispatch consults its KV-block budget).
         self._tas: Dict[str, object] = {}
         if self.config.batching:
             for m in model_ids:
-                ta = system.tas[m] if isinstance(system, TZLLMMulti) else system.ta
+                ta = system.tas[m] if self._multi_model else system.ta
                 if ta.batch_engine is None:
                     raise ConfigurationError(
                         "batching=True requires TAs built with a BatchConfig "
@@ -549,7 +560,7 @@ class ServeGateway:
 
     def _infer(self, request: ServeRequest, gate: PreemptionGate):
         """Route the CA→TA invocation to the TA hosting the model."""
-        if isinstance(self.system, TZLLMMulti):
+        if self._multi_model:
             record = yield from self.system.infer(
                 request.model_id,
                 request.prompt_tokens,
@@ -594,6 +605,7 @@ class ServeGateway:
             }
         firing = [] if self.alert_engine is None else self.alert_engine.firing()
         return {
+            "gateway_id": self.gateway_id,
             "at": self.sim.now,
             "lanes": lanes,
             "queue_depth": self.queue_depth,

@@ -53,6 +53,11 @@ class ServeRequest:
     #: flight-recorder tail attached when the request ends failed (a
     #: tuple of :class:`~repro.obs.FlightEvent`), None otherwise.
     postmortem: Optional[tuple] = None
+    #: fleet routing provenance: the device that served the request and
+    #: the originating :class:`~repro.workloads.fleet.FleetRequest`
+    #: (None outside the fleet tier).
+    device_id: Optional[str] = None
+    fleet_request: Optional[object] = None
 
     # ------------------------------------------------------------------
     @property

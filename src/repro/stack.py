@@ -36,6 +36,8 @@ class Stack:
     keystore: HardwareKeyStore
     ree_npu: REENPUDriver
     tee_npu: TEENPUDriver
+    #: device namespace when several stacks share one simulator.
+    name: str = ""
 
     def run(self, until: Optional[float] = None) -> None:
         self.sim.run(until=until)
@@ -46,20 +48,30 @@ def build_stack(
     granule: int = 1 * MiB,
     os_footprint: Optional[int] = None,
     cma_regions: Optional[Dict[str, int]] = None,
-    device_seed: bytes = b"rk3588-unit-0",
+    device_seed: Optional[bytes] = None,
     npu_reinit_on_switch: bool = False,
+    sim: Optional[Simulator] = None,
+    name: str = "",
 ) -> Stack:
     """Build and boot a complete two-world platform.
 
     ``cma_regions`` maps region name to size in bytes; reservations happen
     before boot.  The TEE NPU driver starts with no TZASC grants — callers
     add slots for the job-context regions they create.
+
+    Pass ``sim`` to place several independent platforms on one shared
+    simulator (the fleet tier does); ``name`` namespaces the board's
+    resources and, unless ``device_seed`` is given explicitly, derives a
+    per-device hardware key seed — two devices must never share keys.
     """
-    sim = Simulator()
-    board = Board(sim, spec)
+    if sim is None:
+        sim = Simulator()
+    if device_seed is None:
+        device_seed = ("rk3588-unit-0:%s" % name).encode() if name else b"rk3588-unit-0"
+    board = Board(sim, spec, name=name)
     kernel = REEKernel(sim, board, granule=granule, os_footprint=os_footprint)
-    for name, size in (cma_regions or {}).items():
-        kernel.reserve_cma(name, size)
+    for region_name, size in (cma_regions or {}).items():
+        kernel.reserve_cma(region_name, size)
     kernel.boot()
     tz_driver = TZDriver(sim, kernel)
     keystore = HardwareKeyStore(device_seed)
@@ -76,4 +88,5 @@ def build_stack(
         keystore=keystore,
         ree_npu=ree_npu,
         tee_npu=tee_npu,
+        name=name,
     )

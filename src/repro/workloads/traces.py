@@ -137,8 +137,8 @@ def generate_multitenant_trace(
         raise ConfigurationError("duplicate tenant names")
     requests: List[TenantRequest] = []
     for spec in tenants:
-        if spec.rate_per_hour <= 0:
-            raise ConfigurationError("tenant %r rate must be positive" % spec.name)
+        if spec.rate_per_hour < 0:
+            raise ConfigurationError("tenant %r rate must be non-negative" % spec.name)
         if spec.priority not in ("interactive", "batch", "background"):
             raise ConfigurationError(
                 "tenant %r priority must be interactive/batch/background" % spec.name
@@ -151,6 +151,9 @@ def generate_multitenant_trace(
         lo, hi = spec.output_tokens
         if not 0 <= lo <= hi:
             raise ConfigurationError("tenant %r output_tokens range invalid" % spec.name)
+        if spec.rate_per_hour == 0:
+            continue  # a muted tenant contributes no arrivals (fleet mixes
+            # parameterize tenants per device and zero some out)
         rng = random.Random("%s:%d" % (spec.name, seed))
         at = 0.0
         while True:

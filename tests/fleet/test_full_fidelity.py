@@ -1,0 +1,66 @@
+"""The routing tier over *full-fidelity* TZLLM devices on one clock.
+
+The surrogate makes fleet scale affordable; this test proves the tier
+is not surrogate-only: two complete TZ-LLM platforms (boards, kernels,
+TEE OSes, TAs) coexist in one simulator behind the same router, and
+multi-turn session affinity works against real TA timing.
+"""
+
+import pytest
+
+from repro.core.system import TZLLM
+from repro.fleet import DeviceNode, FleetLoadGenerator, FleetRouter
+from repro.llm import TINYLLAMA
+from repro.obs import MetricsRegistry
+from repro.sim import Simulator
+from repro.workloads import FleetTenantSpec, generate_fleet_trace
+
+
+@pytest.fixture(scope="module")
+def router():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    devices = []
+    for i in range(2):
+        system = TZLLM(
+            TINYLLAMA,
+            sim=sim,
+            device_name="dev%d" % i,
+            cache_fraction=1.0,
+        )
+        devices.append(
+            DeviceNode("dev%d" % i, system=system, registry=registry)
+        )
+    return FleetRouter(devices, policy="cache-aware", registry=registry)
+
+
+def test_trace_replays_across_real_devices(router):
+    trace = generate_fleet_trace(
+        120.0,
+        [
+            FleetTenantSpec(
+                "chat",
+                TINYLLAMA.model_id,
+                "interactive",
+                sessions_per_hour=120.0,
+                mean_turns=3.0,
+                mean_think_time=5.0,
+            )
+        ],
+        seed=5,
+    )[:12]
+    gen = FleetLoadGenerator(router, trace).run_blocking()
+    summary = gen.summary()
+    assert summary["completed"] == summary["admitted"] > 0
+    assert summary["failed"] == 0
+    assert summary["ttft_p99"] > 0
+    # Both real platforms exist behind one rollup.
+    health = router.health()
+    assert set(health["devices"]) == {"dev0", "dev1"}
+    assert health["healthy"]
+
+
+def test_sessions_pin_to_real_devices(router):
+    for session_id, device_id in router.pins.items():
+        device = router.devices[device_id]
+        assert session_id in device.sessions

@@ -1,0 +1,81 @@
+"""Child registries: constant labels with one deterministic export."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+
+
+def test_child_writes_land_in_parent_with_constant_label():
+    reg = MetricsRegistry()
+    dev0 = reg.child(device="dev0")
+    dev1 = reg.child(device="dev1")
+    dev0.counter("requests_total").inc(3, tenant="a")
+    dev1.counter("requests_total").inc(5, tenant="a")
+    parent = reg.counter("requests_total")
+    assert parent.value(device="dev0", tenant="a") == 3
+    assert parent.value(device="dev1", tenant="a") == 5
+
+
+def test_child_reads_are_scoped_to_own_device():
+    reg = MetricsRegistry()
+    dev0 = reg.child(device="dev0")
+    dev1 = reg.child(device="dev1")
+    dev0.counter("shed_total").inc(2, reason="queue-full")
+    dev1.counter("shed_total").inc(7, reason="queue-full")
+    assert dev0.counter("shed_total").value(reason="queue-full") == 2
+    assert dev1.counter("shed_total").value(reason="queue-full") == 7
+    # samples() filters to this device's series only.
+    assert dev0.counter("shed_total").samples() == [
+        ((("device", "dev0"), ("reason", "queue-full")), 2.0)
+    ]
+    assert dev0.counter("shed_total").labeled("reason") == {"queue-full": 2.0}
+
+
+def test_histogram_child_observe_and_sum():
+    reg = MetricsRegistry()
+    dev0 = reg.child(device="dev0")
+    hist = dev0.histogram("ttft_seconds", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    assert hist.value() == 2
+    assert hist.sum() == pytest.approx(0.55)
+    assert reg.histogram("ttft_seconds", buckets=(0.1, 1.0)).value(device="dev0") == 2
+
+
+def test_render_orders_device_series_deterministically():
+    """Label keys are canonically sorted, so the exposition text does not
+    depend on which device wrote first."""
+    a = MetricsRegistry()
+    a.child(device="dev0").counter("reqs").inc()
+    a.child(device="dev1").counter("reqs").inc(2)
+    b = MetricsRegistry()
+    b.child(device="dev1").counter("reqs").inc(2)
+    b.child(device="dev0").counter("reqs").inc()
+    assert a.render() == b.render()
+    lines = [l for l in a.render().splitlines() if l.startswith("reqs{")]
+    assert lines == ['reqs{device="dev0"} 1', 'reqs{device="dev1"} 2']
+
+
+def test_children_nest_and_reject_label_collisions():
+    reg = MetricsRegistry()
+    dev = reg.child(device="dev0")
+    lane = dev.child(lane="interactive")
+    lane.counter("spans").inc()
+    assert reg.counter("spans").value(device="dev0", lane="interactive") == 1
+    with pytest.raises(ConfigurationError):
+        dev.child(device="dev1")
+    with pytest.raises(ConfigurationError):
+        dev.counter("spans").inc(device="other")
+    with pytest.raises(ConfigurationError):
+        reg.child()
+
+
+def test_child_get_returns_bound_view_or_none():
+    reg = MetricsRegistry()
+    dev = reg.child(device="dev0")
+    assert dev.get("missing") is None
+    dev.counter("up").inc()
+    view = dev.get("up")
+    assert view.value() == 1
+    assert view.name == "up" and view.kind == "counter"

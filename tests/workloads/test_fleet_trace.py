@@ -1,0 +1,80 @@
+"""Tests for the fleet-scale session trace generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import FleetTenantSpec, generate_fleet_trace
+
+
+def _spec(name, rate=120.0, **kwargs):
+    return FleetTenantSpec(
+        name=name,
+        model_id="m0",
+        priority="interactive",
+        sessions_per_hour=rate,
+        **kwargs,
+    )
+
+
+def test_sessions_have_consecutive_turns_and_growing_context():
+    trace = generate_fleet_trace(3600.0, [_spec("chat", mean_turns=5.0)], seed=1)
+    sessions = {}
+    for r in trace:
+        sessions.setdefault(r.session_id, []).append(r)
+    assert any(len(turns) > 1 for turns in sessions.values())
+    for turns in sessions.values():
+        turns.sort(key=lambda r: r.turn)
+        assert [r.turn for r in turns] == list(range(1, len(turns) + 1))
+        times = [r.at for r in turns]
+        assert times == sorted(times)
+        assert turns[0].context_tokens == 0
+        for prev, cur in zip(turns, turns[1:]):
+            # Full stickiness: the next turn replays everything said so far.
+            assert cur.context_tokens == (
+                prev.context_tokens + prev.new_tokens + prev.output_tokens
+            )
+
+
+def test_prompt_tokens_decompose():
+    trace = generate_fleet_trace(
+        600.0, [_spec("chat", prefix_tokens=64, prefix_pool=2)], seed=2
+    )
+    assert trace
+    for r in trace:
+        assert r.prompt_tokens == r.prefix_tokens + r.context_tokens + r.new_tokens
+        assert r.prefix_tokens == 64
+        assert r.prefix_id in ("chat/p0", "chat/p1")
+
+
+def test_zero_stickiness_drops_context():
+    trace = generate_fleet_trace(
+        3600.0, [_spec("chat", stickiness=0.0, mean_turns=6.0)], seed=3
+    )
+    assert all(r.context_tokens == 0 for r in trace)
+
+
+def test_deterministic_and_tenant_order_independent():
+    specs = [_spec("a"), _spec("b", rate=40.0), _spec("muted", rate=0.0)]
+    forward = generate_fleet_trace(1800.0, specs, seed=4)
+    again = generate_fleet_trace(1800.0, specs, seed=4)
+    backward = generate_fleet_trace(1800.0, list(reversed(specs)), seed=4)
+    assert forward == again == backward
+    assert all(r.tenant != "muted" for r in forward)
+    assert forward != generate_fleet_trace(1800.0, specs, seed=5)
+
+
+def test_validation_errors():
+    with pytest.raises(ConfigurationError):
+        generate_fleet_trace(0.0, [_spec("a")])
+    with pytest.raises(ConfigurationError):
+        generate_fleet_trace(10.0, [])
+    with pytest.raises(ConfigurationError):
+        generate_fleet_trace(10.0, [_spec("a"), _spec("a")])
+    with pytest.raises(ConfigurationError):
+        generate_fleet_trace(10.0, [_spec("a", rate=-1.0)])
+    with pytest.raises(ConfigurationError):
+        generate_fleet_trace(10.0, [_spec("a", mean_turns=0.5)])
+    with pytest.raises(ConfigurationError):
+        generate_fleet_trace(10.0, [_spec("a", stickiness=1.5)])
+    with pytest.raises(ConfigurationError):
+        generate_fleet_trace(10.0, [_spec("a", workload="nope")])

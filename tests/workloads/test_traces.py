@@ -112,7 +112,7 @@ def test_multitenant_trace_validation():
     with pytest.raises(ConfigurationError):
         generate_multitenant_trace(100.0, [TenantSpec("x", "m", "urgent", 10)])
     with pytest.raises(ConfigurationError):
-        generate_multitenant_trace(100.0, [TenantSpec("x", "m", "batch", 0)])
+        generate_multitenant_trace(100.0, [TenantSpec("x", "m", "batch", -1)])
     with pytest.raises(ConfigurationError):
         generate_multitenant_trace(
             100.0, [TenantSpec("x", "m", "batch", 10, workload="mmlu")]
