@@ -289,6 +289,7 @@ def main(argv=None) -> int:
     # Host wall time is CI-machine noise, not a simulated result: gate it
     # only against order-of-magnitude blowups.
     tolerances.append(Tolerance("fleet_router.wall_s", rtol=3.0))
+    tolerances.append(Tolerance("fleet_failover.wall_s", rtol=3.0))
 
     baselines = load_summaries(args.baselines)
     fresh = load_summaries(args.fresh)

@@ -24,6 +24,7 @@ __all__ = [
     "DeviceError",
     "StorageError",
     "WatchdogTimeout",
+    "DeviceLost",
     "ProtocolError",
     "ModelFormatError",
 ]
@@ -93,6 +94,14 @@ class StorageError(DeviceError):
 class WatchdogTimeout(DeviceError):
     """A TEE-side watchdog expired waiting on an untrusted REE service
     (scheduler stall, dropped SMC) and bounded recovery was exhausted."""
+
+
+class DeviceLost(DeviceError):
+    """The whole device died beneath an in-flight request (fleet-tier
+    crash/reboot).  Secure-world state — parked KV, resident parameters,
+    the attested TA — is gone, so the request cannot be retried on the
+    same device; the routing tier must fail it over elsewhere and pay
+    the re-warm cost there."""
 
 
 class ProtocolError(TZLLMError):

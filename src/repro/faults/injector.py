@@ -14,7 +14,7 @@ seeded plan replays bit-for-bit.
 from __future__ import annotations
 
 import random
-from typing import Dict
+from typing import Dict, Optional
 
 from ..errors import ConfigurationError
 from .plan import KNOWN_SITES, FaultPlan
@@ -39,36 +39,57 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # decisions
     # ------------------------------------------------------------------
-    def fires(self, site: str) -> bool:
-        """One fault decision at ``site`` (advances the site's stream)."""
+    def fires(self, site: str, target: Optional[str] = None) -> bool:
+        """One fault decision at ``site`` (advances the site's stream).
+
+        ``target`` scopes the check to one named entity (a fleet device);
+        an exact-target spec shadows an untargeted one, and each keeps
+        its own stream so targeted chaos never reshuffles ambient chaos.
+        """
         if site not in KNOWN_SITES:
             raise ConfigurationError("unknown fault site %r" % site)
-        spec = self.plan.spec(site)
+        spec = self.plan.spec(site, target)
         if spec is None:
             return False
-        self.checked[site] += 1
-        if spec.max_fires is not None and self.fired[site] >= spec.max_fires:
+        key = spec.key
+        self.checked[key] += 1
+        if spec.max_fires is not None and self.fired[key] >= spec.max_fires:
             return False
         # Draw even outside the window so the stream position depends only
         # on the per-site check count, never on when checks happened.
-        draw = self._streams[site].random()
+        draw = self._streams[key].random()
         if spec.window is not None:
             start, end = spec.window
             if not start <= self.sim.now < end:
                 return False
         if draw >= spec.probability:
             return False
-        self.fired[site] += 1
+        self.fired[key] += 1
         return True
 
-    def stall_delay(self, site: str) -> float:
+    def stall_delay(self, site: str, target: Optional[str] = None) -> float:
         """Injected stall seconds at ``site`` (0.0 when it does not fire)."""
-        spec = self.plan.spec(site)
+        spec = self.plan.spec(site, target)
         if spec is None:
             return 0.0
-        if not self.fires(site):
+        if not self.fires(site, target):
             return 0.0
-        extra = spec.jitter * self._streams[site].random() if spec.jitter else 0.0
+        key = spec.key
+        extra = spec.jitter * self._streams[key].random() if spec.jitter else 0.0
+        return spec.delay + extra
+
+    def severity(self, site: str, target: Optional[str] = None) -> float:
+        """``delay + jitter * U[0,1)`` drawn *without* a fire decision.
+
+        Fleet sites reuse the stall parameters as severity knobs (a gray
+        slowdown factor); callers that already know the site fired use
+        this to draw the magnitude from the same stream.
+        """
+        spec = self.plan.spec(site, target)
+        if spec is None:
+            return 0.0
+        key = spec.key
+        extra = spec.jitter * self._streams[key].random() if spec.jitter else 0.0
         return spec.delay + extra
 
     def corrupt(self, site: str, data: bytes) -> bytes:

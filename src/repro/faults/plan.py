@@ -30,6 +30,12 @@ KNOWN_SITES = frozenset(
         "ree.npu_stall",  # ree/npu_driver.py: scheduler stalls before an item
         "ree.smc_drop",  # ree/npu_driver.py: shadow hand-off SMC never sent
         "tee.job_hang",  # tee/npu_driver.py: completion delayed after the IRQ
+        # Fleet-scope sites (fleet/resilience.py): whole-device failures the
+        # routing tier must survive, not per-request faults the TA retries.
+        "fleet.device_crash",  # device dies; secure state (KV, params) lost
+        "fleet.reboot_loop",  # reboot fails and restarts instead of attesting
+        "fleet.attest_fail",  # secure-world attestation rejects; re-reboot
+        "fleet.gray_slowdown",  # latencies inflate silently; no errors raised
     }
 )
 
@@ -42,6 +48,11 @@ class FaultSpec:
     ``max_fires`` caps the total count (both optional).  ``delay`` and
     ``jitter`` only matter for stall/hang sites: the injected stall is
     ``delay + jitter * U[0,1)`` seconds, drawn from the site's stream.
+
+    ``target`` scopes the spec to one named entity (a fleet device id);
+    a targeted spec owns its own RNG stream keyed ``site@target`` and
+    shadows any untargeted spec for checks against that target, so
+    "crash hub-0 at t=4000" and "crash 0.1% of everything" compose.
     """
 
     site: str
@@ -50,6 +61,12 @@ class FaultSpec:
     max_fires: Optional[int] = None
     delay: float = 0.0
     jitter: float = 0.0
+    target: Optional[str] = None
+
+    @property
+    def key(self) -> str:
+        """The plan/stream key: ``site`` or ``site@target``."""
+        return self.site if self.target is None else "%s@%s" % (self.site, self.target)
 
     def __post_init__(self):
         if self.site not in KNOWN_SITES:
@@ -77,15 +94,19 @@ class FaultPlan:
         self.seed = int(seed)
         self.specs: Dict[str, FaultSpec] = {}
         for spec in specs:
-            if spec.site in self.specs:
-                raise ConfigurationError("duplicate spec for site %r" % spec.site)
-            self.specs[spec.site] = spec
+            if spec.key in self.specs:
+                raise ConfigurationError("duplicate spec for site %r" % spec.key)
+            self.specs[spec.key] = spec
 
     def __contains__(self, site: str) -> bool:
         return site in self.specs
 
-    def spec(self, site: str) -> Optional[FaultSpec]:
-        """The spec arming ``site``, or None when the site is quiet."""
+    def spec(self, site: str, target: Optional[str] = None) -> Optional[FaultSpec]:
+        """The spec arming ``site`` (exact-target match wins), or None."""
+        if target is not None:
+            targeted = self.specs.get("%s@%s" % (site, target))
+            if targeted is not None:
+                return targeted
         return self.specs.get(site)
 
     def stream(self, site: str) -> random.Random:

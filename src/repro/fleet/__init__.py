@@ -17,7 +17,12 @@ the routing tier reuses those pieces verbatim and adds only placement:
   metrics registry (per-device children) + burn-rate alerts;
 * :class:`FleetLoadGenerator` — replays a
   :func:`~repro.workloads.fleet.generate_fleet_trace` stream and scores
-  the run (throughput, TTFT percentiles, SLO attainment, sheds).
+  the run (throughput, TTFT percentiles, SLO attainment, sheds);
+* :mod:`~repro.fleet.resilience` — the fault-tolerance tier: device
+  lifecycle (``UP → DOWN → REBOOTING → ATTESTING → UP``), seeded
+  crash/gray fault driving, active health probes that quarantine gray
+  devices, and the per-tenant hedge/failover budget the router's
+  :class:`~repro.fleet.router.FleetTicket` machinery draws on.
 """
 
 from .cluster import Fleet
@@ -34,21 +39,38 @@ from .policies import (
     SessionAffinityPolicy,
     make_policy,
 )
-from .router import FleetRouter, FleetSaturated
+from .resilience import (
+    DEVICE_STATES,
+    DeviceLifecycle,
+    FleetFaultDriver,
+    FleetResilience,
+    HealthProber,
+    HedgeBudget,
+    ResilienceConfig,
+)
+from .router import FleetRouter, FleetSaturated, FleetTicket
 from .surrogate import SurrogateConfig, SurrogateLLM, scale_platform
 
 __all__ = [
     "CacheAwarePolicy",
+    "DEVICE_STATES",
+    "DeviceLifecycle",
     "DeviceNode",
     "Fleet",
+    "FleetFaultDriver",
     "FleetLoadGenerator",
+    "FleetResilience",
     "FleetRouter",
     "FleetSaturated",
+    "FleetTicket",
+    "HealthProber",
+    "HedgeBudget",
     "LeastOutstandingPolicy",
     "ModelAwarePolicy",
     "POLICIES",
     "PlacementPolicy",
     "RandomPolicy",
+    "ResilienceConfig",
     "RoundRobinPolicy",
     "SessionAffinityPolicy",
     "SurrogateConfig",

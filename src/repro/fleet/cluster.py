@@ -17,12 +17,13 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..config import PlatformSpec
 from ..errors import ConfigurationError
 from ..llm.models import ModelSpec
-from ..obs import MetricsRegistry
+from ..obs import FlightRecorder, MetricsRegistry
 from ..obs.alerts import AlertEngine
 from ..serve.gateway import GatewayConfig
 from ..sim import Simulator
 from .device import DeviceNode
 from .policies import PlacementPolicy
+from .resilience import FleetResilience, ResilienceConfig
 from .router import FleetRouter
 from .surrogate import SurrogateConfig
 
@@ -44,11 +45,14 @@ class Fleet:
         registry: Optional[MetricsRegistry] = None,
         session_capacity: int = 64,
         prefix_capacity: int = 16,
+        resilience: Optional[ResilienceConfig] = None,
+        recorder: Optional[FlightRecorder] = None,
     ):
         if not platforms:
             raise ConfigurationError("a fleet needs at least one platform")
         self.sim = sim if sim is not None else Simulator()
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.recorder = recorder
         self.devices: Dict[str, DeviceNode] = {}
         for device_id, platform in platforms:
             self.devices[device_id] = DeviceNode(
@@ -58,6 +62,7 @@ class Fleet:
                 sim=self.sim,
                 gateway_config=gateway_config,
                 registry=self.registry,
+                recorder=recorder,
                 surrogate_config=surrogate_config,
                 session_capacity=session_capacity,
                 prefix_capacity=prefix_capacity,
@@ -67,9 +72,14 @@ class Fleet:
                 for model in models:
                     device.system.warm(model.model_id)
         self.router = FleetRouter(
-            list(self.devices.values()), policy=policy, registry=self.registry
+            list(self.devices.values()),
+            policy=policy,
+            registry=self.registry,
+            resilience=resilience,
+            recorder=recorder,
         )
         self.alert_engine: Optional[AlertEngine] = None
+        self.resilience: Optional[FleetResilience] = None
 
     # -- conveniences --------------------------------------------------
     def device(self, device_id: str) -> DeviceNode:
@@ -103,6 +113,23 @@ class Fleet:
         )
         self.alert_engine.start(until)
         return self.alert_engine
+
+    def start_resilience(
+        self,
+        until: float,
+        plan=None,
+        config: Optional[ResilienceConfig] = None,
+    ) -> FleetResilience:
+        """Start the fault-tolerance tier: health probing (always) and
+        the fault driver (when a :class:`~repro.faults.plan.FaultPlan`
+        with ``fleet.*`` sites is given).  Hedging/failover knobs come
+        from the ``resilience`` config the fleet was built with (or
+        ``config`` here)."""
+        if self.resilience is not None:
+            raise ConfigurationError("resilience tier already started")
+        self.resilience = FleetResilience(self.router, plan=plan, config=config)
+        self.resilience.start(until)
+        return self.resilience
 
     def render_metrics(self) -> str:
         return self.registry.render()

@@ -30,6 +30,7 @@ from ..llm.models import ModelSpec
 from ..serve.gateway import GatewayConfig, ServeGateway
 from ..serve.request import ServeRequest
 from ..workloads.fleet import FleetRequest
+from .resilience import UP, DeviceLifecycle
 from .surrogate import SurrogateConfig, SurrogateLLM
 
 __all__ = ["DeviceNode"]
@@ -91,6 +92,14 @@ class DeviceNode:
             observability=observability,
             gateway_id=device_id,
         )
+        #: availability state machine (UP/DEGRADED/DOWN/REBOOTING/ATTESTING),
+        #: exported as the ``fleet_device_state`` gauge on the parent registry.
+        self.lifecycle = DeviceLifecycle(
+            self.sim, device_id, registry=registry, recorder=recorder
+        )
+        #: health-prober scoring (EWMA of probe latency; clean baseline).
+        self.probe_ewma: Optional[float] = None
+        self.probe_baseline: Optional[float] = None
         self.session_capacity = session_capacity
         self.prefix_capacity = prefix_capacity
         #: session_id -> KV tokens resident here (LRU).
@@ -100,6 +109,11 @@ class DeviceNode:
         self.served: List[ServeRequest] = []
 
     # -- routing signals ----------------------------------------------
+    @property
+    def routable(self) -> bool:
+        """Lifecycle says this device may receive new traffic."""
+        return self.lifecycle.state == UP
+
     def hosts(self, model_id: str) -> bool:
         return model_id in self.gateway.lanes
 
@@ -162,7 +176,7 @@ class DeviceNode:
         return served
 
     def _note_served(self, request: FleetRequest, served: ServeRequest) -> None:
-        if served.failed:
+        if served.failed or served.cancelled:
             return
         self.served.append(served)
         # The turn's full KV (prefix + history + this turn + reply) is now
@@ -182,11 +196,49 @@ class DeviceNode:
     def drop_session(self, session_id: str) -> None:
         self.sessions.pop(session_id, None)
 
+    # -- lifecycle -----------------------------------------------------
+    def crash(self) -> None:
+        """The device dies: secure-world state is gone, lifecycle → DOWN.
+
+        The session/prefix caches clear because the parked KV they index
+        lived in secure memory — that loss *is* the re-warm cost the
+        router charges when the sessions land elsewhere.  In-flight
+        requests die at their next clock edge via the surrogate's epoch
+        bump (:class:`~repro.errors.DeviceLost`).
+        """
+        self.lifecycle.crashes += 1
+        self.lifecycle.to("down", "crash")
+        self.sessions.clear()
+        self.prefixes.clear()
+        crash = getattr(self.system, "crash", None)
+        if crash is not None:
+            crash()
+
+    def restore_up(self, reason: str = "restored") -> None:
+        """Post-attestation re-admission: fresh breakers, fresh probe score."""
+        restore = getattr(self.system, "restore", None)
+        if restore is not None:
+            restore()
+        self.gateway.reset_lanes()
+        self.probe_ewma = None
+        self.lifecycle.to(UP, reason)
+
+    def set_slowdown(self, factor: float) -> None:
+        """Gray-degrade (or restore, factor=1.0) the device's latencies."""
+        system = self.system
+        if hasattr(system, "slowdown"):
+            system.slowdown = factor
+
+    def probe_latency(self, probe_tokens: int = 8, clean: bool = False) -> float:
+        """Analytic latency of a tiny health probe (see the surrogate)."""
+        return self.system.probe_latency(probe_tokens, clean=clean)
+
     # -- health --------------------------------------------------------
     def health(self) -> Dict[str, object]:
         info = self.gateway.health()
         info["device_id"] = self.device_id
         info["platform"] = self.platform.name
+        info["state"] = self.lifecycle.state
         info["outstanding"] = self.outstanding()
         info["sessions_resident"] = len(self.sessions)
         info["prefixes_resident"] = len(self.prefixes)

@@ -15,9 +15,8 @@ from typing import Dict, List, Sequence, Tuple
 
 from ..analysis.metrics import percentile
 from ..serve.errors import AdmissionRejected
-from ..serve.request import ServeRequest
 from ..workloads.fleet import FleetRequest
-from .router import FleetRouter
+from .router import FleetRouter, FleetTicket
 
 __all__ = ["FleetLoadGenerator"]
 
@@ -28,7 +27,7 @@ class FleetLoadGenerator:
     def __init__(self, router: FleetRouter, trace: Sequence[FleetRequest]):
         self.router = router
         self.trace = list(trace)
-        self.admitted: List[ServeRequest] = []
+        self.admitted: List[FleetTicket] = []
         self.rejected: List[Tuple[FleetRequest, AdmissionRejected]] = []
 
     def run(self):
@@ -52,7 +51,7 @@ class FleetLoadGenerator:
 
     # -- outcomes ------------------------------------------------------
     @property
-    def completed(self) -> List[ServeRequest]:
+    def completed(self) -> List[FleetTicket]:
         return [r for r in self.admitted if r.done]
 
     @property
@@ -87,4 +86,11 @@ class FleetLoadGenerator:
             ),
             "rebalanced_sessions": self.router.rebalanced_sessions,
             "per_device": dict(sorted(per_device.items())),
+            # -- resilience scorecard (all zero when the tier is off) --
+            "availability": (len(done) / self.offered) if self.offered else 1.0,
+            "hedges": self.router.hedges,
+            "hedge_wins": self.router.hedge_wins,
+            "failovers": self.router.failovers,
+            "drained": self.router.drained_requests,
+            "rewarm_tokens": self.router.rewarm_tokens_total,
         }

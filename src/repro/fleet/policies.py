@@ -137,9 +137,11 @@ class CacheAwarePolicy(PlacementPolicy):
         self,
         warm_bonus_tokens: float = 512.0,
         load_penalty_tokens: float = 256.0,
+        slow_penalty_tokens: float = 256.0,
     ):
         self.warm_bonus_tokens = warm_bonus_tokens
         self.load_penalty_tokens = load_penalty_tokens
+        self.slow_penalty_tokens = slow_penalty_tokens
 
     def score(self, device: DeviceNode, request: FleetRequest, router) -> float:
         score = float(
@@ -151,6 +153,13 @@ class CacheAwarePolicy(PlacementPolicy):
         if device.model_warm(request.model_id):
             score += self.warm_bonus_tokens
         score -= self.load_penalty_tokens * device.outstanding()
+        # Prober signal: a device whose probe EWMA runs hot relative to
+        # its clean baseline is slow *right now* (gray but not yet
+        # quarantined) — penalize in proportion.  Devices never probed
+        # (no resilience tier running) score exactly as before.
+        ewma, baseline = device.probe_ewma, device.probe_baseline
+        if ewma is not None and baseline:
+            score -= self.slow_penalty_tokens * max(0.0, ewma / baseline - 1.0)
         return score
 
     def rank(self, devices, request, router):

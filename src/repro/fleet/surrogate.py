@@ -35,7 +35,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..config import GiB, PlatformSpec, RK3588
 from ..core.llm_ta import InferenceRecord
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, DeviceLost
 from ..llm.models import ModelSpec
 from ..llm.runtime import DecodeResult
 
@@ -136,6 +136,19 @@ class SurrogateLLM:
         #: model — lets tests and chaos drills open a lane breaker.
         self._faults: Dict[str, List[BaseException]] = {}
         self.records: List[InferenceRecord] = []
+        #: gray-failure multiplier on every analytically-priced duration
+        #: (restore, prefill, decode, probes).  1.0 = healthy; a gray
+        #: device inflates latency without raising a single error.
+        self.slowdown = 1.0
+        #: crash epoch: bumped by :meth:`crash`; in-flight inferences
+        #: compare their birth epoch after every yield and die with
+        #: :class:`~repro.errors.DeviceLost` when the device rebooted
+        #: beneath them.
+        self.epoch = 0
+        self.crashes = 0
+        #: True between :meth:`crash` and :meth:`restore`: the secure
+        #: world is gone, so new inferences die on arrival too.
+        self.down = False
 
     # -- timing model --------------------------------------------------
     def restore_time(self, model: ModelSpec) -> float:
@@ -200,6 +213,40 @@ class SurrogateLLM:
         """Queue one failure for the next inference on ``model_id``."""
         self._faults.setdefault(model_id, []).append(exc)
 
+    # -- whole-device failure ------------------------------------------
+    def crash(self) -> None:
+        """The device dies: all secure-world state is lost at once.
+
+        Residency is cleared (parameters must cold-restore after the
+        reboot), queued lane faults are dropped with the old world, and
+        the epoch bump makes every in-flight inference raise
+        :class:`~repro.errors.DeviceLost` at its next clock edge.
+        """
+        self.epoch += 1
+        self.crashes += 1
+        self.down = True
+        self.slowdown = 1.0  # whatever grayed the old world died with it
+        for ta in self.tas.values():
+            ta.resident = False
+        self._faults.clear()
+
+    def restore(self) -> None:
+        """Post-reboot: the rebuilt secure world accepts work again."""
+        self.down = False
+
+    def probe_latency(self, probe_tokens: int = 8, clean: bool = False) -> float:
+        """An analytic health probe: TA invoke + a tiny prefill.
+
+        The prober compares the live value (gray slowdown included)
+        against ``clean=True`` — the healthy baseline — to score EWMA
+        degradation without modeling probe traffic through admission.
+        """
+        model = self.tas[min(self.tas)].model
+        base = self.platform.timing.ta_invoke_latency + self.prefill_time(
+            model, probe_tokens
+        )
+        return base if clean else base * self.slowdown
+
     # -- the serving interface -----------------------------------------
     def infer(
         self,
@@ -213,6 +260,13 @@ class SurrogateLLM:
         sim = self.sim
         ta = self._ta(model_id)
         model = ta.model
+        if self.down:
+            # Dispatched in the same instant the device died (or onto a
+            # not-yet-restored one): there is no world to run in.
+            raise DeviceLost(
+                "device %s is down" % (self.device_name or "surrogate")
+            )
+        epoch = self.epoch
         faults = self._faults.get(model_id)
         if faults:
             raise faults.pop(0)
@@ -231,7 +285,11 @@ class SurrogateLLM:
             record.cached_bytes = model.param_bytes
         ttft += self.platform.timing.kv_activation_alloc
         ttft += self.prefill_time(model, prompt_tokens)
-        yield sim.timeout(ttft)
+        yield sim.timeout(ttft * self.slowdown)
+        if self.epoch != epoch:
+            raise DeviceLost(
+                "device %s crashed mid-prefill" % (self.device_name or "surrogate")
+            )
         self._make_resident(ta)
         record.ttft = sim.now - record.started_at
         record.first_token_at = sim.now
@@ -244,7 +302,11 @@ class SurrogateLLM:
                 preempted = True
                 break
             step = min(chunk, output_tokens - decoded)
-            yield sim.timeout(step * tpt)
+            yield sim.timeout(step * tpt * self.slowdown)
+            if self.epoch != epoch:
+                raise DeviceLost(
+                    "device %s crashed mid-decode" % (self.device_name or "surrogate")
+                )
             decoded += step
         record.preempted = preempted
         if output_tokens > 0 or decoded:

@@ -140,6 +140,35 @@ class AdmissionController:
         (it keeps its arrival-order claim within the class)."""
         self.queues[(request.model_id, request.priority)].appendleft(request)
 
+    def remove(self, request: ServeRequest) -> bool:
+        """Pull a still-queued request back out (cancellation / drain).
+
+        Returns False when the request is not queued here — already
+        dispatched, or never admitted — so callers can fall back to the
+        in-flight cancellation path.
+        """
+        queue = self.queues.get((request.model_id, request.priority))
+        if queue is None:
+            return False
+        try:
+            queue.remove(request)
+        except ValueError:
+            return False
+        return True
+
+    def drain(self, model_id: Optional[str] = None) -> List[ServeRequest]:
+        """Empty every queue (or one model's) and return the requests in
+        deterministic (model, class, FIFO) order — the device-down path:
+        the router re-routes them instead of letting them rot."""
+        drained: List[ServeRequest] = []
+        for (mid, cls) in sorted(self.queues, key=lambda k: (k[0], k[1].value)):
+            if model_id is not None and mid != model_id:
+                continue
+            queue = self.queues[(mid, cls)]
+            while queue:
+                drained.append(queue.popleft())
+        return drained
+
     def peek_next(self, model_id: str, scheduling: str) -> Optional[ServeRequest]:
         """The request :meth:`pop_next` would return, without removing it
         — batch-aware dispatch checks the KV-block budget before

@@ -27,6 +27,7 @@ from typing import List, Tuple
 
 from ..errors import (
     ConfigurationError,
+    DeviceLost,
     IagoViolation,
     MigrationError,
     OutOfMemory,
@@ -43,7 +44,10 @@ __all__ = ["CircuitBreaker", "classify_failure"]
 _RETRYABLE = (StorageError, WatchdogTimeout, MigrationError, OutOfMemory)
 #: never retry: an attack detection or a caller bug does not get better
 #: with repetition.
-_FATAL = (SecurityViolation, IagoViolation, ConfigurationError, ProtocolError)
+#: DeviceLost is fatal *for this lane* — the device's secure state is
+#: gone, so the local retry path cannot help; the fleet router owns the
+#: failover (and pays the re-warm cost on another device).
+_FATAL = (SecurityViolation, IagoViolation, ConfigurationError, ProtocolError, DeviceLost)
 
 
 def classify_failure(exc: BaseException) -> str:

@@ -214,6 +214,7 @@ class ServeGateway:
         self.log: List[str] = []
         self.completed: List[ServeRequest] = []
         self.failed: List[ServeRequest] = []
+        self.cancelled: List[ServeRequest] = []
         self.preemption_signals = 0
         self.wasted_time = 0.0
         self.wasted_tokens = 0
@@ -304,6 +305,81 @@ class ServeGateway:
             priority=event.priority,
             tenant=event.tenant,
         )
+
+    # ------------------------------------------------------------------
+    # cancellation and drain (the fleet tier's failover surface)
+    # ------------------------------------------------------------------
+    def cancel(self, request: ServeRequest, reason: str = "cancelled") -> bool:
+        """Abandon an admitted request: a hedge lost its race or the
+        device is going away.
+
+        A still-queued request is pulled out and finalized immediately; a
+        running one has its preemption gate signalled and finalizes as
+        ``cancelled`` at the next token boundary.  Returns False when the
+        request is already terminal (done/failed/cancelled) — the race
+        where the winner and the cancel land on the same instant.
+        """
+        if request.state in ("done", "failed", "cancelled", "rejected"):
+            return False
+        request.cancel_requested = True
+        request.cancel_reason = reason
+        if request.state == "queued" and self.admission.remove(request):
+            self._finalize_cancelled(request, reason)
+            self.accountant.note_queue_depth(
+                request.priority,
+                self.admission.depth(request.model_id, request.priority),
+            )
+            return True
+        gate = self.lanes[request.model_id].gates.get(request.request_id)
+        if gate is not None:
+            gate.request(cause="cancel:%s" % reason, at=self.sim.now)
+        return True
+
+    def drain_queued(self, reason: str = "drain") -> List[ServeRequest]:
+        """Pull every queued request out of admission (device-down path).
+
+        The requests are finalized ``cancelled`` here; the fleet router
+        re-routes the live ones to surviving devices.  In-flight requests
+        are *not* touched — on a crash the device model itself kills them
+        with :class:`~repro.errors.DeviceLost` at the next clock edge.
+        """
+        drained = self.admission.drain()
+        for request in drained:
+            request.cancel_requested = True
+            request.cancel_reason = reason
+            self._finalize_cancelled(request, reason)
+        for model_id in self.lanes:
+            for cls in PriorityClass:
+                self.accountant.note_queue_depth(
+                    cls, self.admission.depth(model_id, cls)
+                )
+        return drained
+
+    def _finalize_cancelled(self, request: ServeRequest, reason: str) -> None:
+        now = self.sim.now
+        request.state = "cancelled"
+        request.cancelled_at = now
+        self.cancelled.append(request)
+        self.accountant.note_cancelled(request.priority, reason)
+        self.log.append(request.log_line("cancel", now, "reason=%s" % reason))
+        if self.recorder is not None:
+            self.recorder.record(
+                "serve", "gateway.cancel", request_id=request.request_id,
+                reason=reason,
+            )
+        if request.completion is not None and not request.completion.triggered:
+            request.completion.succeed(request)
+
+    def reset_lanes(self) -> None:
+        """Forget per-lane failure history (post-reboot re-admission).
+
+        A device that crashed, rebooted and re-attested starts with
+        fresh breakers: the failures that opened them died with the old
+        secure world, and a re-admitted device must be dispatchable
+        immediately or the router's re-admission is a no-op.
+        """
+        for lane in self.lanes.values():
+            lane.breaker.record_success()
 
     # ------------------------------------------------------------------
     # prediction (admission input)
@@ -452,6 +528,14 @@ class ServeGateway:
             span_start,
             lane="gateway",
         )
+        if record.preempted and request.cancel_requested:
+            # The gate was signalled by cancel(), not by a preemptor: the
+            # partial decode is abandoned for good, so it is all waste.
+            self.wasted_time += elapsed
+            self.wasted_tokens += len(record.decode.token_ids) if record.decode else 0
+            self._finalize_cancelled(request, request.cancel_reason or "cancelled")
+            self._maybe_dispatch(lane.model_id)
+            return
         if record.preempted:
             request.preemptions += 1
             request.state = "queued"
@@ -509,6 +593,13 @@ class ServeGateway:
         failed request.
         """
         now = self.sim.now
+        if request.cancel_requested:
+            # The caller already gave up on this attempt; however it died,
+            # it is a cancellation, not a lane failure — the breaker must
+            # not open over work nobody is waiting for.
+            self.wasted_time += now - span_start
+            self._finalize_cancelled(request, request.cancel_reason or "cancelled")
+            return
         kind = type(exc).__name__
         classification = classify_failure(exc)
         request.note_failure(now, kind, classification)
@@ -611,6 +702,7 @@ class ServeGateway:
             "queue_depth": self.queue_depth,
             "completed": len(self.completed),
             "failed": len(self.failed),
+            "cancelled": len(self.cancelled),
             "alerts_firing": firing,
             "healthy": not firing
             and all(l["breaker"] != "open" for l in lanes.values()),

@@ -58,6 +58,19 @@ class ServeRequest:
     #: (None outside the fleet tier).
     device_id: Optional[str] = None
     fleet_request: Optional[object] = None
+    #: fleet resilience provenance: the owning FleetTicket (None outside
+    #: the fleet tier), whether this attempt was a speculative hedge, and
+    #: whether the router spilled past its first-ranked device to place it.
+    ticket: Optional[object] = None
+    hedge: bool = False
+    spilled_over: bool = False
+    #: cancellation: the router asked the gateway to abandon this attempt
+    #: (a hedge lost the race, or its device is draining).  A cancelled
+    #: request ends in state ``cancelled`` — neither done nor failed —
+    #: and is excluded from SLO accounting.
+    cancel_requested: bool = False
+    cancel_reason: Optional[str] = None
+    cancelled_at: Optional[float] = None
 
     # ------------------------------------------------------------------
     @property
@@ -67,6 +80,10 @@ class ServeRequest:
     @property
     def failed(self) -> bool:
         return self.state == "failed"
+
+    @property
+    def cancelled(self) -> bool:
+        return self.state == "cancelled"
 
     @property
     def failure_count(self) -> int:

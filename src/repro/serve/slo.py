@@ -164,6 +164,11 @@ class _ClassStats:
         """Requests that ended in the ``failed`` state."""
         return self._value("serve_failed_total")
 
+    @property
+    def cancelled(self) -> Dict[str, int]:
+        """Per-reason counts of caller-cancelled requests (fleet tier)."""
+        return self._by_label("serve_cancelled_total", "reason")
+
 
 class SLOAccountant:
     """Collects per-class serving metrics against the simulated clock.
@@ -244,6 +249,16 @@ class SLOAccountant:
         self.registry.counter("serve_failed_total", "Terminally failed requests").inc(
             **{"class": cls.label}
         )
+
+    def note_cancelled(self, cls: PriorityClass, reason: str) -> None:
+        """A request was cancelled by its caller (a fleet hedge lost the
+        race, or its device drained) — neither completed nor failed, and
+        deliberately *not* an SLO outcome: the fleet tier accounts the
+        logical request once, at the ticket level, so a cancelled loser
+        must not double-charge the class."""
+        self.registry.counter(
+            "serve_cancelled_total", "Requests cancelled by the caller"
+        ).inc(**{"class": cls.label, "reason": reason})
 
     def note_dispatch(self, model_id: str) -> None:
         self._busy_since[model_id] = self.sim.now

@@ -1,6 +1,11 @@
 """Evaluation workloads: prompts, NN apps, Geekbench, memory stress."""
 
-from .fleet import FleetRequest, FleetTenantSpec, generate_fleet_trace
+from .fleet import (
+    FleetRequest,
+    FleetTenantSpec,
+    generate_fault_schedule,
+    generate_fleet_trace,
+)
 from .geekbench import GEEKBENCH_SUITE, GeekbenchApp, migration_slowdown, run_suite
 from .nn_apps import MOBILENET_V1, NNAppRunner, NNAppSpec, YOLOV5S
 from .prompts import BENCHMARKS, Prompt, benchmark_names, generate_prompts
@@ -32,6 +37,7 @@ __all__ = [
     "TraceEvent",
     "YOLOV5S",
     "benchmark_names",
+    "generate_fault_schedule",
     "generate_fleet_trace",
     "generate_multitenant_trace",
     "generate_pressure_phases",

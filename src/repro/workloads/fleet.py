@@ -21,9 +21,15 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from ..errors import ConfigurationError
+from ..faults.plan import FaultSpec
 from .prompts import BENCHMARKS
 
-__all__ = ["FleetTenantSpec", "FleetRequest", "generate_fleet_trace"]
+__all__ = [
+    "FleetTenantSpec",
+    "FleetRequest",
+    "generate_fleet_trace",
+    "generate_fault_schedule",
+]
 
 
 @dataclass(frozen=True)
@@ -177,3 +183,66 @@ def generate_fleet_trace(
                 at += rng.expovariate(1.0 / spec.mean_think_time)
     requests.sort(key=lambda r: (r.at, r.tenant, r.session_id, r.turn))
     return requests
+
+
+def generate_fault_schedule(
+    duration: float,
+    device_ids: Sequence[str],
+    seed: int = 7,
+    crashes: int = 2,
+    grays: int = 1,
+    crash_span: tuple = (0.2, 0.8),
+    gray_factor: float = 4.0,
+    gray_duration_frac: float = 0.25,
+) -> List[FaultSpec]:
+    """A deterministic mid-trace fault schedule over a device fleet.
+
+    Picks ``crashes`` distinct devices to crash (one targeted
+    ``fleet.device_crash`` spec each, a one-shot window placed inside
+    ``crash_span`` of the trace) and ``grays`` further devices to
+    gray-degrade (``fleet.gray_slowdown`` with the slowdown factor in
+    ``delay``).  Victims and times come from one RNG keyed
+    ``("fleet-faults", seed)`` — independent of every tenant stream, so
+    arming faults never perturbs the trace itself.  The windows are a
+    few seconds wide with probability 1: the resilience tier's fault
+    driver checks each site about once a simulated second, so each spec
+    fires exactly once, at a time that depends only on ``(seed,
+    duration, device order)``.
+    """
+    if duration <= 0:
+        raise ConfigurationError("duration must be positive")
+    ids = sorted(set(device_ids))
+    if crashes < 0 or grays < 0 or crashes + grays > len(ids):
+        raise ConfigurationError(
+            "need %d victims but fleet has %d devices" % (crashes + grays, len(ids))
+        )
+    lo, hi = crash_span
+    if not 0.0 <= lo < hi <= 1.0:
+        raise ConfigurationError("crash_span must be a sub-interval of [0, 1]")
+    rng = random.Random("fleet-faults:%d" % seed)
+    victims = rng.sample(ids, crashes + grays)
+    specs: List[FaultSpec] = []
+    for device_id in victims[:crashes]:
+        at = duration * rng.uniform(lo, hi)
+        specs.append(
+            FaultSpec(
+                "fleet.device_crash",
+                probability=1.0,
+                window=(at, at + 5.0),
+                max_fires=1,
+                target=device_id,
+            )
+        )
+    for device_id in victims[crashes:]:
+        at = duration * rng.uniform(lo, hi)
+        specs.append(
+            FaultSpec(
+                "fleet.gray_slowdown",
+                probability=1.0,
+                window=(at, at + duration * gray_duration_frac),
+                max_fires=1,
+                delay=gray_factor,
+                target=device_id,
+            )
+        )
+    return specs

@@ -171,4 +171,9 @@ def test_known_sites_cover_all_armed_components():
         "ree.npu_stall",
         "ree.smc_drop",
         "tee.job_hang",
+        # fleet-scope sites, driven by repro.fleet.resilience
+        "fleet.device_crash",
+        "fleet.reboot_loop",
+        "fleet.attest_fail",
+        "fleet.gray_slowdown",
     }

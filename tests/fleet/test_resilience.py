@@ -1,0 +1,282 @@
+"""Fault-tolerance tier: lifecycle, probing, hedging, failover, re-warm."""
+
+import pytest
+
+from repro.config import RK3588
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, FaultSpec
+from repro.fleet import Fleet, HedgeBudget, ResilienceConfig
+from repro.fleet.resilience import ATTESTING, DEGRADED, DOWN, REBOOTING, UP, DeviceLifecycle
+from repro.llm import TINYLLAMA
+from repro.obs import MetricsRegistry
+from repro.sim import Simulator
+from repro.workloads import generate_fault_schedule
+from repro.workloads.fleet import FleetRequest
+
+
+def _request(at=0.0, session="t/s1", context=0, new=32, out=4, priority="interactive"):
+    return FleetRequest(
+        at=at,
+        tenant="t",
+        session_id=session,
+        turn=1,
+        model_id=TINYLLAMA.model_id,
+        priority=priority,
+        prefix_id="",
+        prefix_tokens=0,
+        context_tokens=context,
+        new_tokens=new,
+        output_tokens=out,
+    )
+
+
+def _fleet(n=2, resilience=None, **kwargs):
+    platforms = [("dev%d" % i, RK3588) for i in range(n)]
+    return Fleet(
+        platforms, [TINYLLAMA], policy="cache-aware", warm=True,
+        resilience=resilience, **kwargs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# lifecycle state machine
+# ---------------------------------------------------------------------------
+def test_lifecycle_transitions_export_gauge_and_reject_illegal_edges():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    life = DeviceLifecycle(sim, "d0", registry=registry)
+    gauge = registry.gauge("fleet_device_state")
+    assert life.state == UP and gauge.value(device="d0") == 0
+    life.to(DOWN, "crash")
+    assert gauge.value(device="d0") == 2
+    life.to(REBOOTING, "reboot")
+    life.to(ATTESTING, "attest")
+    life.to(UP, "attested")
+    assert [s for _t, s, _r in life.transitions] == [DOWN, REBOOTING, ATTESTING, UP]
+    with pytest.raises(ConfigurationError):
+        life.to(ATTESTING, "nope")  # UP -> ATTESTING is not an edge
+    assert (
+        registry.counter("fleet_device_transitions_total").value(
+            device="d0", state="up"
+        )
+        == 1
+    )
+
+
+def test_resilience_config_validation():
+    with pytest.raises(ConfigurationError):
+        ResilienceConfig(ewma_alpha=0.0)
+    with pytest.raises(ConfigurationError):
+        ResilienceConfig(quarantine_factor=2.0, readmit_factor=3.0)
+    with pytest.raises(ConfigurationError):
+        ResilienceConfig(probe_interval=0.0)
+    with pytest.raises(ConfigurationError):
+        ResilienceConfig(max_failovers=-1)
+
+
+# ---------------------------------------------------------------------------
+# hedge budget
+# ---------------------------------------------------------------------------
+def test_hedge_budget_spends_and_refills_on_the_virtual_clock():
+    sim = Simulator()
+    budget = HedgeBudget(sim, capacity=2.0, refill_per_s=0.5)
+    assert budget.take("a") and budget.take("a")
+    assert not budget.take("a")  # empty
+    assert budget.take("b")  # tenants are independent pools
+    sim.run_until(sim.timeout(2.0))  # 2s * 0.5/s = 1 token back
+    assert budget.take("a")
+    assert not budget.take("a")
+    assert budget.taken["a"] == 3 and budget.denied["a"] == 2
+
+
+# ---------------------------------------------------------------------------
+# crash -> DeviceLost -> free failover + session re-warm
+# ---------------------------------------------------------------------------
+def test_crash_fails_over_in_flight_request_and_charges_rewarm():
+    fleet = _fleet(2, resilience=ResilienceConfig(hedging=False))
+    ticket = fleet.route(_request(context=200, out=8))
+    victim = fleet.device(ticket.device_id)
+    assert fleet.router.pins["t/s1"] == victim.device_id
+    victim.crash()
+    fleet.router.handle_device_down(victim)
+    assert "t/s1" not in fleet.router.pins  # pin cut loose at crash time
+    fleet.sim.run_until(ticket.completion)
+    assert ticket.done
+    assert ticket.failovers == 1
+    assert ticket.device_id != victim.device_id
+    # Provenance: the first attempt died with the device.
+    assert ticket.failures[0][1] == "DeviceLost"
+    # The relaunch re-pinned the session and settled the re-warm debt
+    # (the 200 context tokens the dead device's KV used to cover).
+    assert fleet.router.pins["t/s1"] == ticket.device_id
+    assert ticket.rewarm_tokens == 200
+    assert fleet.registry.counter("fleet_rewarm_tokens_total").value() == 200
+    assert fleet.registry.counter("fleet_failovers_total").value() == 1
+    # Budget untouched: DeviceLost failover is the fleet's own fault.
+    assert fleet.router.hedge_budget.taken == {}
+    # The victim's caches were wiped with its secure world.
+    assert victim.sessions == {} and victim.lifecycle.state == DOWN
+
+
+def test_device_down_drains_queued_attempts_to_survivors():
+    fleet = _fleet(2, resilience=ResilienceConfig(hedging=False))
+    tickets = [
+        fleet.route(_request(session="t/s%d" % i, out=2)) for i in range(8)
+    ]
+    victim_id = tickets[0].device_id
+    victim = fleet.device(victim_id)
+    assert victim.gateway.queue_depth > 0  # some attempts still queued
+    victim.crash()
+    fleet.router.handle_device_down(victim)
+    assert fleet.registry.counter("fleet_drained_total").value(device=victim_id) > 0
+    for ticket in tickets:
+        if not ticket.completion.triggered:
+            fleet.sim.run_until(ticket.completion)
+        assert ticket.state in ("done", "failed")  # liveness: all terminal
+    survivors = {t.device_id for t in tickets if t.done}
+    assert victim_id not in survivors
+
+
+# ---------------------------------------------------------------------------
+# hedging
+# ---------------------------------------------------------------------------
+def test_hedge_beats_gray_primary_and_cancels_loser():
+    fleet = _fleet(2, resilience=ResilienceConfig(hedge_delay=0.2))
+    fleet.device("dev0").set_slowdown(50.0)  # gray: slow, no errors
+    ticket = fleet.route(_request(out=8))
+    assert ticket.device_id == "dev0"  # tie-break routed onto the gray device
+    fleet.sim.run_until(ticket.completion)
+    assert ticket.done and ticket.hedges == 1
+    assert ticket.winner.hedge and ticket.winner.device_id == "dev1"
+    assert fleet.router.hedge_wins == 1
+    assert fleet.registry.counter("fleet_hedge_wins_total").value() == 1
+    # The session follows the winner's KV.
+    assert fleet.router.pins["t/s1"] == "dev1"
+    # SLO accounting is ticket-level: one verdict, not two.
+    assert fleet.registry.counter("fleet_slo_requests_total").value() == 1
+    # The gray-device attempt was told to stand down.
+    loser = ticket.attempts[0]
+    assert loser.cancel_requested and loser.cancel_reason == "hedge-loser"
+    fleet.sim.run(until=fleet.sim.now + 600.0)
+    assert loser.state == "cancelled"
+
+
+def test_hedge_budget_exhaustion_denies_hedges():
+    cfg = ResilienceConfig(
+        hedge_delay=0.05, hedge_budget_capacity=1.0, hedge_budget_refill_per_s=0.0
+    )
+    fleet = _fleet(2, resilience=cfg)
+    fleet.device("dev0").set_slowdown(50.0)
+    first = fleet.route(_request(session="t/s1", out=2))
+    fleet.sim.run_until(first.completion)
+    assert first.hedges == 1  # spent the only token
+    second = fleet.route(_request(session="t/s2", out=2))
+    fleet.sim.run_until(second.completion)
+    assert second.hedges == 0
+    assert fleet.registry.counter("fleet_hedge_denied_total").value() == 1
+
+
+def test_hedging_never_fires_when_resilience_is_off():
+    fleet = _fleet(2)
+    fleet.device("dev0").set_slowdown(50.0)
+    ticket = fleet.route(_request(out=2))
+    fleet.sim.run_until(ticket.completion)
+    assert ticket.done and ticket.hedges == 0 and len(ticket.attempts) == 1
+
+
+# ---------------------------------------------------------------------------
+# active probing: gray quarantine and re-admission
+# ---------------------------------------------------------------------------
+def test_prober_quarantines_gray_device_and_readmits_after_recovery():
+    fleet = _fleet(2, resilience=ResilienceConfig(hedging=False))
+    fleet.start_resilience(until=300.0)
+    gray = fleet.device("dev0")
+    gray.set_slowdown(10.0)
+    fleet.sim.run(until=10.0)
+    assert gray.lifecycle.state == DEGRADED
+    assert not gray.routable
+    # A quarantined device is out of the eligible set entirely.
+    assert "dev0" not in {
+        d.device_id for d in fleet.router.eligible(_request(session="t/sx"))
+    }
+    # New traffic lands on the healthy device, and a pin held by the
+    # quarantined device dissolves with reason "quarantined".
+    fleet.router.pins["t/old"] = "dev0"
+    routed = fleet.route(_request(session="t/old", at=10.0))
+    assert routed.device_id == "dev1"
+    assert (
+        fleet.registry.counter("fleet_sessions_rebalanced").value(reason="quarantined")
+        == 1
+    )
+    fleet.sim.run_until(routed.completion)
+    gray.set_slowdown(1.0)  # the gray episode ends
+    fleet.sim.run(until=60.0)
+    assert gray.lifecycle.state == UP and gray.routable
+    probes = fleet.registry.counter("fleet_probes_total")
+    assert probes.value(device="dev0", outcome="ok") > 0
+
+
+# ---------------------------------------------------------------------------
+# seeded fault driver: crash + attestation reboot loop
+# ---------------------------------------------------------------------------
+def test_attest_failure_reboot_loop_holds_traffic_and_drains_once():
+    fleet = _fleet(2, resilience=ResilienceConfig(hedging=False))
+    warmup = fleet.route(_request(session="t/s1", out=2))
+    fleet.sim.run_until(warmup.completion)
+    victim_id = warmup.device_id
+    plan = FaultPlan(
+        11,
+        [
+            FaultSpec(
+                "fleet.device_crash",
+                probability=1.0,
+                window=(1.0, 2.5),
+                max_fires=1,
+                target=victim_id,
+            ),
+            FaultSpec(
+                "fleet.attest_fail", probability=1.0, max_fires=3, target=victim_id
+            ),
+        ],
+    )
+    fleet.start_resilience(until=300.0, plan=plan)
+    victim = fleet.device(victim_id)
+    # Walk the sim forward; while the device is rebooting/attesting it
+    # must never be eligible for new work.
+    for horizon in (5.0, 15.0, 25.0, 35.0):
+        fleet.sim.run(until=horizon)
+        if victim.lifecycle.state in (DOWN, REBOOTING, ATTESTING):
+            assert victim_id not in {
+                d.device_id
+                for d in fleet.router.eligible(_request(session="t/probe"))
+            }
+    fleet.sim.run(until=120.0)
+    assert victim.lifecycle.state == UP  # the 4th attestation succeeded
+    assert victim.lifecycle.attest_failures == 3
+    assert victim.lifecycle.reboots == 4  # initial + one per attest failure
+    assert victim.lifecycle.crashes == 1
+    assert victim.lifecycle.drains == 1  # sessions drained exactly once
+    # Back in rotation: it can serve again.
+    assert victim_id in {
+        d.device_id for d in fleet.router.eligible(_request(session="t/back"))
+    }
+
+
+def test_fault_schedule_is_deterministic_and_validated():
+    ids = ["d%d" % i for i in range(8)]
+    a = generate_fault_schedule(3600.0, ids, seed=5, crashes=2, grays=1)
+    b = generate_fault_schedule(3600.0, ids, seed=5, crashes=2, grays=1)
+    assert a == b
+    assert len(a) == 3
+    crash_targets = [s.target for s in a if s.site == "fleet.device_crash"]
+    gray_targets = [s.target for s in a if s.site == "fleet.gray_slowdown"]
+    assert len(crash_targets) == 2 and len(gray_targets) == 1
+    assert len(set(crash_targets + gray_targets)) == 3  # distinct victims
+    for spec in a:
+        assert spec.target in ids and spec.max_fires == 1
+        assert 0.0 < spec.window[0] < 3600.0
+    assert a != generate_fault_schedule(3600.0, ids, seed=6, crashes=2, grays=1)
+    with pytest.raises(ConfigurationError):
+        generate_fault_schedule(3600.0, ids[:2], crashes=2, grays=1)
+    with pytest.raises(ConfigurationError):
+        generate_fault_schedule(-1.0, ids)

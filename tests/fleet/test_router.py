@@ -117,7 +117,10 @@ def test_breaker_open_rebalances_pinned_sessions():
     second = fleet.route(_request(session="t/s1", context=100))
     assert second.device_id != holder
     assert fleet.router.rebalanced_sessions == 1
-    assert fleet.registry.counter("fleet_rebalance_total").value() == 1
+    assert (
+        fleet.registry.counter("fleet_sessions_rebalanced").value(reason="breaker-open")
+        == 1
+    )
     assert fleet.router.pins["t/s1"] == second.device_id
     assert not fleet.health()["healthy"]
 
