@@ -1,0 +1,271 @@
+"""Fleet telemetry pipeline: observation must be cheap and complete.
+
+The same 8-device fleet as the router benchmark serves a 4-hour
+multi-tenant session trace twice — once bare, once with the full
+telemetry pipeline attached (virtual-time scraping into the
+multi-resolution store, per-tenant usage accounting, tail-based trace
+sampling) while a seeded crash and a gray slowdown force hedges and
+failovers.  Three claims, all asserted:
+
+1. **cost** — the pipeline consumes at most 5% of the run's wall clock.
+   The pipeline self-attributes its host time (``perf_counter`` around
+   the scrape loop and the per-ticket accounting/sampling hooks), which
+   measures the overhead precisely even on noisy shared hosts where an
+   off-vs-on wall-clock diff drowns in scheduler jitter; the raw
+   off/on walls are still measured (best of two interleaved runs each)
+   and guarded against blowups;
+2. **completeness** — every failed, shed, and hedged ticket keeps its
+   full trace while the fast path is sampled at or under 10%;
+3. **determinism** — the two telemetry-on replays export byte-identical
+   time series, tenant accounts, and Chrome traces.
+"""
+
+import json
+import time
+
+from repro.analysis import render_table
+from repro.config import RK3588
+from repro.faults import FaultPlan
+from repro.fleet import Fleet, FleetLoadGenerator, ResilienceConfig, scale_platform
+from repro.llm import TINYLLAMA
+from repro.obs import TelemetryConfig
+from repro.workloads import (
+    FleetTenantSpec,
+    generate_fault_schedule,
+    generate_fleet_trace,
+)
+
+from _common import emit_summary, once
+
+from dataclasses import replace
+
+ASSISTANT = replace(TINYLLAMA, model_id="assistant-1.1b")
+SUMMARIZER = replace(TINYLLAMA, model_id="summarizer-1.1b")
+MODELS = [ASSISTANT, SUMMARIZER]
+
+PLATFORMS = [
+    ("hub-0", scale_platform(RK3588, "hub", cpu=1.6, npu=1.8, mem=1.5, flash=1.6)),
+    ("hub-1", scale_platform(RK3588, "hub", cpu=1.6, npu=1.8, mem=1.5, flash=1.6)),
+    ("tablet-0", scale_platform(RK3588, "tablet", cpu=1.25, npu=1.4, mem=1.2, flash=1.2)),
+    ("phone-0", RK3588),
+    ("phone-1", RK3588),
+    ("phone-2", RK3588),
+    ("budget-0", scale_platform(RK3588, "budget", cpu=0.7, npu=0.6, mem=0.75, flash=0.7)),
+    ("budget-1", scale_platform(RK3588, "budget", cpu=0.7, npu=0.6, mem=0.75, flash=0.7)),
+]
+
+DURATION = 14400.0  # 4 simulated hours of session starts
+TENANTS = [
+    FleetTenantSpec(
+        "chat",
+        ASSISTANT.model_id,
+        "interactive",
+        sessions_per_hour=900.0,
+        mean_turns=5.0,
+        mean_think_time=30.0,
+        stickiness=1.0,
+        prefix_tokens=96,
+        prefix_pool=4,
+        output_tokens=(4, 12),
+    ),
+    FleetTenantSpec(
+        "copilot",
+        ASSISTANT.model_id,
+        "interactive",
+        sessions_per_hour=700.0,
+        mean_turns=4.0,
+        mean_think_time=15.0,
+        stickiness=0.8,
+        prefix_tokens=160,
+        prefix_pool=8,
+        output_tokens=(2, 8),
+    ),
+    FleetTenantSpec(
+        "mail",
+        SUMMARIZER.model_id,
+        "batch",
+        sessions_per_hour=350.0,
+        workload="personachat",
+        mean_turns=2.0,
+        mean_think_time=60.0,
+        stickiness=0.5,
+        prefix_tokens=64,
+        prefix_pool=2,
+        output_tokens=(16, 32),
+    ),
+    FleetTenantSpec(
+        "indexer",
+        SUMMARIZER.model_id,
+        "background",
+        sessions_per_hour=250.0,
+        workload="droidtask",
+        mean_turns=1.5,
+        mean_think_time=45.0,
+        stickiness=0.0,
+        output_tokens=(24, 48),
+    ),
+]
+TRACE = generate_fleet_trace(DURATION, TENANTS, seed=11)
+# 30s is a conventional production scrape interval; at ring capacity
+# 720 that retains 6h raw (the whole 4h run), 2.5 days at 10x, 25 days
+# at 100x — per series, at a fixed ~48 KiB.
+TELEMETRY = TelemetryConfig(scrape_interval=30.0, ring_capacity=720)
+
+
+def _run(telemetry: bool):
+    """One full serve of the trace; returns (fleet, gen, wall_seconds)."""
+    wall_start = time.monotonic()
+    fleet = Fleet(
+        PLATFORMS, MODELS, policy="cache-aware", warm=True,
+        resilience=ResilienceConfig(),
+    )
+    if telemetry:
+        fleet.start_telemetry(until=2 * DURATION, config=TELEMETRY)
+    plan = FaultPlan(
+        11,
+        generate_fault_schedule(
+            DURATION, list(fleet.devices), seed=11, crashes=1, grays=1
+        ),
+    )
+    fleet.start_resilience(until=2 * DURATION, plan=plan)
+    gen = FleetLoadGenerator(fleet.router, TRACE).run_blocking()
+    return fleet, gen, time.monotonic() - wall_start
+
+
+def _exports(fleet):
+    telemetry = fleet.telemetry
+    return json.dumps(
+        {
+            "store": telemetry.store.to_dict(),
+            "accountant": telemetry.accountant.to_dict(),
+            "prometheus": telemetry.accountant.render_prometheus(),
+            "chrome": telemetry.sampler.to_chrome_trace(),
+            "snapshot": telemetry.snapshot(),
+        },
+        sort_keys=True,
+    )
+
+
+def run_fleet_telemetry():
+    # Interleave off/on measurements and keep the best of each, but
+    # retain only the *exports* of earlier runs — a dead fleet's heap
+    # (hundreds of thousands of retained objects) degrades every later
+    # run's cache locality, which would charge earlier runs' garbage to
+    # the pipeline being measured.
+    walls = {"off": [], "on": []}
+    fracs = []
+    exports = []
+    last = None
+    for _round in range(2):
+        fleet, gen, wall = _run(telemetry=False)
+        walls["off"].append(wall)
+        del fleet, gen
+        fleet, gen, wall = _run(telemetry=True)
+        walls["on"].append(wall)
+        # Pipeline cost paired with its own run's wall clock.
+        fracs.append(fleet.telemetry.host_seconds / wall)
+        exports.append(_exports(fleet))
+        last = (fleet, gen)
+    return walls, fracs, exports, last
+
+
+def test_fleet_telemetry(benchmark):
+    assert len(TRACE) >= 25_000
+    assert len(PLATFORMS) >= 8
+
+    walls, fracs, exports, last = once(benchmark, run_fleet_telemetry)
+    wall_off = min(walls["off"])
+    wall_on = min(walls["on"])
+    overhead = (wall_on - wall_off) / wall_off
+
+    fleet, gen = last
+    telemetry = fleet.telemetry
+    summary = gen.summary()
+    sampler = telemetry.sampler
+    snap = telemetry.snapshot()
+    # The pipeline's self-attributed host cost as a fraction of its own
+    # run's wall clock; min over rounds discards the round that ate a
+    # host scheduling hiccup (the pipeline work per round is identical).
+    pipeline_frac = min(fracs)
+
+    print()
+    print(telemetry.render_top())
+    print()
+    print(
+        render_table(
+            ["mode", "wall best (s)", "runs"],
+            [
+                ["telemetry off", "%.2f" % wall_off, len(walls["off"])],
+                ["telemetry on", "%.2f" % wall_on, len(walls["on"])],
+                ["wall diff", "%+.1f%%" % (100 * overhead), ""],
+                [
+                    "pipeline host time",
+                    "%.2fs (%.1f%% of its run)"
+                    % (telemetry.host_seconds, 100 * pipeline_frac),
+                    "",
+                ],
+            ],
+            title="Collector cost: %d requests, %d devices, %d scrapes"
+            % (len(TRACE), len(PLATFORMS), telemetry.collector.scrapes),
+        )
+    )
+
+    # -- claim 1: cost -------------------------------------------------
+    # The precise bound: the pipeline's own host time (scrapes + hooks,
+    # self-attributed) stays within 5% of the run it observed.
+    assert pipeline_frac <= 0.05, (
+        "telemetry pipeline consumed %.1f%% of wall clock > 5%%"
+        % (100 * pipeline_frac)
+    )
+    # And the end-to-end wall diff — noisy on a shared host (off-vs-off
+    # repeats here vary by >30%), so it only guards against blowups; the
+    # committed baseline carries both walls under a wide gate band.
+    assert wall_on <= 2.0 * wall_off, (
+        "telemetry-on wall %.1fs vs off %.1fs" % (wall_on, wall_off)
+    )
+
+    # -- claim 2: completeness -----------------------------------------
+    hedged = sum(1 for t in gen.admitted if t.done and t.hedges > 0)
+    failed = sum(1 for t in gen.admitted if t.failed)
+    assert sampler.kept.get("hedged", 0) == hedged
+    assert sampler.kept.get("failed", 0) == failed
+    assert sampler.kept.get("shed", 0) == len(gen.rejected)
+    assert hedged + failed > 0  # the seeded faults produced anomalies
+    assert sampler.keep_ratio_fast() <= 0.10
+
+    # The store answers operator queries about the run it watched.
+    now = fleet.sim.now
+    assert telemetry.store.rate("fleet_requests_total", 3600.0, now) > 0.0
+    top_tokens = telemetry.accountant.top_k("tokens_out")
+    assert len(top_tokens) == len(TENANTS)
+    assert [v for _t, v in top_tokens] == sorted(
+        [v for _t, v in top_tokens], reverse=True
+    )
+    assert set(snap["devices"]) == {d for d, _p in PLATFORMS}
+
+    # -- claim 3: determinism ------------------------------------------
+    assert exports[0] == exports[1]
+
+    emit_summary(
+        "fleet_telemetry",
+        {
+            "requests": len(TRACE),
+            "devices": len(PLATFORMS),
+            "duration_s": DURATION,
+            "completed": summary["completed"],
+            "shed": summary["shed"],
+            "scrapes": telemetry.collector.scrapes,
+            "series": telemetry.store.series_count(),
+            "samples_total": telemetry.collector.samples_total,
+            "kept_traces": sampler.kept_total,
+            "fast_keep_ratio": sampler.keep_ratio_fast(),
+            # Host wall times are environment noise, not simulated
+            # results; the gate reads them under a very wide band.
+            "pipeline_host_frac": pipeline_frac,
+            "overhead_frac": overhead,
+            "wall_off_s": wall_off,
+            "wall_on_s": wall_on,
+            "wall_s": wall_on,
+        },
+        wall_time_s=wall_on,
+    )

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Operator's-eye view of a fleet under load: the telemetry pipeline.
+
+The same eight-device fleet as ``fleet_cluster.py`` serves a
+multi-tenant evening trace, this time with the full telemetry pipeline
+attached — a virtual-time collector scraping every fleet series into
+the multi-resolution time-series store, the per-tenant usage
+accountant metering tokens and secure-memory residency, and the
+tail-based trace sampler keeping every anomalous ticket's Chrome
+trace.  A seeded crash and a gray slowdown give the pipeline something
+worth watching: hedges fire, a device reboots and re-attests, and the
+``fleet top`` snapshot at the end shows all of it.
+
+Outputs land in ``--out`` (default ``out/``, gitignored):
+
+* ``fleet_top.txt``         — the rendered "fleet top" operator table
+* ``fleet_snapshot.json``   — the structured snapshot behind it
+* ``fleet_timeseries.json`` — the multi-resolution time-series dump
+* ``fleet_telemetry.prom``  — per-tenant usage in Prometheus text
+* ``fleet_traces.json``     — tail-sampled Chrome trace (chrome://tracing)
+
+Run:  python examples/fleet_top.py [--out DIR] [--policy NAME]
+"""
+
+import argparse
+import json
+import os
+
+from dataclasses import replace
+
+from repro import TINYLLAMA
+from repro.analysis import render_table
+from repro.config import RK3588
+from repro.faults import FaultPlan
+from repro.fleet import (
+    Fleet,
+    FleetLoadGenerator,
+    POLICIES,
+    ResilienceConfig,
+    scale_platform,
+)
+from repro.obs import TelemetryConfig
+from repro.workloads import (
+    FleetTenantSpec,
+    generate_fault_schedule,
+    generate_fleet_trace,
+)
+
+HORIZON = 2 * 3600.0  # two simulated hours of session starts
+
+ASSISTANT = replace(TINYLLAMA, model_id="assistant-1.1b")
+SUMMARIZER = replace(TINYLLAMA, model_id="summarizer-1.1b")
+
+PLATFORMS = [
+    ("hub-0", scale_platform(RK3588, "hub", cpu=1.6, npu=1.8, mem=1.5, flash=1.6)),
+    ("hub-1", scale_platform(RK3588, "hub", cpu=1.6, npu=1.8, mem=1.5, flash=1.6)),
+    ("tablet-0", scale_platform(RK3588, "tablet", cpu=1.25, npu=1.4, mem=1.2, flash=1.2)),
+    ("phone-0", RK3588),
+    ("phone-1", RK3588),
+    ("phone-2", RK3588),
+    ("budget-0", scale_platform(RK3588, "budget", cpu=0.7, npu=0.6, mem=0.75, flash=0.7)),
+    ("budget-1", scale_platform(RK3588, "budget", cpu=0.7, npu=0.6, mem=0.75, flash=0.7)),
+]
+
+TENANTS = [
+    FleetTenantSpec("chat", ASSISTANT.model_id, "interactive",
+                    sessions_per_hour=600.0, mean_turns=5.0, mean_think_time=30.0,
+                    stickiness=1.0, prefix_tokens=96, prefix_pool=4,
+                    output_tokens=(4, 12)),
+    FleetTenantSpec("copilot", ASSISTANT.model_id, "interactive",
+                    sessions_per_hour=450.0, mean_turns=4.0, mean_think_time=15.0,
+                    stickiness=0.8, prefix_tokens=160, prefix_pool=8,
+                    output_tokens=(2, 8)),
+    FleetTenantSpec("mail", SUMMARIZER.model_id, "batch",
+                    sessions_per_hour=250.0, workload="personachat",
+                    mean_turns=2.0, mean_think_time=60.0, stickiness=0.5,
+                    prefix_tokens=64, prefix_pool=2, output_tokens=(16, 32)),
+    FleetTenantSpec("indexer", SUMMARIZER.model_id, "background",
+                    sessions_per_hour=180.0, workload="droidtask",
+                    mean_turns=1.5, mean_think_time=45.0, stickiness=0.0,
+                    output_tokens=(24, 48)),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="out", help="output directory (default: out/)")
+    parser.add_argument("--policy", default="cache-aware", choices=sorted(POLICIES),
+                        help="placement policy (default: cache-aware)")
+    args = parser.parse_args()
+    os.makedirs(args.out, exist_ok=True)
+
+    trace = generate_fleet_trace(HORIZON, TENANTS, seed=42)
+    print("Trace: %d requests (%d tenants) over %.0f simulated hours on %d devices"
+          % (len(trace), len(TENANTS), HORIZON / 3600, len(PLATFORMS)))
+
+    fleet = Fleet(PLATFORMS, [ASSISTANT, SUMMARIZER],
+                  policy=args.policy, warm=True,
+                  resilience=ResilienceConfig())
+    fleet.start_telemetry(
+        until=HORIZON + 1800.0,
+        config=TelemetryConfig(scrape_interval=5.0, ring_capacity=720),
+    )
+    plan = FaultPlan(
+        42,
+        generate_fault_schedule(
+            HORIZON, list(fleet.devices), seed=42, crashes=1, grays=1
+        ),
+    )
+    fleet.start_resilience(until=HORIZON + 1800.0, plan=plan)
+    gen = FleetLoadGenerator(fleet.router, trace).run_blocking()
+    summary = gen.summary()
+    telemetry = fleet.telemetry
+
+    top = telemetry.render_top()
+    print()
+    print(top)
+
+    # Windowed queries the store answers after the fact: last-hour
+    # request/hedge rates and the p99 TTFT seen fleet-wide.
+    now = fleet.sim.now
+    rates = telemetry.fleet_rates(3600.0)
+    print()
+    print(render_table(
+        ["window", "req/s", "served/s", "shed/s", "hedge/s", "fail/s"],
+        [["last 1h",
+          "%.3f" % rates["request_rate"], "%.3f" % rates["served_rate"],
+          "%.4f" % rates["shed_rate"], "%.4f" % rates["hedge_rate"],
+          "%.4f" % rates["failed_rate"]]],
+        title="Windowed rates @ t=%.0fs" % now))
+
+    sampler = telemetry.sampler
+    print()
+    print("Tail sampler: kept %d traces (%s); fast-path keep ratio %.3f"
+          % (sampler.kept_total,
+             ", ".join("%s=%d" % (k, v) for k, v in sorted(sampler.kept.items())),
+             sampler.keep_ratio_fast()))
+    print("Scorecard: %d done / %d shed, SLO %.4f"
+          % (summary["completed"], summary["shed"], summary["slo_attainment"]))
+
+    outputs = {
+        "fleet_top.txt": top + "\n",
+        "fleet_snapshot.json": json.dumps(
+            telemetry.snapshot(), indent=2, sort_keys=True) + "\n",
+        "fleet_timeseries.json": json.dumps(
+            telemetry.store.to_dict(), indent=2, sort_keys=True) + "\n",
+        "fleet_telemetry.prom": telemetry.accountant.render_prometheus(),
+        # Already a JSON document (Chrome trace-event format).
+        "fleet_traces.json": sampler.to_chrome_trace() + "\n",
+    }
+    for name, payload in sorted(outputs.items()):
+        path = os.path.join(args.out, name)
+        with open(path, "w") as fh:
+            fh.write(payload)
+    print()
+    print("Wrote %s" % ", ".join(
+        os.path.join(args.out, name) for name in sorted(outputs)))
+
+
+if __name__ == "__main__":
+    main()

@@ -7,7 +7,9 @@ one shared :class:`~repro.sim.Simulator`, a fleet-wide
 registries), one :class:`~repro.fleet.device.DeviceNode` per entry, the
 :class:`~repro.fleet.router.FleetRouter`, and — on request — an
 :class:`~repro.obs.AlertEngine` with the router's default burn-rate
-rules.  Tests that need finer control wire the pieces directly.
+rules and a :class:`~repro.obs.telemetry.FleetTelemetry` pipeline
+(:meth:`Fleet.start_telemetry` / :meth:`Fleet.telemetry_snapshot`).
+Tests that need finer control wire the pieces directly.
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ from ..errors import ConfigurationError
 from ..llm.models import ModelSpec
 from ..obs import FlightRecorder, MetricsRegistry
 from ..obs.alerts import AlertEngine
+from ..obs.telemetry import FleetTelemetry, TelemetryConfig
 from ..serve.gateway import GatewayConfig
 from ..sim import Simulator
 from .device import DeviceNode
@@ -53,6 +56,7 @@ class Fleet:
         self.sim = sim if sim is not None else Simulator()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.recorder = recorder
+        self.models: List[ModelSpec] = list(models)
         self.devices: Dict[str, DeviceNode] = {}
         for device_id, platform in platforms:
             self.devices[device_id] = DeviceNode(
@@ -80,6 +84,7 @@ class Fleet:
         )
         self.alert_engine: Optional[AlertEngine] = None
         self.resilience: Optional[FleetResilience] = None
+        self.telemetry: Optional[FleetTelemetry] = None
 
     # -- conveniences --------------------------------------------------
     def device(self, device_id: str) -> DeviceNode:
@@ -96,13 +101,19 @@ class Fleet:
         if self.alert_engine is not None:
             info["alerts_firing"] = self.alert_engine.firing()
             info["healthy"] = info["healthy"] and not info["alerts_firing"]
+        if self.telemetry is not None:
+            # Windowed rates from the time-series store — "how fast is
+            # the fleet shedding *now*", not "has it ever shed".
+            info["rates"] = self.telemetry.fleet_rates()
         return info
 
     def start_alerts(
         self, until: float, rules=None, interval: float = 0.25
     ) -> AlertEngine:
         """Attach an alert engine over the fleet registry and start its
-        virtual-time ticker (default rules: the router's burn rates)."""
+        virtual-time ticker (default rules: the router's burn rates).
+        When telemetry is already started, the engine also gets the
+        time-series store, enabling :class:`~repro.obs.RateRule`\\ s."""
         if self.alert_engine is not None:
             raise ConfigurationError("alert engine already started")
         self.alert_engine = AlertEngine(
@@ -110,9 +121,35 @@ class Fleet:
             self.registry,
             rules=list(rules) if rules is not None else self.router.default_alert_rules(),
             interval=interval,
+            store=None if self.telemetry is None else self.telemetry.store,
         )
         self.alert_engine.start(until)
         return self.alert_engine
+
+    # -- telemetry ------------------------------------------------------
+    def start_telemetry(
+        self, until: float, config: Optional[TelemetryConfig] = None
+    ) -> FleetTelemetry:
+        """Stand up the telemetry pipeline (collector + store + tenant
+        accountant + tail sampler) and start the virtual-time scrape
+        loop.  Call before ``start_alerts`` to enable rate rules."""
+        if self.telemetry is not None:
+            raise ConfigurationError("telemetry already started")
+        self.telemetry = FleetTelemetry(
+            self.router,
+            config=config,
+            kv_bytes_per_token={
+                m.model_id: m.kv_bytes_per_token() for m in self.models
+            },
+        )
+        self.telemetry.start(until)
+        return self.telemetry
+
+    def telemetry_snapshot(self, window: Optional[float] = None) -> Dict[str, object]:
+        """The operator snapshot (see :meth:`FleetTelemetry.snapshot`)."""
+        if self.telemetry is None:
+            raise ConfigurationError("telemetry not started (call start_telemetry)")
+        return self.telemetry.snapshot(window)
 
     def start_resilience(
         self,

@@ -159,14 +159,19 @@ class DeviceNode:
         return max(1, request.prompt_tokens - discount)
 
     # -- submission ----------------------------------------------------
-    def submit(self, request: FleetRequest) -> ServeRequest:
-        """Admit one fleet request here (may raise AdmissionRejected)."""
+    def submit(self, request: FleetRequest, ctx=None) -> ServeRequest:
+        """Admit one fleet request here (may raise AdmissionRejected).
+
+        ``ctx`` is the router's per-attempt trace identity; without one
+        the gateway mints its own (device-local) context.
+        """
         served = self.gateway.submit(
             prompt_tokens=self.effective_prompt_tokens(request),
             output_tokens=request.output_tokens,
             model_id=request.model_id,
             priority=request.priority,
             tenant=request.tenant,
+            ctx=ctx,
         )
         served.fleet_request = request
         served.device_id = self.device_id

@@ -52,7 +52,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..errors import ConfigurationError
-from ..obs import MetricsRegistry
+from ..obs import MetricsRegistry, TraceContext
 from ..obs.alerts import BurnRateRule
 from ..serve.errors import AdmissionRejected
 from ..serve.request import ServeRequest
@@ -200,6 +200,10 @@ class FleetRouter:
             )
         #: session_id -> device_id of the KV holder (last served turn).
         self.pins: Dict[str, str] = {}
+        #: attached by :class:`~repro.obs.telemetry.FleetTelemetry`: the
+        #: terminal-ticket hooks feed the tenant accountant and the tail
+        #: trace sampler.  ``None`` keeps every hook a no-op.
+        self.telemetry = None
         #: session_id -> dead device whose KV loss this session still owes
         #: a re-warm for (charged on its next routed turn).
         self._rewarm_owed: Dict[str, str] = {}
@@ -314,8 +318,18 @@ class FleetRouter:
         for rank, device in enumerate(ranked):
             if device.device_id in ticket.tried:
                 continue
+            # Per-attempt trace identity: two racing legs of one hedged
+            # ticket must not alias each other's flow in the trace view,
+            # and per-device gateways each mint request ids from 1 — so
+            # the router stamps the ticket id + attempt index + device.
+            ctx = TraceContext(
+                ticket.ticket_id,
+                span_id=len(ticket.attempts),
+                tenant=request.tenant,
+                device=device.device_id,
+            )
             try:
-                served = device.submit(request)
+                served = device.submit(request, ctx=ctx)
             except AdmissionRejected:
                 self._spillover_total.inc(device=device.device_id)
                 continue
@@ -402,6 +416,9 @@ class FleetRouter:
         ticket.failovers += 1
         self.failovers += 1
         self._failovers_total.inc()
+        if not device_lost and self.telemetry is not None:
+            # The budget-charged failover spent a tenant hedge token.
+            self.telemetry.note_budget_spend(ticket.request.tenant, served.device_id)
         self._note_rewarm(ticket)  # the relaunch is where the debt lands
         if self.recorder is not None:
             self.recorder.record(
@@ -415,6 +432,8 @@ class FleetRouter:
         ticket.state = "failed"
         ticket.failures.append((self.sim.now, "FleetFailed", reason))
         self._failed_total.inc(reason=reason)
+        if self.telemetry is not None:
+            self.telemetry.note_ticket_failed(ticket)
         if self.recorder is not None:
             self.recorder.record(
                 "fleet", "router.failed", reason,
@@ -457,6 +476,13 @@ class FleetRouter:
             return
         ranked = self.policy.rank(eligible, ticket.request, self)
         served = self._try_devices(ticket, ranked, hedge=True)
+        if self.telemetry is not None:
+            # The budget token is burned whether or not a device seated
+            # the hedge — meter the spend where it actually landed.
+            self.telemetry.note_budget_spend(
+                ticket.request.tenant,
+                served.device_id if served is not None else None,
+            )
         if served is None:
             return
         ticket.hedges += 1
@@ -586,6 +612,8 @@ class FleetRouter:
         self.shed.append(ticket)
         self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
         self._shed_total.inc()
+        if self.telemetry is not None:
+            self.telemetry.note_ticket_shed(ticket)
         if self.recorder is not None:
             self.recorder.record(
                 "fleet", "router.shed", reason,
@@ -596,6 +624,8 @@ class FleetRouter:
         ticket.completion.succeed(ticket)
 
     def _note_done(self, ticket: FleetTicket) -> None:
+        if self.telemetry is not None:
+            self.telemetry.note_ticket_done(ticket)
         attained = ticket.slo_attained
         if attained is None:
             return

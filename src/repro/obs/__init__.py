@@ -25,12 +25,20 @@ mirroring how :class:`~repro.faults.injector.FaultInjector.arm` attaches
 fault sites.
 """
 
-from .alerts import AlertEngine, AlertTransition, BurnRateRule, ThresholdRule
+from .alerts import AlertEngine, AlertTransition, BurnRateRule, RateRule, ThresholdRule
 from .attach import Observability, instrument
 from .context import TraceContext
 from .profile import LaneBreakdown, Profiler, QueueRow
 from .recorder import FlightEvent, FlightRecorder
 from .registry import ChildRegistry, Counter, Gauge, Histogram, MetricsRegistry
+from .telemetry import (
+    FleetTelemetry,
+    TailSampler,
+    TelemetryCollector,
+    TelemetryConfig,
+    TenantAccountant,
+    TimeSeriesStore,
+)
 
 __all__ = [
     "Counter",
@@ -50,4 +58,11 @@ __all__ = [
     "AlertTransition",
     "ThresholdRule",
     "BurnRateRule",
+    "RateRule",
+    "TelemetryConfig",
+    "TimeSeriesStore",
+    "TelemetryCollector",
+    "TenantAccountant",
+    "TailSampler",
+    "FleetTelemetry",
 ]

@@ -11,6 +11,10 @@ the simulator's clock (never wall time):
   (``error_rate / (1 - objective)``); the alert fires only when **both**
   windows exceed the factor — the long window gives significance, the
   short one makes the alert resolve quickly once the system recovers.
+* :class:`RateRule` — "events per second OP threshold" evaluated from a
+  :class:`~repro.obs.telemetry.TimeSeriesStore` windowed ``rate()``
+  query instead of raw instant counter values; requires the engine to
+  be constructed with ``store=``.
 
 State transitions are appended to :attr:`AlertEngine.transitions`,
 recorded into the :class:`~repro.obs.FlightRecorder` (category
@@ -29,7 +33,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 from ..errors import ConfigurationError
 from ..sim.trace import NULL_TRACER
 
-__all__ = ["ThresholdRule", "BurnRateRule", "AlertTransition", "AlertEngine"]
+__all__ = ["ThresholdRule", "BurnRateRule", "RateRule", "AlertTransition", "AlertEngine"]
 
 _OPS = {
     ">": lambda a, b: a > b,
@@ -98,6 +102,34 @@ class BurnRateRule:
 
 
 @dataclass(frozen=True)
+class RateRule:
+    """Fire when the windowed per-second rate of a counter holds
+    ``OP threshold`` for ``for_duration``.
+
+    Evaluated from a telemetry :class:`~repro.obs.telemetry.
+    TimeSeriesStore` (``store.rate(metric, window, now, **labels)``), so
+    it answers "is the shed *rate* high" rather than "has the shed
+    *count* ever been high" — the question instant counters cannot.
+    """
+
+    name: str
+    metric: str
+    op: str
+    threshold: float
+    window: float = 60.0
+    labels: Tuple[Tuple[str, str], ...] = ()
+    for_duration: float = 0.0
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise ConfigurationError(
+                "unknown alert op %r (want one of %s)" % (self.op, "/".join(sorted(_OPS)))
+            )
+        if self.window <= 0:
+            raise ConfigurationError("rate rule window must be > 0")
+
+
+@dataclass(frozen=True)
 class AlertTransition:
     """One state change: an alert started or stopped firing."""
 
@@ -128,12 +160,19 @@ class AlertEngine:
         tracer=NULL_TRACER,
         interval: float = 0.25,
         gateway=None,
+        store=None,
     ):
         if interval <= 0:
             raise ConfigurationError("alert tick interval must be > 0")
         self.sim = sim
         self.registry = registry
         self.rules = list(rules)
+        self.store = store
+        for rule in self.rules:
+            if isinstance(rule, RateRule) and store is None:
+                raise ConfigurationError(
+                    "RateRule %r needs AlertEngine(store=...)" % (rule.name,)
+                )
         self.recorder = recorder
         self.tracer = tracer
         self.interval = interval
@@ -152,6 +191,10 @@ class AlertEngine:
     def add_rule(self, rule) -> "AlertEngine":
         if rule.name in self._states:
             raise ConfigurationError("duplicate alert rule name %r" % (rule.name,))
+        if isinstance(rule, RateRule) and self.store is None:
+            raise ConfigurationError(
+                "RateRule %r needs AlertEngine(store=...)" % (rule.name,)
+            )
         self.rules.append(rule)
         self._states[rule.name] = _RuleState()
         return self
@@ -179,6 +222,8 @@ class AlertEngine:
             state = self._states[rule.name]
             if isinstance(rule, ThresholdRule):
                 active, value = self._eval_threshold(rule, state, now)
+            elif isinstance(rule, RateRule):
+                active, value = self._eval_rate(rule, state, now)
             else:
                 active, value = self._eval_burn_rate(rule, state, now)
             if active != state.firing:
@@ -194,6 +239,16 @@ class AlertEngine:
 
     def _eval_threshold(self, rule: ThresholdRule, state: _RuleState, now: float):
         value = self._series_value(rule.metric, rule.labels)
+        holds = _OPS[rule.op](value, rule.threshold)
+        if not holds:
+            state.pending_since = None
+            return False, value
+        if state.pending_since is None:
+            state.pending_since = now
+        return (now - state.pending_since) >= rule.for_duration, value
+
+    def _eval_rate(self, rule: RateRule, state: _RuleState, now: float):
+        value = self.store.rate(rule.metric, rule.window, now, **dict(rule.labels))
         holds = _OPS[rule.op](value, rule.threshold)
         if not holds:
             state.pending_since = None
@@ -248,4 +303,5 @@ class AlertEngine:
             self.recorder.record(
                 "alert", "alert.%s" % name, message=state, value=value
             )
-        self.tracer.instant("alert", "%s %s" % (name, state), lane="alerts")
+        if self.tracer.enabled:
+            self.tracer.instant("alert", "%s %s" % (name, state), lane="alerts")

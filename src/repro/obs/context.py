@@ -20,12 +20,16 @@ class TraceContext:
 
     ``request_id`` identifies the request at the gateway; ``span_id``
     distinguishes retries/attempts of the same request so a retried
-    flow does not alias its first attempt in the trace viewer.
+    flow does not alias its first attempt in the trace viewer.  At the
+    fleet tier the router mints one context per *attempt* with
+    ``device`` set, so the two racing legs of a hedged ticket carry
+    distinct flow identities instead of aliasing each other.
     """
 
     request_id: int
     span_id: int = 0
     tenant: Optional[str] = None
+    device: Optional[str] = None
 
     @property
     def flow_id(self):
@@ -35,8 +39,12 @@ class TraceContext:
     @property
     def flow_name(self):
         """Display name shared by every event in the flow."""
+        if self.device is not None:
+            return "ticket t%d attempt %d @%s" % (
+                self.request_id, self.span_id, self.device,
+            )
         return "request r%d" % self.request_id
 
     def child(self):
         """Context for the next attempt of the same request."""
-        return TraceContext(self.request_id, self.span_id + 1, self.tenant)
+        return TraceContext(self.request_id, self.span_id + 1, self.tenant, self.device)

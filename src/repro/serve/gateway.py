@@ -231,12 +231,17 @@ class ServeGateway:
         model_id: Optional[str] = None,
         priority: Union[PriorityClass, str] = PriorityClass.INTERACTIVE,
         tenant: str = "anon",
+        ctx: Optional[TraceContext] = None,
     ) -> ServeRequest:
         """Admit a request at the current simulated time.
 
         Returns the queued :class:`ServeRequest` (its ``completion``
         event triggers when served) or raises a typed
         :class:`~repro.serve.errors.AdmissionRejected` subclass.
+
+        ``ctx`` lets a caller that owns a larger unit of work (the fleet
+        router's per-attempt ticket legs) supply the trace identity;
+        without it the gateway mints one from its own request id.
         """
         cls = PriorityClass.parse(priority)
         if model_id is None:
@@ -260,7 +265,7 @@ class ServeGateway:
             deadline=None if policy.ttft_slo is None else now + policy.ttft_slo,
             completion=self.sim.event(),
         )
-        request.trace = TraceContext(request.request_id, tenant=tenant)
+        request.trace = ctx if ctx is not None else TraceContext(request.request_id, tenant=tenant)
         try:
             if self.lanes[model_id].breaker.state == "open" and not self.lanes[model_id].breaker.allow():
                 request.state = "rejected"
@@ -289,9 +294,10 @@ class ServeGateway:
         # Flow start: the arrival instant, inside the request's eventual
         # gateway queue span — the other legs are emitted by the prefill
         # pipeline (TEE lanes) and at completion.
-        self.tracer.flow(
-            "s", request.trace.flow_id, request.trace.flow_name, lane="gateway"
-        )
+        if self.tracer.enabled:
+            self.tracer.flow(
+                "s", request.trace.flow_id, request.trace.flow_name, lane="gateway"
+            )
         self._maybe_preempt_for(request)
         self._maybe_dispatch(model_id)
         return request
@@ -434,11 +440,12 @@ class ServeGateway:
         self.log.append(
             victim.log_line("preempt", self.sim.now, "by=r%04d" % request.request_id)
         )
-        self.tracer.instant(
-            "preempt",
-            "r%d preempts r%d" % (request.request_id, victim.request_id),
-            lane="gateway",
-        )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "preempt",
+                "r%d preempts r%d" % (request.request_id, victim.request_id),
+                lane="gateway",
+            )
 
     def _maybe_dispatch(self, model_id: str) -> None:
         """Fill the lane: seat queued requests while there is a free slot
@@ -504,7 +511,7 @@ class ServeGateway:
                 "serve", "gateway.dispatch", request_id=request.request_id,
                 model=lane.model_id, attempt=request.attempts,
             )
-        if request.attempts == 1:
+        if request.attempts == 1 and self.tracer.enabled:
             self.tracer.record(
                 "gateway", "queue r%d" % request.request_id, request.arrived_at, lane="gateway"
             )
@@ -522,12 +529,13 @@ class ServeGateway:
         self.accountant.note_release(lane.model_id)
         lane.remove(request)
         elapsed = self.sim.now - span_start
-        self.tracer.record(
-            "gateway",
-            "serve r%d%s" % (request.request_id, " (preempted)" if record.preempted else ""),
-            span_start,
-            lane="gateway",
-        )
+        if self.tracer.enabled:
+            self.tracer.record(
+                "gateway",
+                "serve r%d%s" % (request.request_id, " (preempted)" if record.preempted else ""),
+                span_start,
+                lane="gateway",
+            )
         if record.preempted and request.cancel_requested:
             # The gate was signalled by cancel(), not by a preemptor: the
             # partial decode is abandoned for good, so it is all waste.
@@ -561,7 +569,7 @@ class ServeGateway:
                 else record.started_at + record.ttft
             )
             request.finished_at = self.sim.now
-            if request.trace is not None:
+            if request.trace is not None and self.tracer.enabled:
                 # Flow finish: bound to the end of the serve span.
                 self.tracer.flow(
                     "f", request.trace.flow_id, request.trace.flow_name, lane="gateway"
@@ -606,9 +614,10 @@ class ServeGateway:
         self.wasted_time += now - span_start
         self.accountant.note_failure(request.priority, kind)
         lane.breaker.record_failure()
-        self.tracer.record(
-            "gateway", "fail r%d (%s)" % (request.request_id, kind), span_start, lane="gateway"
-        )
+        if self.tracer.enabled:
+            self.tracer.record(
+                "gateway", "fail r%d (%s)" % (request.request_id, kind), span_start, lane="gateway"
+            )
         retryable = classification == "retryable"
         if retryable and request.failure_count <= self.config.max_retries:
             request.state = "queued"

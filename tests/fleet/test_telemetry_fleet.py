@@ -1,0 +1,173 @@
+"""Telemetry over a live fleet: lifecycle-correct scraping, hedge
+attribution, tenant accounting, operator snapshots."""
+
+import json
+
+import pytest
+
+from repro.config import RK3588
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, FaultSpec
+from repro.fleet import Fleet, ResilienceConfig
+from repro.fleet.resilience import UP
+from repro.llm import TINYLLAMA
+from repro.obs import TelemetryConfig
+from repro.workloads.fleet import FleetRequest
+
+
+def _request(at=0.0, session="t/s1", context=0, new=32, out=4, priority="interactive"):
+    return FleetRequest(
+        at=at,
+        tenant="t",
+        session_id=session,
+        turn=1,
+        model_id=TINYLLAMA.model_id,
+        priority=priority,
+        prefix_id="",
+        prefix_tokens=0,
+        context_tokens=context,
+        new_tokens=new,
+        output_tokens=out,
+    )
+
+
+def _fleet(n=2, resilience=None, **kwargs):
+    platforms = [("dev%d" % i, RK3588) for i in range(n)]
+    return Fleet(
+        platforms, [TINYLLAMA], policy="cache-aware", warm=True,
+        resilience=resilience, **kwargs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# collector x device lifecycle
+# ---------------------------------------------------------------------------
+def test_up_gauge_tracks_crash_reboot_attest_with_no_stale_samples():
+    fleet = _fleet(2, resilience=ResilienceConfig(hedging=False))
+    fleet.start_telemetry(
+        until=60.0, config=TelemetryConfig(scrape_interval=1.0, ring_capacity=120)
+    )
+    warmup = fleet.route(_request(out=2))
+    fleet.sim.run_until(warmup.completion)
+    victim_id = warmup.device_id
+    plan = FaultPlan(
+        11,
+        [
+            FaultSpec(
+                "fleet.device_crash",
+                probability=1.0,
+                window=(5.0, 6.5),
+                max_fires=1,
+                target=victim_id,
+            )
+        ],
+    )
+    fleet.start_resilience(until=60.0, plan=plan)
+    fleet.sim.run(until=60.0)
+    victim = fleet.device(victim_id)
+    assert victim.lifecycle.state == UP  # recovered by the horizon
+    assert victim.lifecycle.crashes == 1
+    samples = fleet.telemetry.store.samples("fleet_device_up", device=victim_id)
+    # Continuity: the series never skips a scrape, crash or not.
+    assert [t for t, _v in samples] == [float(t) for t in range(1, 61)]
+    # Every sample must agree with the lifecycle state *at scrape time* —
+    # a stale 1 while the device sat in down/reboot/attest is the bug
+    # this guards against.  (A transition landing exactly on a scrape
+    # instant may legitimately sample either side.)
+    transitions = victim.lifecycle.transitions
+    for at, value in samples:
+        states = {UP}
+        for t_tr, state, _reason in transitions:
+            if t_tr < at or (t_tr == at and value == (1.0 if state == UP else 0.0)):
+                states = {state}
+        assert value == (1.0 if states == {UP} else 0.0), (at, value, states)
+    downs = [t for t, v in samples if v == 0.0]
+    assert downs, "crash window never sampled as down"
+    # The outage is one contiguous scrape run (crash -> ... -> attested).
+    assert downs == [downs[0] + i for i in range(len(downs))]
+    # Windowed availability over the outage is visibly below 1.
+    outage_frac = fleet.telemetry.store.avg(
+        "fleet_device_up", 60.0, 60.0, device=victim_id
+    )
+    assert 0.0 < outage_frac < 1.0
+
+
+def test_telemetry_double_start_and_missing_snapshot_raise():
+    fleet = _fleet(1)
+    with pytest.raises(ConfigurationError):
+        fleet.telemetry_snapshot()
+    fleet.start_telemetry(until=10.0)
+    with pytest.raises(ConfigurationError):
+        fleet.start_telemetry(until=10.0)
+
+
+# ---------------------------------------------------------------------------
+# hedged-attempt attribution (per-attempt trace identity)
+# ---------------------------------------------------------------------------
+def test_hedged_ticket_attempts_carry_distinct_device_contexts():
+    fleet = _fleet(2, resilience=ResilienceConfig(hedge_delay=0.2))
+    fleet.start_telemetry(until=600.0)
+    fleet.device("dev0").set_slowdown(50.0)
+    ticket = fleet.route(_request(out=8))
+    fleet.sim.run_until(ticket.completion)
+    assert ticket.done and ticket.hedges == 1
+    # The router stamps every attempt's gateway request with its own
+    # trace identity: same ticket id, per-attempt span, actual device.
+    for i, attempt in enumerate(ticket.attempts):
+        ctx = attempt.trace
+        assert ctx.request_id == ticket.ticket_id
+        assert ctx.span_id == i
+        assert ctx.device == attempt.device_id
+        assert ctx.flow_id == ticket.ticket_id * 1000 + i
+        assert "@%s" % attempt.device_id in ctx.flow_name
+    assert ticket.attempts[0].trace.device != ticket.attempts[1].trace.device
+    # The tail sampler kept the hedged ticket (anomaly => 100% retention)
+    # and its trace separates the attempts by device lane.
+    sampler = fleet.telemetry.sampler
+    assert sampler.kept["hedged"] == 1
+    trace = sampler.traces[-1]
+    serve_args = [
+        e["args"] for e in trace["events"] if e.get("cat") == "serve"
+    ]
+    assert {(a["attempt"], a["device"]) for a in serve_args} == {
+        (0, "dev0"), (1, "dev1"),
+    }
+    winners = [a for a in serve_args if a["winner"]]
+    assert len(winners) == 1 and winners[0]["device"] == "dev1"
+
+
+# ---------------------------------------------------------------------------
+# accounting + snapshot end-to-end
+# ---------------------------------------------------------------------------
+def test_accountant_meters_served_tokens_and_snapshot_renders():
+    fleet = _fleet(2)
+    fleet.start_telemetry(
+        until=120.0, config=TelemetryConfig(scrape_interval=2.0)
+    )
+    tickets = [
+        fleet.route(_request(session="t/s%d" % i, out=4)) for i in range(6)
+    ]
+    for ticket in tickets:
+        fleet.sim.run_until(ticket.completion)
+    fleet.sim.run(until=120.0)
+    acct = fleet.telemetry.accountant
+    totals = acct.to_dict()["totals"]["t"]
+    assert totals["requests"] == 6
+    assert totals["tokens_out"] == sum(t.winner.tokens_generated for t in tickets)
+    assert totals["tokens_in"] == sum(t.winner.prompt_tokens for t in tickets)
+    assert totals["kv_byte_seconds"] > 0 and totals["residency_seconds"] > 0
+    assert acct.top_k("requests") == [("t", 6)]
+    # The operator snapshot assembles store + accountant + sampler.
+    snap = fleet.telemetry_snapshot()
+    assert snap["at"] == 120.0
+    assert set(snap["devices"]) == {"dev0", "dev1"}
+    for info in snap["devices"].values():
+        assert info["state"] == "up" and info["up"] == 1.0
+    assert snap["fleet"]["request_rate"] >= 0.0
+    assert snap["tenants"]["top_k"]["requests"] == [["t", 6]]
+    json.dumps(snap, sort_keys=True)  # JSON-clean
+    top = fleet.telemetry.render_top()
+    assert "dev0" in top and "tenant" in top and "traces: kept" in top
+    # health() folds the windowed rates in.
+    rates = fleet.health()["rates"]
+    assert rates["request_rate"] >= 0.0 and "shed_rate" in rates

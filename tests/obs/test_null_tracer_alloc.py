@@ -1,0 +1,109 @@
+"""Tracing must be free when nobody is listening.
+
+Every tracer call site in the serving path is guarded by
+``if self.tracer.enabled:`` so that the default :data:`NULL_TRACER`
+costs neither the call nor the eager ``%``-formatted span names.  These
+tests pin that down two ways: an allocation regression (tracemalloc
+sees zero blocks from the trace module on the untraced hot path) and a
+fingerprint parity check (attaching a real tracer changes nothing
+observable about the run).
+"""
+
+import tracemalloc
+
+from repro.core import TZLLM
+from repro.llm import TINYLLAMA
+from repro.serve import ServeGateway
+from repro.sim.trace import NULL_TRACER, NullTracer, Tracer
+
+
+def _drive(gateway, n=8):
+    """A small mixed workload exercising queue/serve/preempt/flow sites."""
+    sim = gateway.sim
+    done = []
+    for i in range(n):
+        priority = "background" if i % 3 == 0 else "interactive"
+        done.append(
+            gateway.submit(
+                prompt_tokens=16 + 8 * (i % 4),
+                output_tokens=2 + (i % 3),
+                priority=priority,
+                tenant="t%d" % (i % 2),
+            )
+        )
+        sim.run(until=sim.now + 0.05)
+    sim.run_until(sim.all_of([r.completion for r in done]))
+    return done
+
+
+def _fingerprint(gateway, requests):
+    return [
+        (
+            r.request_id,
+            r.state,
+            r.attempts,
+            r.preemptions,
+            round(r.dispatched_at, 9),
+            round(r.first_token_at, 9) if r.first_token_at is not None else None,
+            round(r.finished_at, 9) if r.finished_at is not None else None,
+            r.tokens_generated,
+        )
+        for r in requests
+    ] + list(gateway.log)
+
+
+def test_untraced_gateway_allocates_nothing_in_trace_module():
+    system = TZLLM(TINYLLAMA, cache_fraction=1.0)
+    system.run_infer(8, 0)
+    gateway = ServeGateway(system)
+    assert gateway.tracer is NULL_TRACER  # the default, shared singleton
+    _drive(gateway)  # warm every code path first
+    tracemalloc.start(1)
+    try:
+        _drive(gateway)
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    trace_py = NullTracer.record.__code__.co_filename
+    blocks = sum(
+        stat.count
+        for stat in snapshot.filter_traces(
+            [tracemalloc.Filter(True, trace_py)]
+        ).statistics("filename")
+    )
+    assert blocks == 0
+
+
+def test_null_tracer_surface_is_allocation_free_singletons():
+    handle = NULL_TRACER.span("cat", "name")
+    assert handle is NULL_TRACER.span("other", "thing")  # shared handle
+    handle.close()
+    with NULL_TRACER.span("cat", "ctx"):
+        pass
+    NULL_TRACER.record("cat", "n", 0.0)
+    NULL_TRACER.counter("c", 1.0)
+    NULL_TRACER.instant("cat", "i")
+    NULL_TRACER.flow("s", 1, "f", "lane")
+    # Read-side collections are shared immutable empties, not fresh lists.
+    assert NULL_TRACER.spans is NULL_TRACER.spans and NULL_TRACER.spans == ()
+    assert NULL_TRACER.counters == () and NULL_TRACER.instants == ()
+    assert not NULL_TRACER.enabled
+
+
+def test_attaching_a_tracer_does_not_perturb_the_run():
+    runs = []
+    for tracer_factory in (lambda sim: None, Tracer):
+        system = TZLLM(TINYLLAMA, cache_fraction=1.0)
+        system.run_infer(8, 0)
+        tracer = tracer_factory(system.sim)
+        gateway = ServeGateway(system, tracer=tracer)
+        runs.append(_fingerprint(gateway, _drive(gateway)))
+    assert runs[0] == runs[1]
+    # And the traced run actually collected something — the guards gate
+    # cost, not coverage.
+    system = TZLLM(TINYLLAMA, cache_fraction=1.0)
+    system.run_infer(8, 0)
+    tracer = Tracer(system.sim)
+    gateway = ServeGateway(system, tracer=tracer)
+    _drive(gateway)
+    assert tracer.spans and tracer.counters and tracer.flows

@@ -1,0 +1,362 @@
+"""Telemetry unit coverage: store, collector, accountant, sampler."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry, RateRule, TelemetryConfig, TimeSeriesStore
+from repro.obs.alerts import AlertEngine
+from repro.obs.telemetry import TailSampler, TelemetryCollector, TenantAccountant
+from repro.sim import Simulator
+
+
+def _key(**labels):
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+# ---------------------------------------------------------------------------
+# config
+# ---------------------------------------------------------------------------
+def test_config_validation():
+    TelemetryConfig()  # defaults valid
+    with pytest.raises(ConfigurationError):
+        TelemetryConfig(scrape_interval=0.0)
+    with pytest.raises(ConfigurationError):
+        TelemetryConfig(ring_capacity=1)
+    with pytest.raises(ConfigurationError):
+        TelemetryConfig(downsample_factor=1)
+    with pytest.raises(ConfigurationError):
+        TelemetryConfig(tail_sample_rate=1.5)
+    with pytest.raises(ConfigurationError):
+        TelemetryConfig(trace_capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# ring + downsampling
+# ---------------------------------------------------------------------------
+def test_ring_downsamples_by_stride_and_bounds_memory():
+    config = TelemetryConfig(ring_capacity=10, downsample_factor=10, resolutions=3)
+    store = TimeSeriesStore(config)
+    for i in range(1000):
+        store.append("c_total", "counter", _key(), float(i), float(i))
+    raw = store.samples("c_total", tier=0)
+    mid = store.samples("c_total", tier=1)
+    coarse = store.samples("c_total", tier=2)
+    # Every tier is bounded at the ring capacity.
+    assert len(raw) == len(mid) == len(coarse) == 10
+    # Raw keeps the newest samples; each coarser tier keeps every
+    # factor-th sample of the finer one (group-boundary values).
+    assert [t for t, _v in raw] == [float(t) for t in range(990, 1000)]
+    assert [t for t, _v in mid] == [float(t) for t in range(909, 1000, 10)]
+    assert [t for t, _v in coarse] == [float(t) for t in range(99, 1000, 100)]
+    # The cascaded samples are the *same* values, not aggregates.
+    assert all(t == v for t, v in mid) and all(t == v for t, v in coarse)
+
+
+def test_store_rejects_kind_conflicts():
+    store = TimeSeriesStore()
+    store.append("m", "counter", _key(), 0.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        store.append("m", "gauge", _key(), 1.0, 2.0)
+
+
+# ---------------------------------------------------------------------------
+# windowed queries
+# ---------------------------------------------------------------------------
+def test_rate_and_delta_from_cumulative_samples():
+    store = TimeSeriesStore()
+    # 2 events/s for 100 s, sampled every 5 s.
+    for i in range(21):
+        t = i * 5.0
+        store.append("ev_total", "counter", _key(), t, 2.0 * t)
+    assert store.rate("ev_total", 60.0, 100.0) == pytest.approx(2.0)
+    assert store.delta("ev_total", 60.0, 100.0) == pytest.approx(120.0)
+    # A window wider than the data anchors at the oldest kept sample.
+    assert store.rate("ev_total", 1e6, 100.0) == pytest.approx(2.0)
+    # A single sample cannot produce a rate.
+    other = TimeSeriesStore()
+    other.append("ev_total", "counter", _key(), 0.0, 5.0)
+    assert other.rate("ev_total", 60.0, 100.0) == 0.0
+
+
+def test_queries_sum_across_subset_matching_series():
+    store = TimeSeriesStore()
+    for i in range(11):
+        t = i * 5.0
+        store.append("ev_total", "counter", _key(device="a", tenant="x"), t, 1.0 * t)
+        store.append("ev_total", "counter", _key(device="b", tenant="x"), t, 3.0 * t)
+    assert store.rate("ev_total", 50.0, 50.0) == pytest.approx(4.0)
+    assert store.rate("ev_total", 50.0, 50.0, device="a") == pytest.approx(1.0)
+    assert store.rate("ev_total", 50.0, 50.0, device="b") == pytest.approx(3.0)
+    assert store.rate("ev_total", 50.0, 50.0, tenant="x") == pytest.approx(4.0)
+    assert store.rate("ev_total", 50.0, 50.0, device="c") == 0.0
+
+
+def test_window_query_falls_back_to_coarser_tier():
+    config = TelemetryConfig(ring_capacity=10, downsample_factor=10, resolutions=2)
+    store = TimeSeriesStore(config)
+    for i in range(200):
+        store.append("ev_total", "counter", _key(), float(i), 2.0 * i)
+    # Raw tier only covers [190, 199]; a 100 s window must come from the
+    # downsampled tier, which reaches back to t=109.
+    assert store.samples("ev_total", tier=0)[0][0] == 190.0
+    assert store.samples("ev_total", tier=1)[0][0] == 109.0
+    assert store.rate("ev_total", 100.0, 199.0) == pytest.approx(2.0)
+
+
+def test_gauge_avg_over_window():
+    store = TimeSeriesStore()
+    for i in range(10):
+        store.append("depth", "gauge", _key(), float(i), float(i % 2))
+    assert store.avg("depth", 4.0, 9.0) == pytest.approx((0 + 1 + 0 + 1) / 4.0)
+    assert store.latest("depth") == 1.0
+
+
+def test_histogram_quantile_windowed():
+    store = TimeSeriesStore()
+    bounds = (0.1, 1.0, 10.0)
+    # Snapshot at t=0: empty; at t=60: 80 obs <= 0.1, 20 in (1, 10].
+    store.append_histogram("lat", _key(), 0.0, 0, 0.0, (0, 0, 0), bounds)
+    store.append_histogram("lat", _key(), 60.0, 100, 0.0, (80, 80, 100), bounds)
+    assert store.quantile("lat", 0.5, 120.0, 60.0) == pytest.approx(0.1 * 50 / 80)
+    # p90 lands in the (1, 10] bucket: interpolated past the 1.0 edge.
+    q90 = store.quantile("lat", 0.9, 120.0, 60.0)
+    assert 1.0 < q90 <= 10.0
+    # Out-of-window history is excluded: add a later snapshot with no new
+    # observations; a short window sees zero delta.
+    store.append_histogram("lat", _key(), 120.0, 100, 0.0, (80, 80, 100), bounds)
+    assert store.quantile("lat", 0.9, 30.0, 120.0) == 0.0
+    with pytest.raises(ConfigurationError):
+        store.quantile("lat", 1.5, 60.0, 60.0)
+
+
+def test_store_export_is_deterministic():
+    def build():
+        store = TimeSeriesStore(TelemetryConfig(ring_capacity=8))
+        for i in range(40):
+            store.append("a_total", "counter", _key(device="d0"), float(i), float(i))
+            store.append("b_depth", "gauge", _key(), float(i), float(i % 3))
+        return json.dumps(store.to_dict(), sort_keys=True)
+
+    assert build() == build()
+
+
+# ---------------------------------------------------------------------------
+# collector
+# ---------------------------------------------------------------------------
+def test_collector_scrapes_registry_on_interval_with_pre_scrape_hooks():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    counter = registry.counter("work_total")
+    gauge = registry.gauge("busy")
+    store = TimeSeriesStore(TelemetryConfig(scrape_interval=1.0))
+    collector = TelemetryCollector(sim, registry, store)
+    refreshed = []
+    collector.pre_scrape.append(lambda: refreshed.append(sim.now) or gauge.set(sim.now))
+
+    def load():
+        for _ in range(10):
+            counter.inc(3)
+            yield sim.timeout(1.0)
+
+    sim.process(load(), name="load")
+    collector.start(until=10.0)
+    sim.run()
+    assert collector.scrapes == 10
+    # Hooks ran at every scrape instant, refreshing the gauge first.
+    assert refreshed == [float(t) for t in range(1, 11)]
+    assert store.latest("busy") == 10.0
+    # Increments land at t=0..9 (value 18 by the t=5 scrape, 30 by t=10);
+    # the 5 s window anchors on the t=5 scrape: (30-18)/5.
+    assert store.delta("work_total", 5.0, 10.0) == pytest.approx(12.0)
+    assert store.rate("work_total", 5.0, 10.0) == pytest.approx(2.4)
+    assert store.rate("work_total", 9.0, 10.0) == pytest.approx(24.0 / 9.0)
+
+
+def test_rate_rule_needs_store_and_fires_on_windowed_rate():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    with pytest.raises(ConfigurationError):
+        AlertEngine(sim, registry, rules=[RateRule("r", "ev_total", ">", 1.0)])
+    store = TimeSeriesStore()
+    engine = AlertEngine(
+        sim, registry,
+        rules=[RateRule("hot", "ev_total", ">", 1.5, window=10.0)],
+        store=store,
+    )
+
+    def feed():
+        for i in range(30):
+            yield sim.timeout(1.0)
+            # 2/s for the first 15 s, then flat.
+            value = 2.0 * min(sim.now, 15.0)
+            store.append("ev_total", "counter", (), sim.now, value)
+            engine.tick()
+
+    sim.process(feed(), name="feed")
+    sim.run()
+    states = [(t.name, t.state) for t in engine.transitions]
+    assert ("hot", "firing") in states and ("hot", "resolved") in states
+    assert not engine.firing()
+
+
+# ---------------------------------------------------------------------------
+# tenant accountant
+# ---------------------------------------------------------------------------
+class _FakeAttempt:
+    def __init__(self, device, prompt=100, generated=10, dispatched=1.0, end=3.0,
+                 state="done", hedge=False, first_token=2.0, arrived=0.0):
+        self.device_id = device
+        self.prompt_tokens = prompt
+        self.tokens_generated = generated
+        self.arrived_at = arrived
+        self.dispatched_at = dispatched
+        self.finished_at = end if state == "done" else None
+        self.cancelled_at = end if state == "cancelled" else None
+        self.failed_at = end if state == "failed" else None
+        self.first_token_at = first_token if state == "done" else None
+        self.state = state
+        self.hedge = hedge
+
+
+class _FakeRequest:
+    def __init__(self, tenant="chat", model_id="m"):
+        self.tenant = tenant
+        self.model_id = model_id
+
+
+class _FakeTicket:
+    def __init__(self, ticket_id, attempts, winner=None, state="done",
+                 hedges=0, slo_attained=True, tenant="chat"):
+        self.ticket_id = ticket_id
+        self.request = _FakeRequest(tenant=tenant)
+        self.attempts = attempts
+        self.winner = winner if winner is not None else (attempts[0] if attempts else None)
+        self.state = state
+        self.hedges = hedges
+        self.slo_attained = slo_attained
+        self.arrived_at = 0.0
+        self.failures = []
+
+    @property
+    def device_id(self):
+        latest = self.winner or (self.attempts[-1] if self.attempts else None)
+        return latest.device_id if latest else None
+
+
+def test_accountant_meters_winner_and_bills_every_attempt_residency():
+    acct = TenantAccountant({"m": 1000})
+    winner = _FakeAttempt("d0", prompt=100, generated=10, dispatched=1.0, end=3.0)
+    loser = _FakeAttempt("d1", prompt=100, generated=0, dispatched=2.0, end=3.0,
+                         state="cancelled", hedge=True)
+    acct.note_done(_FakeTicket(1, [winner, loser]))
+    data = acct.to_dict()
+    chat = data["tenants"]["chat"]
+    # Tokens land on the winner's device only.
+    assert chat["d0"]["tokens_in"] == 100 and chat["d0"]["tokens_out"] == 10
+    assert "tokens_in" not in chat.get("d1", {}) or chat["d1"]["tokens_in"] == 0
+    # Residency: both attempts occupied secure memory while dispatched.
+    assert chat["d0"]["residency_seconds"] == pytest.approx(2.0)
+    assert chat["d1"]["residency_seconds"] == pytest.approx(1.0)
+    # KV byte-seconds: final footprint x kv bytes/token x residency.
+    assert chat["d0"]["kv_byte_seconds"] == pytest.approx(110 * 1000 * 2.0)
+    assert chat["d1"]["kv_byte_seconds"] == pytest.approx(100 * 1000 * 1.0)
+    assert data["totals"]["chat"]["requests"] == 1
+
+
+def test_accountant_top_k_and_prometheus_export_are_deterministic():
+    acct = TenantAccountant({"m": 1})
+    for i, tenant in enumerate(["chat", "mail", "indexer"]):
+        for n in range(i + 1):
+            attempt = _FakeAttempt("d%d" % n, generated=5 * (i + 1))
+            acct.note_done(_FakeTicket(i * 10 + n, [attempt], tenant=tenant))
+    top = acct.top_k("tokens_out", 2)
+    assert top == [("indexer", 45), ("mail", 20)]
+    # Ties rank by name.
+    acct2 = TenantAccountant()
+    acct2.note_shed(_FakeTicket(1, [], state="shed", tenant="b"))
+    acct2.note_shed(_FakeTicket(2, [], state="shed", tenant="a"))
+    assert acct2.top_k("sheds") == [("a", 1), ("b", 1)]
+    prom = acct.render_prometheus()
+    assert prom == acct.render_prometheus()
+    assert '# TYPE fleet_tenant_tokens_out_total counter' in prom
+    assert 'fleet_tenant_tokens_out_total{device="d0",tenant="chat"} 5' in prom
+    assert json.dumps(acct.to_dict(), sort_keys=True) == json.dumps(
+        acct.to_dict(), sort_keys=True
+    )
+
+
+def test_accountant_failed_and_budget_meters():
+    acct = TenantAccountant()
+    ticket = _FakeTicket(3, [_FakeAttempt("d0", state="failed")], state="failed")
+    ticket.winner = None
+    acct.note_failed(ticket)
+    acct.note_budget_spend("chat", "d1")
+    acct.note_budget_spend("chat", None)
+    data = acct.to_dict()
+    assert data["tenants"]["chat"]["d0"]["failed"] == 1
+    assert data["tenants"]["chat"]["d1"]["hedge_spend"] == 1
+    assert data["tenants"]["chat"]["-"]["hedge_spend"] == 1
+    assert data["totals"]["chat"]["hedge_spend"] == 2
+
+
+# ---------------------------------------------------------------------------
+# tail sampler
+# ---------------------------------------------------------------------------
+def test_sampler_keeps_all_anomalous_tickets():
+    sampler = TailSampler(TelemetryConfig(tail_sample_rate=0.0))
+    cases = [
+        _FakeTicket(1, [_FakeAttempt("d0", state="failed")], state="failed"),
+        _FakeTicket(2, [], state="shed"),
+        _FakeTicket(3, [_FakeAttempt("d0")], hedges=1),
+        _FakeTicket(4, [_FakeAttempt("d0")], slo_attained=False),
+    ]
+    reasons = [sampler.offer(t) for t in cases]
+    assert reasons == ["failed", "shed", "hedged", "slo-violated"]
+    assert sampler.kept_total == 4 and sampler.dropped == 0
+    # With rate 0, every fast ticket drops without building a trace.
+    fast = _FakeTicket(5, [_FakeAttempt("d0")])
+    assert sampler.offer(fast) is None
+    assert sampler.dropped == 1 and len(sampler.traces) == 4
+
+
+def test_sampler_fast_path_is_seeded_order_independent_and_rate_bounded():
+    config = TelemetryConfig(tail_sample_rate=0.05, tail_seed=7)
+    decisions = {}
+    sampler = TailSampler(config)
+    for ticket_id in range(2000):
+        decisions[ticket_id] = sampler._keep_fast(ticket_id)
+    # Same seed, any order: identical decisions.
+    other = TailSampler(config)
+    for ticket_id in reversed(range(2000)):
+        assert other._keep_fast(ticket_id) == decisions[ticket_id]
+    rate = sum(decisions.values()) / len(decisions)
+    assert 0.0 < rate <= 0.10  # the <=10% acceptance bound
+    # A different seed samples a different subset.
+    reseeded = TailSampler(TelemetryConfig(tail_sample_rate=0.05, tail_seed=1337))
+    assert any(
+        reseeded._keep_fast(i) != decisions[i] for i in range(2000)
+    )
+
+
+def test_sampler_traces_carry_per_attempt_attribution_and_exemplars():
+    sampler = TailSampler(TelemetryConfig(tail_sample_rate=0.0))
+    winner = _FakeAttempt("d0", dispatched=1.0, end=3.0, first_token=2.0)
+    loser = _FakeAttempt("d1", dispatched=1.5, end=2.5, state="cancelled", hedge=True)
+    ticket = _FakeTicket(42, [winner, loser], winner=winner, hedges=1)
+    assert sampler.offer(ticket) == "hedged"
+    trace = sampler.traces[-1]
+    serves = [e for e in trace["events"] if e.get("cat") == "serve"]
+    assert {(e["args"]["attempt"], e["args"]["device"]) for e in serves} == {
+        (0, "d0"), (1, "d1"),
+    }
+    flow_ids = {e["id"] for e in trace["events"] if e["ph"] in ("s", "f")}
+    assert flow_ids == {42000, 42001}  # per-attempt flow identity
+    # The winner's TTFT (2.0 s) pinned an exemplar on its bucket.
+    assert sampler.exemplars[2.5]["trace_id"] == 42
+    assert sampler.exemplars[2.5]["value"] == pytest.approx(2.0)
+    # The merged export is valid Chrome-trace JSON.
+    chrome = json.loads(sampler.to_chrome_trace())
+    assert any(e.get("ph") == "X" for e in chrome["traceEvents"])
+    assert json.dumps(sampler.to_dict(), sort_keys=True)
