@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Where do the secure bytes go?  The memory observatory, end to end.
+
+Part 1 — one device, full fidelity.  A batching TZ-LLM stack serves a
+multi-tenant burst with a :class:`~repro.obs.MemoryTimeline` attached:
+every TZASC reprogram and every KV block alloc/release lands in the
+event ring with tenant attribution, the ``mem_*`` series derive into a
+time-series store on a virtual-time scrape loop, and the end-of-run
+export shows the stranded-capacity integral — configured secure bytes
+that held no live content, i.e. what the paper's static partitioning
+wastes and an elastic mechanism would hand back to the REE.
+
+Part 2 — a small fleet, surrogate tier.  The same accounting rolled up
+per device from routing state (:meth:`Fleet.start_memory_view`),
+rendered as the ``mem top`` operator table, plus the offline
+prefix-sharing opportunity analyzer replaying the fleet trace: how much
+prefill could shared-prefix KV reuse have skipped?
+
+Outputs land in ``--out`` (default ``out/``, gitignored):
+
+* ``memory_timeline.json`` — the event-sourced timeline artifact
+* ``memory_counters.json`` — Chrome trace ``memory`` counter lane
+* ``memtop.txt``           — the fleet ``mem top`` table
+* ``prefix_share.json``    — the prefix-sharing opportunity report
+
+Run:  python examples/memory_observatory.py [--out DIR]
+"""
+
+import argparse
+import json
+import os
+
+from dataclasses import replace
+
+from repro import TINYLLAMA
+from repro.analysis import analyze_prefix_sharing
+from repro.config import RK3588
+from repro.core import BatchConfig, TZLLM
+from repro.fleet import Fleet, FleetLoadGenerator, scale_platform
+from repro.obs import (
+    MemoryTimeline,
+    TelemetryConfig,
+    instrument,
+    memory_pressure_rules,
+)
+from repro.obs.telemetry import TelemetryCollector, TimeSeriesStore
+from repro.serve import GatewayConfig, ServeGateway
+from repro.workloads import FleetTenantSpec, generate_fleet_trace
+
+FLEET_HORIZON = 1800.0  # half an hour of fleet session starts
+
+ASSISTANT = replace(TINYLLAMA, model_id="assistant-1.1b")
+
+PLATFORMS = [
+    ("hub-0", scale_platform(RK3588, "hub", cpu=1.6, npu=1.8, mem=1.5, flash=1.6)),
+    ("phone-0", RK3588),
+    ("phone-1", RK3588),
+    ("budget-0", scale_platform(RK3588, "budget", cpu=0.7, npu=0.6, mem=0.75, flash=0.7)),
+]
+
+TENANTS = [
+    FleetTenantSpec("chat", ASSISTANT.model_id, "interactive",
+                    sessions_per_hour=360.0, mean_turns=5.0, mean_think_time=30.0,
+                    stickiness=1.0, prefix_tokens=96, prefix_pool=4,
+                    output_tokens=(4, 12)),
+    FleetTenantSpec("copilot", ASSISTANT.model_id, "interactive",
+                    sessions_per_hour=240.0, mean_turns=4.0, mean_think_time=15.0,
+                    stickiness=0.8, prefix_tokens=160, prefix_pool=8,
+                    output_tokens=(2, 8)),
+    FleetTenantSpec("indexer", ASSISTANT.model_id, "background",
+                    sessions_per_hour=120.0, workload="droidtask",
+                    mean_turns=1.5, mean_think_time=45.0, stickiness=0.0,
+                    output_tokens=(24, 48)),
+]
+
+
+def run_single_stack():
+    """One batching device under a three-tenant burst, timeline attached."""
+    system = TZLLM(
+        TINYLLAMA,
+        batch_config=BatchConfig(max_batch_size=4, block_tokens=16),
+    )
+    obs = instrument(system)
+    timeline = MemoryTimeline(system.sim).attach(system)
+    store = TimeSeriesStore(TelemetryConfig(scrape_interval=0.5))
+    collector = TelemetryCollector(
+        system.sim, obs.registry, store, TelemetryConfig(scrape_interval=0.5)
+    )
+    timeline.install(collector)
+    gateway = ServeGateway(
+        system, GatewayConfig(batching=True, shedding=False, preemption=True)
+    )
+
+    sim = system.sim
+    done = []
+
+    def offered():
+        plan = [
+            (0.0, "voice", "interactive", 24, 8),
+            (0.1, "mail", "batch", 48, 24),
+            (0.2, "mail", "batch", 48, 24),
+            (0.4, "indexer", "background", 96, 48),
+            (2.0, "voice", "interactive", 16, 6),
+            (3.0, "mail", "batch", 64, 24),
+            (5.0, "indexer", "background", 80, 40),
+            (6.0, "voice", "interactive", 24, 8),
+        ]
+        last = 0.0
+        for at, tenant, priority, prompt, out in plan:
+            yield sim.timeout(at - last)
+            last = at
+            done.append(
+                gateway.submit(prompt, out, priority=priority, tenant=tenant)
+            )
+
+    def scraper():
+        while True:
+            yield sim.timeout(0.5)
+            collector.scrape()
+
+    sim.process(offered())
+    sim.process(scraper(), name="scrape")
+    sim.run(until=60.0)
+
+    export = timeline.to_dict()
+    totals = export["totals"]
+    print("Part 1 — single stack (%d timeline events, %d dropped)"
+          % (export["recorded"], export["dropped"]))
+    print("  stranded integral: %.1f MiB*s; per tenant byte-seconds: %s"
+          % (totals["stranded_byte_seconds"] / 2**20,
+             ", ".join("%s=%.1f MiB*s" % (t, v / 2**20)
+                       for t, v in export["tenants"].items())))
+    print("  pressure rules armed: %s"
+          % ", ".join(r.name for r in memory_pressure_rules()))
+    print("  served %d/%d requests; pool stats: %s"
+          % (sum(1 for r in done if r.done), len(done),
+             {name: "%(allocs)d allocs / %(parks)d parks" % p
+              for name, p in export["pools"].items()}))
+    return export, timeline.to_chrome_trace()
+
+
+def run_fleet():
+    """A four-device fleet with the rollup view and the analyzer."""
+    trace = generate_fleet_trace(FLEET_HORIZON, TENANTS, seed=42)
+    fleet = Fleet(PLATFORMS, [ASSISTANT], policy="cache-aware", warm=True,
+                  session_capacity=8)
+    fleet.start_telemetry(
+        until=FLEET_HORIZON + 300.0,
+        config=TelemetryConfig(scrape_interval=5.0, ring_capacity=720),
+    )
+    fleet.start_memory_view()
+    FleetLoadGenerator(fleet.router, trace).run_blocking()
+
+    top = fleet.memory.render_memtop()
+    print()
+    print("Part 2 — fleet rollup (%d requests routed)" % len(trace))
+    print(top)
+
+    report = analyze_prefix_sharing(trace, [ASSISTANT], RK3588)
+    print()
+    print(report.render())
+    return top, report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="out", help="output directory (default: out/)")
+    args = parser.parse_args()
+    os.makedirs(args.out, exist_ok=True)
+
+    timeline_export, chrome_trace = run_single_stack()
+    memtop, report = run_fleet()
+
+    outputs = {
+        "memory_timeline.json": json.dumps(
+            timeline_export, indent=2, sort_keys=True) + "\n",
+        # Already a JSON document (Chrome trace-event format).
+        "memory_counters.json": chrome_trace + "\n",
+        "memtop.txt": memtop + "\n",
+        "prefix_share.json": json.dumps(
+            report.to_dict(), indent=2, sort_keys=True) + "\n",
+    }
+    for name, payload in sorted(outputs.items()):
+        with open(os.path.join(args.out, name), "w") as fh:
+            fh.write(payload)
+    print()
+    print("Wrote %s" % ", ".join(
+        os.path.join(args.out, name) for name in sorted(outputs)))
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,7 @@ from .regress import (
     load_summaries,
     render_markdown,
 )
+from .prefix_share import PrefixShareReport, TenantShareRow, analyze_prefix_sharing
 from .metrics import (
     LatencySummary,
     geomean,
@@ -28,8 +29,11 @@ __all__ = [
     "LaneUsage",
     "LatencySummary",
     "PAPER_LOC",
+    "PrefixShareReport",
     "RegressionReport",
+    "TenantShareRow",
     "Tolerance",
+    "analyze_prefix_sharing",
     "compare",
     "critical_path",
     "count_package_loc",

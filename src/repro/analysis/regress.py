@@ -297,6 +297,9 @@ def main(argv=None) -> int:
     tolerances.append(
         Tolerance("fleet_telemetry.pipeline_host_frac", rtol=3.0, atol=0.01)
     )
+    tolerances.append(Tolerance("kv_memview.wall_*", rtol=3.0))
+    tolerances.append(Tolerance("kv_memview.overhead_frac", rtol=3.0, atol=0.05))
+    tolerances.append(Tolerance("kv_memview.view_host_frac", rtol=3.0, atol=0.01))
 
     baselines = load_summaries(args.baselines)
     fresh = load_summaries(args.fresh)

@@ -229,7 +229,9 @@ class DecodeBatchEngine:
         if request_id is not None and request_id in self.parked:
             return 0
         blocks = self.blocks_needed(prompt_tokens, output_tokens)
-        self.pool.reserve(blocks)
+        self.pool.reserve(
+            blocks, owner="" if request_id is None else "r%s" % request_id
+        )
         return blocks
 
     @property

@@ -595,7 +595,14 @@ class LLMTA(TrustedApplication):
                     self._prefill_lock.release(lock_request)
                 record.ttft = sim.now - record.started_at
                 record.first_token_at = sim.now
-                kv = PagedKVCache(engine.pool, reserved_blocks=reserved)
+                # Owner attribution for the memory timeline: the tenant
+                # rides in on the cross-world trace context.
+                if request_id is not None:
+                    tenant = getattr(ctx, "tenant", None) or "-"
+                    owner = "%s/r%s" % (tenant, request_id)
+                else:
+                    owner = ""
+                kv = PagedKVCache(engine.pool, reserved_blocks=reserved, owner=owner)
                 reserved = 0  # the cache owns the hold now
                 kv.init_prompt(prompt_tokens)
                 yield from engine.ensure_backing()
@@ -635,7 +642,10 @@ class LLMTA(TrustedApplication):
             engine.inflight -= 1
             if reserved:
                 # The attempt died before its cache consumed the hold.
-                engine.pool.cancel_reservation(reserved)
+                engine.pool.cancel_reservation(
+                    reserved,
+                    owner="" if request_id is None else "r%s" % request_id,
+                )
             if kv is not None and not parked_out:
                 kv.release()
             yield from engine.maybe_release_region()

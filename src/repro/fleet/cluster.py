@@ -85,6 +85,7 @@ class Fleet:
         self.alert_engine: Optional[AlertEngine] = None
         self.resilience: Optional[FleetResilience] = None
         self.telemetry: Optional[FleetTelemetry] = None
+        self.memory = None
 
     # -- conveniences --------------------------------------------------
     def device(self, device_id: str) -> DeviceNode:
@@ -150,6 +151,28 @@ class Fleet:
         if self.telemetry is None:
             raise ConfigurationError("telemetry not started (call start_telemetry)")
         return self.telemetry.snapshot(window)
+
+    def start_memory_view(self):
+        """Attach the fleet memory observatory (repro.obs.memory).
+
+        Rides the telemetry scrape loop: the view refreshes inside every
+        scrape (``pre_scrape``), so its gauges land in the same
+        :class:`~repro.obs.telemetry.TimeSeriesStore` samples as the
+        serving series.  Requires :meth:`start_telemetry` first.
+        """
+        if self.telemetry is None:
+            raise ConfigurationError(
+                "memory view rides the scrape loop (call start_telemetry first)"
+            )
+        if self.memory is not None:
+            raise ConfigurationError("memory view already started")
+        from ..obs.memory import FleetMemoryView
+
+        view = FleetMemoryView(self.router, self.models)
+        self.memory = view
+        self.router.memory_view = view
+        self.telemetry.collector.pre_scrape.append(view.refresh)
+        return view
 
     def start_resilience(
         self,

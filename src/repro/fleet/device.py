@@ -104,6 +104,9 @@ class DeviceNode:
         self.prefix_capacity = prefix_capacity
         #: session_id -> KV tokens resident here (LRU).
         self.sessions: "OrderedDict[str, int]" = OrderedDict()
+        #: session_id -> model_id, parallel to ``sessions`` — the memory
+        #: view prices a parked session's KV bytes at that model's rate.
+        self.session_model: Dict[str, str] = {}
         #: prefix_id -> prefix tokens computed here (LRU).
         self.prefixes: "OrderedDict[str, int]" = OrderedDict()
         self.served: List[ServeRequest] = []
@@ -190,8 +193,10 @@ class DeviceNode:
         self.sessions[request.session_id] = (
             request.prompt_tokens + request.output_tokens
         )
+        self.session_model[request.session_id] = request.model_id
         while len(self.sessions) > self.session_capacity:
-            self.sessions.popitem(last=False)
+            evicted, _tokens = self.sessions.popitem(last=False)
+            self.session_model.pop(evicted, None)
         if request.prefix_id:
             self.prefixes.pop(request.prefix_id, None)
             self.prefixes[request.prefix_id] = request.prefix_tokens
@@ -200,6 +205,7 @@ class DeviceNode:
 
     def drop_session(self, session_id: str) -> None:
         self.sessions.pop(session_id, None)
+        self.session_model.pop(session_id, None)
 
     # -- lifecycle -----------------------------------------------------
     def crash(self) -> None:
@@ -214,6 +220,7 @@ class DeviceNode:
         self.lifecycle.crashes += 1
         self.lifecycle.to("down", "crash")
         self.sessions.clear()
+        self.session_model.clear()
         self.prefixes.clear()
         crash = getattr(self.system, "crash", None)
         if crash is not None:

@@ -204,6 +204,9 @@ class FleetRouter:
         #: terminal-ticket hooks feed the tenant accountant and the tail
         #: trace sampler.  ``None`` keeps every hook a no-op.
         self.telemetry = None
+        #: attached by :meth:`~repro.fleet.cluster.Fleet.start_memory_view`:
+        #: the fleet secure-memory observatory (repro.obs.memory).
+        self.memory_view = None
         #: session_id -> dead device whose KV loss this session still owes
         #: a re-warm for (charged on its next routed turn).
         self._rewarm_owed: Dict[str, str] = {}

@@ -60,6 +60,8 @@ class TZASC:
         #: observability attach points (repro.obs.instrument).
         self.metrics = None
         self.recorder = None
+        #: memory-timeline attach point (repro.obs.memory).
+        self.timeline = None
 
     def _note_denial(self, path: str, detail: str) -> None:
         if self.metrics is not None:
@@ -68,6 +70,26 @@ class TZASC:
             ).inc(path=path)
         if self.recorder is not None:
             self.recorder.record("security", "tzasc.%s" % path, detail)
+
+    def _note_config(self, op: str, slot: int, old_size: int, new_size: int) -> None:
+        """Emit one region-programming event — symmetric across
+        configure, resize (grow *and* shrink) and disable, so observers
+        never see phantom secure memory after a silent drain."""
+        if self.metrics is not None:
+            self.metrics.counter(
+                "tzasc_region_config_total", "TZASC region programming operations"
+            ).inc(op=op)
+            self.metrics.gauge(
+                "tzasc_region_bytes", "Configured bytes per TZASC region slot"
+            ).set(float(new_size), slot=str(slot))
+        if self.recorder is not None:
+            self.recorder.record(
+                "memory",
+                "tzasc.%s" % op,
+                "slot %d: %d -> %d bytes" % (slot, old_size, new_size),
+            )
+        if self.timeline is not None:
+            self.timeline.note_region(op, slot, old_size, new_size)
 
     # ------------------------------------------------------------------
     # programming interface (secure world only)
@@ -96,11 +118,14 @@ class TZASC:
                 )
         region = self._regions.get(slot)
         if region is None:
+            old_size = 0
             region = TZASCRegion(slot=slot, range=new_range)
             self._regions[slot] = region
         else:
+            old_size = region.range.size
             region.range = new_range
         self.config_ops += 1
+        self._note_config("configure", slot, old_size, size)
         return region
 
     def resize(self, world: World, slot: int, new_size: int) -> TZASCRegion:
@@ -119,15 +144,18 @@ class TZASC:
                 raise ConfigurationError(
                     "resize of slot %d would overlap slot %d" % (slot, other.slot)
                 )
+        old_size = region.range.size
         region.range = proposed
         self.config_ops += 1
+        self._note_config("resize", slot, old_size, new_size)
         return region
 
     def disable(self, world: World, slot: int) -> None:
         self._require_secure(world)
-        self._region_for_slot(slot)
+        old_size = self._region_for_slot(slot).range.size
         del self._regions[slot]
         self.config_ops += 1
+        self._note_config("disable", slot, old_size, 0)
 
     def allow_device(self, world: World, slot: int, device: str) -> None:
         """Grant ``device`` DMA access to a secure region."""

@@ -99,11 +99,17 @@ class KVBlockPool:
         self.total_blocks = total_blocks
         self._free: List[int] = list(range(total_blocks))  # already a heap
         self.reserved = 0
+        #: blocks held by parked (preempted) sequences: a subset of the
+        #: used blocks, kept explicit so conservation is checkable as
+        #: ``free + active + parked == total``.
+        self.parked_blocks = 0
         #: one past the highest block id ever handed out since the last
         #: full drain: the number of block slots the secure region must
         #: back.  TZASC shrink is end-only, so this only resets when the
         #: pool is completely empty.
         self.backing_blocks = 0
+        #: memory-timeline attach point (repro.obs.memory).
+        self.timeline = None
 
     @property
     def block_bytes(self) -> int:
@@ -118,6 +124,11 @@ class KVBlockPool:
         return self.total_blocks - len(self._free)
 
     @property
+    def active_blocks(self) -> int:
+        """Used blocks excluding the parked (preempted) holdings."""
+        return self.used_blocks - self.parked_blocks
+
+    @property
     def bytes_used(self) -> int:
         return self.used_blocks * self.block_bytes
 
@@ -128,30 +139,40 @@ class KVBlockPool:
         """Would ``blocks`` fit on top of every existing hold?"""
         return self.free_blocks - self.reserved >= blocks
 
-    def reserve(self, blocks: int) -> None:
+    def reserve(self, blocks: int, owner: str = "") -> None:
         if not self.can_admit(blocks):
             raise OutOfMemory(
                 "cannot reserve %d KV blocks (%d free, %d already reserved)"
                 % (blocks, self.free_blocks, self.reserved)
             )
         self.reserved += blocks
+        if self.timeline is not None:
+            self.timeline.note_reserve(self, blocks, owner)
 
-    def cancel_reservation(self, blocks: int) -> None:
+    def cancel_reservation(self, blocks: int, owner: str = "") -> None:
         self.reserved = max(0, self.reserved - blocks)
+        if self.timeline is not None:
+            self.timeline.note_cancel(self, blocks, owner)
 
-    def alloc_block(self, from_reservation: bool = False) -> int:
+    def alloc_block(self, from_reservation: bool = False, owner: str = "") -> int:
         if not self._free:
             raise OutOfMemory("KV block pool exhausted (%d blocks)" % self.total_blocks)
         block = heapq.heappop(self._free)
         if from_reservation:
             self.reserved = max(0, self.reserved - 1)
         self.backing_blocks = max(self.backing_blocks, block + 1)
+        if self.timeline is not None:
+            self.timeline.note_alloc(self, block, owner, from_reservation)
         return block
 
-    def release_block(self, block: int) -> None:
+    def release_block(self, block: int, owner: str = "", parked: bool = False) -> None:
         heapq.heappush(self._free, block)
+        if parked:
+            self.parked_blocks -= 1
         if self.used_blocks == 0:
             self.backing_blocks = 0
+        if self.timeline is not None:
+            self.timeline.note_release(self, block, owner, parked)
 
 
 class PagedKVCache:
@@ -166,7 +187,7 @@ class PagedKVCache:
     go back to the free list exactly once.
     """
 
-    def __init__(self, pool: KVBlockPool, reserved_blocks: int = 0):
+    def __init__(self, pool: KVBlockPool, reserved_blocks: int = 0, owner: str = ""):
         self.pool = pool
         self.model = pool.model
         self.block_ids: List[int] = []
@@ -175,6 +196,9 @@ class PagedKVCache:
         self.reserved_blocks = reserved_blocks
         self.released = False
         self.parked = False
+        #: timeline attribution (``tenant/rNNN``); set by the TA from the
+        #: request's trace context before the first allocation.
+        self.owner = owner
 
     @property
     def bytes_used(self) -> int:
@@ -192,7 +216,7 @@ class PagedKVCache:
         needed = self.pool.blocks_for_tokens(tokens)
         while len(self.block_ids) < needed:
             use_hold = self.reserved_blocks > 0
-            block = self.pool.alloc_block(from_reservation=use_hold)
+            block = self.pool.alloc_block(from_reservation=use_hold, owner=self.owner)
             if use_hold:
                 self.reserved_blocks -= 1
             self.block_ids.append(block)
@@ -212,13 +236,14 @@ class PagedKVCache:
         if self.released:
             return
         self.released = True
+        was_parked = self.parked
         self.parked = False
         for block in self.block_ids:
-            self.pool.release_block(block)
+            self.pool.release_block(block, owner=self.owner, parked=was_parked)
         self.block_ids = []
         self.tokens = 0
         if self.reserved_blocks:
-            self.pool.cancel_reservation(self.reserved_blocks)
+            self.pool.cancel_reservation(self.reserved_blocks, owner=self.owner)
             self.reserved_blocks = 0
 
     # The legacy decode paths call ``reset()``; same exactly-once release.
@@ -227,11 +252,24 @@ class PagedKVCache:
     def park(self) -> BlockCheckpoint:
         """Checkpoint the block list for an evicted-but-resumable
         sequence.  Blocks and the leftover hold stay owned."""
-        self.parked = True
-        return BlockCheckpoint(tuple(self.block_ids), self.tokens)
+        checkpoint = BlockCheckpoint(tuple(self.block_ids), self.tokens)
+        if not self.parked:
+            self.parked = True
+            self.pool.parked_blocks += len(self.block_ids)
+            if self.pool.timeline is not None:
+                self.pool.timeline.note_park(
+                    self.pool, checkpoint.block_ids, self.tokens, self.owner
+                )
+        return checkpoint
 
     def restore(self, checkpoint: BlockCheckpoint) -> None:
         """Validate the resume against the parked checkpoint."""
         if tuple(self.block_ids) != checkpoint.block_ids or self.tokens != checkpoint.tokens:
             raise ConfigurationError("parked block list diverged from its checkpoint")
-        self.parked = False
+        if self.parked:
+            self.parked = False
+            self.pool.parked_blocks -= len(self.block_ids)
+            if self.pool.timeline is not None:
+                self.pool.timeline.note_restore(
+                    self.pool, checkpoint.block_ids, self.owner
+                )

@@ -19,6 +19,9 @@ Three cooperating pieces, one import:
 * :class:`AlertEngine` — declarative threshold and multi-window SLO
   burn-rate rules evaluated over registry series on a virtual-time
   ticker; transitions land in the flight recorder and Chrome trace.
+* :class:`MemoryTimeline` / :class:`FleetMemoryView` — the secure-memory
+  observatory: block-level TZASC/KV event timelines with stranded-capacity
+  accounting (single stack) and scrape-granularity fleet rollups.
 
 :func:`instrument` wires all of it into a built system in one call,
 mirroring how :class:`~repro.faults.injector.FaultInjector.arm` attaches
@@ -26,8 +29,9 @@ fault sites.
 """
 
 from .alerts import AlertEngine, AlertTransition, BurnRateRule, RateRule, ThresholdRule
-from .attach import Observability, instrument
+from .attach import Observability, instrument, iter_tas
 from .context import TraceContext
+from .memory import FleetMemoryView, MemoryTimeline, memory_pressure_rules
 from .profile import LaneBreakdown, Profiler, QueueRow
 from .recorder import FlightEvent, FlightRecorder
 from .registry import ChildRegistry, Counter, Gauge, Histogram, MetricsRegistry
@@ -51,6 +55,10 @@ __all__ = [
     "FlightRecorder",
     "Observability",
     "instrument",
+    "iter_tas",
+    "MemoryTimeline",
+    "FleetMemoryView",
+    "memory_pressure_rules",
     "Profiler",
     "LaneBreakdown",
     "QueueRow",

@@ -17,7 +17,7 @@ from __future__ import annotations
 from .recorder import FlightRecorder
 from .registry import MetricsRegistry
 
-__all__ = ["Observability", "instrument"]
+__all__ = ["Observability", "instrument", "iter_tas"]
 
 # Components that carry ``metrics``/``recorder`` attach points, per stack.
 _SITED = (
@@ -35,6 +35,22 @@ def _resolve(stack, dotted):
     for part in dotted.split("."):
         obj = getattr(obj, part)
     return obj
+
+
+def iter_tas(target):
+    """The TAs of a single- or multi-model system, structurally.
+
+    Multi-model systems expose a ``tas`` dict of model_id -> TA; the
+    single-model ``TZLLM`` exposes ``ta`` (guarded against the bound
+    method some stand-ins use for that name).  Shared by
+    :meth:`Observability.attach` and the memory timeline's attach walk.
+    """
+    if getattr(target, "tas", None):
+        return list(target.tas.values())
+    ta = getattr(target, "ta", None)
+    if ta is not None and not callable(ta):
+        return [ta]
+    return []
 
 
 class Observability:
@@ -67,12 +83,7 @@ class Observability:
             region.recorder = self.recorder
         # TAs (single- or multi-model systems) take metrics for the
         # pipeline phase accounting and the recorder for retry provenance.
-        tas = []
-        if getattr(target, "tas", None):
-            tas.extend(target.tas.values())
-        elif getattr(target, "ta", None) is not None and not callable(target.ta):
-            tas.append(target.ta)
-        for ta in tas:
+        for ta in iter_tas(target):
             ta.metrics = self.registry
             ta.recorder = self.recorder
         # Remember the bundle on both handles so late-comers (gateway,
@@ -95,9 +106,7 @@ class Observability:
         for region in stack.kernel.cma_regions.values():
             region.metrics = None
             region.recorder = None
-        for ta in list(getattr(target, "tas", {}).values()) or (
-            [target.ta] if getattr(target, "ta", None) is not None and not callable(target.ta) else []
-        ):
+        for ta in iter_tas(target):
             ta.metrics = None
             ta.recorder = None
         stack.observability = None

@@ -1,0 +1,807 @@
+"""The secure-memory & KV observatory: where do the secure bytes go?
+
+The two top ROADMAP items — shared-prefix KV reuse and FlexServe-style
+elastic secure-memory isolation — are both *memory* projects, but
+nothing in the stack could say where secure bytes actually sit: TZASC
+regions grow end-only and shrink silently at drain, the
+:class:`~repro.llm.kv_cache.KVBlockPool` knows used/free counts but not
+who holds which block or for how long.  This module closes that gap
+with two observers:
+
+* :class:`MemoryTimeline` — the full-fidelity, event-sourced record.
+  Every TZASC region configure/resize/disable and every block-pool
+  reserve/alloc/release/park/restore lands in a bounded ring with block
+  ids and owner attribution (``tenant/rNNN``).  The timeline keeps its
+  aggregates incrementally (so reads are O(pools)), integrates
+  per-tenant secure **byte-seconds** and the **stranded** byte-seconds
+  exactly at event granularity, refreshes ``mem_*`` gauges as a
+  telemetry ``pre_scrape`` hook (which is how the series reach the
+  :class:`~repro.obs.telemetry.TimeSeriesStore`), and exports a Chrome
+  trace ``memory`` counter lane.
+
+* :class:`FleetMemoryView` — the surrogate-tier rollup.  Fleet devices
+  model timing analytically and have no real pool or TZASC, so the view
+  derives the same accounting from what the surrogate *does* track:
+  resident parameter bytes, the KV footprint of running requests, and
+  the parked session cache — with a per-device backing high-water
+  standing in for the end-only-growth configured size.
+
+**Stranded capacity** is the headline series: ``configured - live``,
+where *live* counts resident parameter bytes, activation scratch and KV
+blocks in use (active + parked).  It is exactly the capacity an elastic
+isolation mechanism would hand back to the REE — measured here before
+anyone builds the mechanism.
+
+Instrumentation contract (same as :data:`~repro.sim.trace.NULL_TRACER`):
+every hook site in the hot path is an attribute defaulting to ``None``
+guarded by ``if timeline is not None``, so an un-attached run allocates
+nothing from this module (tracemalloc-proven in
+``tests/obs/test_memory_timeline.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from .alerts import BurnRateRule, ThresholdRule
+from .attach import iter_tas
+
+__all__ = [
+    "MemoryTimeline",
+    "FleetMemoryView",
+    "memory_pressure_rules",
+]
+
+#: tid of the ``memory`` counter lane in exported Chrome traces (the
+#: span lanes of :class:`~repro.sim.trace.Tracer` start at 1).
+_MEM_TID = 90
+
+
+class _PoolStats:
+    """Incrementally-maintained per-pool accounting (one per KVBlockPool)."""
+
+    __slots__ = (
+        "pool", "name", "slot", "block_bytes", "fixed_bytes", "total_blocks",
+        "active", "parked", "reserved", "allocs", "releases", "parks",
+        "restores",
+    )
+
+    def __init__(self, pool, name: str, slot: Optional[int], fixed_bytes: int):
+        self.pool = pool
+        self.name = name
+        self.slot = slot
+        self.block_bytes = pool.block_bytes
+        self.fixed_bytes = fixed_bytes
+        self.total_blocks = pool.total_blocks
+        # Pick up the pool's current state so mid-run attach balances.
+        self.parked = pool.parked_blocks
+        self.active = pool.used_blocks - pool.parked_blocks
+        self.reserved = pool.reserved
+        self.allocs = 0
+        self.releases = 0
+        self.parks = 0
+        self.restores = 0
+
+
+def _tenant_of(owner: str) -> str:
+    """``tenant/rNNN`` owner strings attribute to their tenant; bare
+    request owners (no tenant context) pool under ``-``."""
+    if not owner:
+        return "-"
+    head, sep, _rest = owner.partition("/")
+    return head if sep else "-"
+
+
+class MemoryTimeline:
+    """Event-sourced secure-memory record for one instrumented stack.
+
+    Attach with :meth:`attach` (sets the ``timeline`` hook attribute on
+    the TZASC, the TAs' secure regions and their block pools), then
+    optionally :meth:`install` on a telemetry collector to derive the
+    per-scrape ``mem_*`` series.
+    """
+
+    SCHEMA = "repro.obs.memory/1"
+
+    def __init__(self, sim, capacity: int = 8192):
+        self.sim = sim
+        self.capacity = capacity
+        #: bounded event ring: (at, kind, op, source, amount, owner, extra)
+        self._events: deque = deque(maxlen=capacity)
+        self.recorded = 0
+        # -- region state ------------------------------------------------
+        self._slot_bytes: Dict[int, int] = {}
+        self._slot_names: Dict[int, str] = {}
+        self._param_slots: set = set()
+        self.configured_bytes = 0
+        # -- pool state --------------------------------------------------
+        self._pools: Dict[int, _PoolStats] = {}
+        # -- integrals ---------------------------------------------------
+        #: tenant -> [held_bytes_now, byte_seconds_integral]
+        self._tenants: Dict[str, List[float]] = {}
+        self.stranded_byte_seconds = 0.0
+        self._last_t = sim.now
+        #: host seconds spent in the pre-scrape gauge refresh (the
+        #: timeline's self-attributed sampling cost).
+        self.host_seconds = 0.0
+        self._gauges = None
+        self._attached: List[object] = []
+
+    # ------------------------------------------------------------------
+    # attach / detach
+    # ------------------------------------------------------------------
+    def attach(self, target) -> "MemoryTimeline":
+        """Wire the timeline hooks into ``target`` (a TZLLM-like system)."""
+        stack = getattr(target, "stack", target)
+        board = getattr(stack, "board", None)
+        tzasc = getattr(board, "tzasc", None)
+        if tzasc is not None:
+            tzasc.timeline = self
+            self._attached.append(tzasc)
+            for slot, region in getattr(tzasc, "_regions", {}).items():
+                self._slot_bytes[slot] = region.range.size
+        for ta in iter_tas(target):
+            for region, is_params in (
+                (getattr(ta, "params_region", None), True),
+                (getattr(ta, "data_region", None), False),
+            ):
+                if region is None:
+                    continue
+                region.timeline = self
+                self._attached.append(region)
+                self._slot_names[region.tzasc_slot] = region.name
+                if is_params:
+                    self._param_slots.add(region.tzasc_slot)
+            engine = getattr(ta, "batch_engine", None)
+            if engine is not None:
+                data_region = getattr(ta, "data_region", None)
+                self.register_pool(
+                    engine.pool,
+                    name=ta.model.model_id,
+                    slot=None if data_region is None else data_region.tzasc_slot,
+                    fixed_bytes=engine.fixed_bytes,
+                )
+        self.configured_bytes = sum(self._slot_bytes.values())
+        self._last_t = self.sim.now
+        return self
+
+    def detach(self) -> None:
+        for component in self._attached:
+            component.timeline = None
+        self._attached = []
+
+    def register_pool(
+        self, pool, name: str, slot: Optional[int] = None, fixed_bytes: int = 0
+    ) -> None:
+        """Track ``pool`` under ``name`` (its model id), optionally bound
+        to the TZASC slot whose bytes back it."""
+        pool.timeline = self
+        self._pools[id(pool)] = _PoolStats(pool, name, slot, fixed_bytes)
+        self._attached.append(pool)
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def kv_live_bytes(self) -> int:
+        return sum(s.active * s.block_bytes for s in self._pools.values())
+
+    @property
+    def kv_parked_bytes(self) -> int:
+        return sum(s.parked * s.block_bytes for s in self._pools.values())
+
+    @property
+    def kv_reserved_bytes(self) -> int:
+        return sum(s.reserved * s.block_bytes for s in self._pools.values())
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes whose content is actually in use: resident parameters,
+        activation scratch (while its slot is configured), and KV blocks
+        held by sequences (active or parked)."""
+        live = 0
+        for slot in self._param_slots:
+            live += self._slot_bytes.get(slot, 0)
+        for s in self._pools.values():
+            live += (s.active + s.parked) * s.block_bytes
+            if s.slot is None or self._slot_bytes.get(s.slot, 0) > 0:
+                live += s.fixed_bytes
+        return live
+
+    @property
+    def stranded_bytes(self) -> int:
+        """Configured minus live: what elastic isolation would return."""
+        return max(0, self.configured_bytes - self.live_bytes)
+
+    @property
+    def stranded_ratio(self) -> float:
+        configured = self.configured_bytes
+        return self.stranded_bytes / configured if configured else 0.0
+
+    @property
+    def events(self) -> Tuple[tuple, ...]:
+        return tuple(self._events)
+
+    @property
+    def dropped(self) -> int:
+        return self.recorded - len(self._events)
+
+    def tenant_byte_seconds(self) -> Dict[str, float]:
+        self._advance(self.sim.now)
+        return {t: cell[1] for t, cell in sorted(self._tenants.items())}
+
+    # ------------------------------------------------------------------
+    # integration
+    # ------------------------------------------------------------------
+    def _advance(self, now: float) -> None:
+        """Bring the byte-second integrals forward to ``now`` using the
+        state that held since the last event (exact: state is piecewise
+        constant between events)."""
+        dt = now - self._last_t
+        if dt > 0.0:
+            self.stranded_byte_seconds += self.stranded_bytes * dt
+            for cell in self._tenants.values():
+                if cell[0]:
+                    cell[1] += cell[0] * dt
+            self._last_t = now
+
+    def _tenant_add(self, owner: str, delta: float) -> None:
+        tenant = _tenant_of(owner)
+        cell = self._tenants.get(tenant)
+        if cell is None:
+            cell = self._tenants[tenant] = [0.0, 0.0]
+        cell[0] += delta
+        if cell[0] < 0.0:
+            cell[0] = 0.0
+
+    def _push(self, at, kind, op, source, amount, owner, extra) -> None:
+        self.recorded += 1
+        self._events.append((at, kind, op, source, amount, owner, extra))
+
+    # ------------------------------------------------------------------
+    # hook surface: regions
+    # ------------------------------------------------------------------
+    def note_region(self, op: str, slot: int, old_bytes: int, new_bytes: int) -> None:
+        """TZASC slot reprogrammed (configure / resize / disable)."""
+        now = self.sim.now
+        self._advance(now)
+        if op == "disable":
+            self._slot_bytes.pop(slot, None)
+        else:
+            self._slot_bytes[slot] = new_bytes
+        self.configured_bytes = sum(self._slot_bytes.values())
+        source = self._slot_names.get(slot, "slot%d" % slot)
+        self._push(now, "region", op, source, new_bytes, "", old_bytes)
+
+    def note_region_named(self, name: str, slot: int, op: str, protected: int) -> None:
+        """A :class:`~repro.tee.secure_memory.SecureRegion` changed its
+        protected extent — name attribution on top of the raw slot
+        events (and the slot-name mapping for late-created regions)."""
+        self._slot_names[slot] = name
+        self._push(self.sim.now, "region", op, name, protected, "", slot)
+
+    # ------------------------------------------------------------------
+    # hook surface: KV block pool
+    # ------------------------------------------------------------------
+    def note_reserve(self, pool, blocks: int, owner: str) -> None:
+        now = self.sim.now
+        self._advance(now)
+        s = self._pools[id(pool)]
+        s.reserved += blocks
+        self._push(now, "kv", "reserve", s.name, blocks, owner, ())
+
+    def note_cancel(self, pool, blocks: int, owner: str) -> None:
+        now = self.sim.now
+        self._advance(now)
+        s = self._pools[id(pool)]
+        s.reserved = max(0, s.reserved - blocks)
+        self._push(now, "kv", "cancel", s.name, blocks, owner, ())
+
+    def note_alloc(self, pool, block: int, owner: str, from_reservation: bool) -> None:
+        now = self.sim.now
+        self._advance(now)
+        s = self._pools[id(pool)]
+        s.active += 1
+        s.allocs += 1
+        if from_reservation and s.reserved > 0:
+            s.reserved -= 1
+        self._tenant_add(owner, s.block_bytes)
+        self._push(now, "kv", "alloc", s.name, block, owner, 1 if from_reservation else 0)
+
+    def note_release(self, pool, block: int, owner: str, parked: bool) -> None:
+        now = self.sim.now
+        self._advance(now)
+        s = self._pools[id(pool)]
+        s.releases += 1
+        if parked:
+            s.parked -= 1
+        else:
+            s.active -= 1
+        self._tenant_add(owner, -s.block_bytes)
+        self._push(now, "kv", "release", s.name, block, owner, 1 if parked else 0)
+
+    def note_park(self, pool, block_ids: tuple, tokens: int, owner: str) -> None:
+        now = self.sim.now
+        self._advance(now)
+        s = self._pools[id(pool)]
+        n = len(block_ids)
+        s.active -= n
+        s.parked += n
+        s.parks += 1
+        self._push(now, "kv", "park", s.name, n, owner, block_ids)
+
+    def note_restore(self, pool, block_ids: tuple, owner: str) -> None:
+        now = self.sim.now
+        self._advance(now)
+        s = self._pools[id(pool)]
+        n = len(block_ids)
+        s.parked -= n
+        s.active += n
+        s.restores += 1
+        self._push(now, "kv", "restore", s.name, n, owner, block_ids)
+
+    # ------------------------------------------------------------------
+    # telemetry derivation (pre-scrape hook)
+    # ------------------------------------------------------------------
+    def install(self, collector) -> "MemoryTimeline":
+        """Derive the ``mem_*`` series on ``collector``'s registry every
+        scrape (and therefore into its :class:`TimeSeriesStore`)."""
+        registry = collector.registry
+        self._gauges = {
+            "configured": registry.gauge(
+                "mem_secure_configured_bytes", "Bytes behind secure TZASC regions"
+            ),
+            "kv_live": registry.gauge(
+                "mem_kv_live_bytes", "KV bytes held by active sequences"
+            ),
+            "kv_parked": registry.gauge(
+                "mem_kv_parked_bytes", "KV bytes held by parked (preempted) sequences"
+            ),
+            "kv_reserved": registry.gauge(
+                "mem_kv_reserved_bytes", "KV bytes promised to admitted requests"
+            ),
+            "stranded": registry.gauge(
+                "mem_stranded_bytes",
+                "Configured minus live: capacity elastic isolation would free",
+            ),
+            "stranded_ratio": registry.gauge(
+                "mem_stranded_ratio", "Stranded bytes over configured bytes"
+            ),
+            "occupancy": registry.gauge(
+                "mem_pool_occupancy", "Block-pool blocks in use over total"
+            ),
+            "high_water": registry.gauge(
+                "mem_pool_high_water_blocks",
+                "Backing high-water mark of the block pool (end-only growth)",
+            ),
+            "stranded_bs": registry.counter(
+                "mem_stranded_byte_seconds_total",
+                "Time integral of stranded secure bytes",
+            ),
+            "tenant_bs": registry.counter(
+                "mem_tenant_byte_seconds_total",
+                "Per-tenant time integral of held secure KV bytes",
+            ),
+        }
+        collector.pre_scrape.append(self._refresh_gauges)
+        return self
+
+    def _refresh_gauges(self) -> None:
+        start = time.perf_counter()
+        self._advance(self.sim.now)
+        g = self._gauges
+        g["configured"].set(float(self.configured_bytes))
+        g["kv_live"].set(float(self.kv_live_bytes))
+        g["kv_parked"].set(float(self.kv_parked_bytes))
+        g["kv_reserved"].set(float(self.kv_reserved_bytes))
+        g["stranded"].set(float(self.stranded_bytes))
+        g["stranded_ratio"].set(self.stranded_ratio)
+        for s in self._pools.values():
+            used = s.active + s.parked
+            g["occupancy"].set(
+                used / s.total_blocks if s.total_blocks else 0.0, pool=s.name
+            )
+            g["high_water"].set(float(s.pool.backing_blocks), pool=s.name)
+        g["stranded_bs"]._values[()] = self.stranded_byte_seconds
+        tenant_values = g["tenant_bs"]._values
+        for tenant, cell in self._tenants.items():
+            tenant_values[(("tenant", tenant),)] = cell[1]
+        self.host_seconds += time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # exports
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """The memory-timeline artifact (validated in CI)."""
+        self._advance(self.sim.now)
+        events = [
+            {
+                "at": at,
+                "kind": kind,
+                "op": op,
+                "source": source,
+                "amount": amount,
+                "owner": owner,
+                "extra": list(extra) if isinstance(extra, tuple) else extra,
+            }
+            for at, kind, op, source, amount, owner, extra in self._events
+        ]
+        pools = {}
+        for s in self._pools.values():
+            used = s.active + s.parked
+            pools[s.name] = {
+                "total_blocks": s.total_blocks,
+                "block_bytes": s.block_bytes,
+                "fixed_bytes": s.fixed_bytes,
+                "active_blocks": s.active,
+                "parked_blocks": s.parked,
+                "reserved_blocks": s.reserved,
+                "free_blocks": s.total_blocks - used,
+                "high_water_blocks": s.pool.backing_blocks,
+                "occupancy": used / s.total_blocks if s.total_blocks else 0.0,
+                "allocs": s.allocs,
+                "releases": s.releases,
+                "parks": s.parks,
+                "restores": s.restores,
+            }
+        regions = {
+            self._slot_names.get(slot, "slot%d" % slot): size
+            for slot, size in sorted(self._slot_bytes.items())
+        }
+        return {
+            "schema": self.SCHEMA,
+            "events": events,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "regions": regions,
+            "pools": pools,
+            "totals": {
+                "configured_bytes": self.configured_bytes,
+                "kv_live_bytes": self.kv_live_bytes,
+                "kv_parked_bytes": self.kv_parked_bytes,
+                "kv_reserved_bytes": self.kv_reserved_bytes,
+                "live_bytes": self.live_bytes,
+                "stranded_bytes": self.stranded_bytes,
+                "stranded_byte_seconds": self.stranded_byte_seconds,
+            },
+            "tenants": {t: cell[1] for t, cell in sorted(self._tenants.items())},
+        }
+
+    def to_chrome_trace(self) -> str:
+        """A Chrome trace with a ``memory`` counter lane ("C" events):
+        load in chrome://tracing or Perfetto alongside the span trace.
+
+        Replayed from the event ring; if the ring overflowed
+        (``dropped > 0``) the replayed baseline starts mid-history, so
+        absolute values are exact only from the oldest retained event.
+        """
+        events: List[dict] = [
+            {
+                "ph": "M", "pid": 1, "tid": _MEM_TID,
+                "name": "thread_name", "args": {"name": "memory"},
+            },
+            {
+                "ph": "M", "pid": 1, "tid": _MEM_TID,
+                "name": "thread_sort_index", "args": {"sort_index": _MEM_TID},
+            },
+        ]
+        param_names = {
+            self._slot_names[slot]
+            for slot in self._param_slots
+            if slot in self._slot_names
+        }
+        stats_by_name = {s.name: s for s in self._pools.values()}
+        region_bytes: Dict[str, int] = {}
+        pool_state: Dict[str, List[int]] = {}  # name -> [active, parked, reserved]
+
+        def counters() -> dict:
+            configured = sum(region_bytes.values())
+            kv_live = kv_parked = kv_reserved = live = 0
+            for name, (active, parked, reserved) in pool_state.items():
+                s = stats_by_name[name]
+                kv_live += active * s.block_bytes
+                kv_parked += parked * s.block_bytes
+                kv_reserved += reserved * s.block_bytes
+                live += (active + parked) * s.block_bytes + s.fixed_bytes
+            for name in param_names:
+                live += region_bytes.get(name, 0)
+            return {
+                "configured": configured,
+                "kv_live": kv_live,
+                "kv_parked": kv_parked,
+                "kv_reserved": kv_reserved,
+                "stranded": max(0, configured - live),
+            }
+
+        for at, kind, op, source, amount, owner, extra in self._events:
+            if kind == "region":
+                if op == "disable":
+                    region_bytes.pop(source, None)
+                elif op in ("configure", "resize"):
+                    region_bytes[source] = amount
+                else:
+                    continue  # named protect/shrink shadow the slot events
+            else:
+                state = pool_state.setdefault(source, [0, 0, 0])
+                if op == "reserve":
+                    state[2] += amount
+                elif op == "cancel":
+                    state[2] = max(0, state[2] - amount)
+                elif op == "alloc":
+                    state[0] += 1
+                    if extra:
+                        state[2] = max(0, state[2] - 1)
+                elif op == "release":
+                    state[1 if extra else 0] -= 1
+                elif op == "park":
+                    state[0] -= amount
+                    state[1] += amount
+                elif op == "restore":
+                    state[1] -= amount
+                    state[0] += amount
+            events.append(
+                {
+                    "ph": "C", "pid": 1, "tid": _MEM_TID,
+                    "name": "secure-memory",
+                    "ts": at * 1e6,
+                    "args": counters(),
+                }
+            )
+        return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
+
+
+# ----------------------------------------------------------------------
+# pressure alerting
+# ----------------------------------------------------------------------
+def memory_pressure_rules(
+    stranded_ratio: float = 0.5,
+    for_duration: float = 60.0,
+    objective: float = 0.95,
+    long_window: float = 300.0,
+    short_window: float = 30.0,
+):
+    """The two memory-pressure alerts the observatory feeds.
+
+    * ``mem-stranded-ratio`` — more than ``stranded_ratio`` of the
+      configured secure bytes held no live content for ``for_duration``
+      seconds: the REE is being starved for nothing.
+    * ``kv-admission-burn`` — KV-admission head-of-line blocks are
+      burning the admission error budget (``1 - objective``) faster
+      than sustainable on both windows: the pool is undersized (or a
+      tenant is hoarding blocks).
+    """
+    return [
+        ThresholdRule(
+            "mem-stranded-ratio",
+            "mem_stranded_ratio",
+            ">=",
+            stranded_ratio,
+            for_duration=for_duration,
+        ),
+        BurnRateRule(
+            "kv-admission-burn",
+            total_metric="serve_admitted_total",
+            bad_metric="serve_kv_admission_blocked_total",
+            objective=objective,
+            long_window=long_window,
+            short_window=short_window,
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# fleet rollup
+# ----------------------------------------------------------------------
+class FleetMemoryView:
+    """Per-scrape secure-memory rollup over a fleet of surrogate devices.
+
+    Surrogate devices carry no real pool or TZASC, so the view derives
+    the same series the single-stack timeline records from the state the
+    surrogate does track:
+
+    * **configured** — resident parameter bytes plus the device's KV
+      backing *high-water* (end-only growth: the secure region only
+      shrinks when the device's secure world drains or dies);
+    * **live** — KV footprint of the requests running on the gateway's
+      lanes, priced like the tenant accountant at
+      ``(prompt + output) x kv_bytes_per_token``;
+    * **parked** — the session cache's resident KV (parked between
+      turns, waiting for the next request of a sticky session);
+    * **stranded** — ``configured - params - live - parked``: the
+      high-water slack an elastic mechanism would return to the REE.
+
+    Arm it as a collector ``pre_scrape`` hook (``Fleet.
+    start_memory_view()``), after which every refresh also advances the
+    fleet-wide stranded byte-second integral and the per-tenant secure
+    byte-second meters.
+    """
+
+    def __init__(self, router, models, registry=None):
+        self.router = router
+        self.sim = router.sim
+        self.registry = registry if registry is not None else router.registry
+        self.kv_rate = {m.model_id: m.kv_bytes_per_token() for m in models}
+        self.param_bytes = {m.model_id: m.param_bytes for m in models}
+        self._default_rate = (
+            sum(self.kv_rate.values()) / len(self.kv_rate) if self.kv_rate else 0.0
+        )
+        self.high_water: Dict[str, float] = {}
+        self.stranded_byte_seconds = 0.0
+        self.tenant_byte_seconds: Dict[str, float] = {}
+        self.refreshes = 0
+        self.host_seconds = 0.0
+        self._last_t: Optional[float] = None
+        #: device -> (configured, params, live, parked, stranded) at the
+        #: last refresh (what render_memtop and to_dict read).
+        self.last: Dict[str, Tuple[float, float, float, float, float]] = {}
+        reg = self.registry
+        self._g_configured = reg.gauge(
+            "fleet_mem_configured_bytes", "Derived secure bytes configured per device"
+        )
+        self._g_live = reg.gauge(
+            "fleet_mem_kv_live_bytes", "KV bytes of requests running per device"
+        )
+        self._g_parked = reg.gauge(
+            "fleet_mem_kv_parked_bytes", "KV bytes parked in session caches per device"
+        )
+        self._g_stranded = reg.gauge(
+            "fleet_mem_stranded_bytes", "Stranded secure bytes per device"
+        )
+        self._g_ratio = reg.gauge(
+            "fleet_mem_stranded_ratio", "Fleet-wide stranded over configured bytes"
+        )
+        self._c_stranded_bs = reg.counter(
+            "fleet_mem_stranded_byte_seconds_total",
+            "Time integral of fleet-wide stranded secure bytes",
+        )
+        self._c_tenant_bs = reg.counter(
+            "fleet_mem_tenant_byte_seconds_total",
+            "Per-tenant time integral of resident secure KV bytes",
+        )
+
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """One rollup pass (runs as a collector ``pre_scrape`` hook, so
+        its cost lands inside the collector's self-attributed host time
+        as well as in :attr:`host_seconds`)."""
+        start = time.perf_counter()
+        now = self.sim.now
+        dt = 0.0 if self._last_t is None else now - self._last_t
+        tenant_now: Dict[str, float] = {}
+        fleet_configured = fleet_live = fleet_parked = fleet_stranded = 0.0
+        g_configured = self._g_configured._values
+        g_live = self._g_live._values
+        g_parked = self._g_parked._values
+        g_stranded = self._g_stranded._values
+        for device_id, device in self.router.devices.items():
+            params = 0.0
+            for ta in device.system.tas.values():
+                if ta.resident:
+                    params += self.param_bytes.get(
+                        ta.model.model_id, ta.model.param_bytes
+                    )
+            live = 0.0
+            for lane in device.gateway.lanes.values():
+                rate = self.kv_rate.get(lane.model_id, self._default_rate)
+                for request in lane.running:
+                    held = (request.prompt_tokens + request.output_tokens) * rate
+                    live += held
+                    tenant_now[request.tenant] = (
+                        tenant_now.get(request.tenant, 0.0) + held
+                    )
+            parked = 0.0
+            session_model = device.session_model
+            for session_id, tokens in device.sessions.items():
+                rate = self.kv_rate.get(
+                    session_model.get(session_id, ""), self._default_rate
+                )
+                held = tokens * rate
+                parked += held
+                tenant = session_id.partition("/")[0]
+                tenant_now[tenant] = tenant_now.get(tenant, 0.0) + held
+            high = self.high_water.get(device_id, 0.0)
+            if device.lifecycle.state == "down":
+                high = 0.0  # the secure world died; its backing is gone
+            high = max(high, live + parked)
+            self.high_water[device_id] = high
+            configured = params + high
+            stranded = max(0.0, high - live - parked)
+            self.last[device_id] = (configured, params, live, parked, stranded)
+            key = (("device", device_id),)
+            g_configured[key] = configured
+            g_live[key] = live
+            g_parked[key] = parked
+            g_stranded[key] = stranded
+            fleet_configured += configured
+            fleet_live += live
+            fleet_parked += parked
+            fleet_stranded += stranded
+        if dt > 0.0:
+            self.stranded_byte_seconds += fleet_stranded * dt
+            integrals = self.tenant_byte_seconds
+            for tenant, held in tenant_now.items():
+                integrals[tenant] = integrals.get(tenant, 0.0) + held * dt
+        self._last_t = now
+        self._g_ratio._values[()] = (
+            fleet_stranded / fleet_configured if fleet_configured else 0.0
+        )
+        self._c_stranded_bs._values[()] = self.stranded_byte_seconds
+        tenant_values = self._c_tenant_bs._values
+        for tenant, total in self.tenant_byte_seconds.items():
+            tenant_values[(("tenant", tenant),)] = total
+        self.refreshes += 1
+        self.host_seconds += time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    def render_memtop(self, top_k: int = 5) -> str:
+        """The ``mem top`` operator table: per-device secure-memory
+        breakdown plus the fleet stranded integral and the tenants
+        paying the most byte-seconds."""
+        from ..analysis import render_table
+
+        mib = 1024.0 * 1024.0
+        rows = []
+        totals = [0.0] * 5
+        for device_id in sorted(self.last):
+            configured, params, live, parked, stranded = self.last[device_id]
+            for i, v in enumerate((configured, params, live, parked, stranded)):
+                totals[i] += v
+            rows.append(
+                [
+                    device_id,
+                    "%.1f" % (configured / mib),
+                    "%.1f" % (params / mib),
+                    "%.1f" % (live / mib),
+                    "%.1f" % (parked / mib),
+                    "%.1f" % (stranded / mib),
+                    "%.0f%%" % (100.0 * stranded / configured if configured else 0.0),
+                ]
+            )
+        rows.append(
+            [
+                "fleet",
+                "%.1f" % (totals[0] / mib),
+                "%.1f" % (totals[1] / mib),
+                "%.1f" % (totals[2] / mib),
+                "%.1f" % (totals[3] / mib),
+                "%.1f" % (totals[4] / mib),
+                "%.0f%%" % (100.0 * totals[4] / totals[0] if totals[0] else 0.0),
+            ]
+        )
+        table = render_table(
+            ["device", "cfg MiB", "params", "kv live", "parked", "stranded", "str%"],
+            rows,
+            title="mem top @ t=%.0fs (stranded integral %.1f GiB*s)"
+            % (self.sim.now, self.stranded_byte_seconds / (1024.0 ** 3)),
+        )
+        top = sorted(
+            self.tenant_byte_seconds.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:top_k]
+        if top:
+            table += "\ntenant byte-seconds: " + ", ".join(
+                "%s=%.1f MiB*s" % (tenant, bs / mib) for tenant, bs in top
+            )
+        return table
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.obs.memory.fleet/1",
+            "devices": {
+                device_id: {
+                    "configured_bytes": configured,
+                    "param_bytes": params,
+                    "kv_live_bytes": live,
+                    "kv_parked_bytes": parked,
+                    "stranded_bytes": stranded,
+                    "high_water_bytes": self.high_water.get(device_id, 0.0),
+                }
+                for device_id, (configured, params, live, parked, stranded)
+                in sorted(self.last.items())
+            },
+            "stranded_byte_seconds": self.stranded_byte_seconds,
+            "tenant_byte_seconds": dict(sorted(self.tenant_byte_seconds.items())),
+            "refreshes": self.refreshes,
+        }

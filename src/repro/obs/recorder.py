@@ -84,6 +84,18 @@ class FlightRecorder:
             return []
         return list(self._events)[-n:]
 
+    def tail_category(self, category, n=32):
+        """The last ``n`` events of one category, oldest first.
+
+        The gateway uses this to pin the recent ``memory`` events onto
+        the postmortem of a request that failed after blocking on KV
+        admission — the OOM-adjacent region/pool history survives even
+        when chattier categories have already churned the ring."""
+        if n <= 0:
+            return []
+        picked = [e for e in self._events if e.category == category]
+        return picked[-n:]
+
     def render(self, n=None):
         """Human-readable dump of the last ``n`` events (all if None)."""
         events = self.events if n is None else self.tail(n)

@@ -1102,7 +1102,7 @@ class FleetTelemetry:
                 "residency_seconds", "hedge_spend",
             )
         }
-        return {
+        out = {
             "at": now,
             "window_s": window,
             "scrapes": self.collector.scrapes,
@@ -1112,6 +1112,10 @@ class FleetTelemetry:
             "tenants": {"top_k": top, "totals": self.accountant.to_dict()["totals"]},
             "sampler": self.sampler.to_dict(),
         }
+        memory_view = getattr(self.router, "memory_view", None)
+        if memory_view is not None:
+            out["memory"] = memory_view.to_dict()
+        return out
 
     def render_top(self, window: Optional[float] = None, k: Optional[int] = None) -> str:
         """The "fleet top" text table an operator would watch."""

@@ -98,7 +98,10 @@ class _Lane:
     """One model's TA: up to ``capacity`` requests running (1 without
     batching — the paper's single-stream TA)."""
 
-    __slots__ = ("model_id", "capacity", "running", "gates", "dispatched_at", "breaker", "probe_armed")
+    __slots__ = (
+        "model_id", "capacity", "running", "gates", "dispatched_at", "breaker",
+        "probe_armed", "kv_blocked_id",
+    )
 
     def __init__(self, model_id: str, breaker: CircuitBreaker, capacity: int = 1):
         self.model_id = model_id
@@ -109,6 +112,10 @@ class _Lane:
         self.breaker = breaker
         #: a wake-up process is already scheduled for the cooldown end.
         self.probe_armed = False
+        #: last request id seen blocking at the head on KV admission —
+        #: dispatch re-evaluates on every lane event, so block accounting
+        #: records each blocked head once, not once per poll.
+        self.kv_blocked_id = -1
 
     @property
     def busy(self) -> bool:
@@ -373,6 +380,12 @@ class ServeGateway:
                 "serve", "gateway.cancel", request_id=request.request_id,
                 reason=reason,
             )
+            if request.kv_blocked:
+                request.postmortem_memory = tuple(
+                    self.recorder.tail_category(
+                        "memory", self.config.postmortem_events
+                    )
+                )
         if request.completion is not None and not request.completion.triggered:
             request.completion.succeed(request)
 
@@ -468,7 +481,22 @@ class ServeGateway:
             if ta is not None and not ta.kv_can_admit(
                 request.prompt_tokens, request.output_tokens, request.request_id
             ):
+                request.kv_blocked = True
+                if lane.kv_blocked_id != request.request_id:
+                    lane.kv_blocked_id = request.request_id
+                    self.registry.counter(
+                        "serve_kv_admission_blocked_total",
+                        "head-of-line requests blocked on KV-block admission",
+                    ).inc(model=model_id)
+                    if self.recorder is not None:
+                        self.recorder.record(
+                            "memory", "gateway.kv_admission_block",
+                            request_id=request.request_id, model=model_id,
+                            prompt=request.prompt_tokens,
+                            output=request.output_tokens,
+                        )
                 return  # head-of-line block until blocks drain
+            lane.kv_blocked_id = -1
             self.admission.pop_next(model_id, self.config.scheduling)
             if ta is not None:
                 ta.kv_reserve(request.request_id, request.prompt_tokens, request.output_tokens)
@@ -652,6 +680,16 @@ class ServeGateway:
                     request_id=request.request_id, error=kind, klass=classification,
                 )
                 request.postmortem = self.recorder.tail(self.config.postmortem_events)
+                if request.kv_blocked:
+                    # The request once stalled on KV admission: keep the
+                    # memory-category history (region resizes, block
+                    # churn) alongside the generic tail — it explains
+                    # why the pool had no headroom.
+                    request.postmortem_memory = tuple(
+                        self.recorder.tail_category(
+                            "memory", self.config.postmortem_events
+                        )
+                    )
             self.log.append(
                 request.log_line("fail", now, "error=%s class=%s" % (kind, classification))
             )

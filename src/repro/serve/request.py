@@ -53,6 +53,13 @@ class ServeRequest:
     #: flight-recorder tail attached when the request ends failed (a
     #: tuple of :class:`~repro.obs.FlightEvent`), None otherwise.
     postmortem: Optional[tuple] = None
+    #: the request blocked at the head of its lane on KV admission at
+    #: least once (the pool could not cover its worst-case block count).
+    kv_blocked: bool = False
+    #: when a ``kv_blocked`` request ends failed or cancelled, the last-N
+    #: ``memory``-category flight-recorder events — the region/pool
+    #: history that explains *why* admission had no headroom.
+    postmortem_memory: Optional[tuple] = None
     #: fleet routing provenance: the device that served the request and
     #: the originating :class:`~repro.workloads.fleet.FleetRequest`
     #: (None outside the fleet tier).

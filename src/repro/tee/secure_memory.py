@@ -55,6 +55,9 @@ class SecureRegion:
         self.allocated = 0  # bytes ballooned in from the CMA
         self.protected = 0  # bytes covered by the TZASC region (<= allocated)
         self._slot_active = False
+        #: memory-timeline attach point (repro.obs.memory): name-level
+        #: attribution layered over the raw TZASC slot events.
+        self.timeline = None
 
     # ------------------------------------------------------------------
     @property
@@ -113,6 +116,10 @@ class SecureRegion:
         yield from self.tee_os.program_tzasc(self, self.protected + n_bytes)
         self.protected += n_bytes
         self.tee_os.map_into_ta(self.ta, new_range)
+        if self.timeline is not None:
+            self.timeline.note_region_named(
+                self.name, self.tzasc_slot, "protect", self.protected
+            )
         return new_range
 
     def shrink(self, n_bytes: int):
@@ -134,6 +141,10 @@ class SecureRegion:
         yield from self.tee_os.program_tzasc(self, self.protected - n_bytes)
         self.protected -= n_bytes
         self.allocated -= n_bytes
+        if self.timeline is not None:
+            self.timeline.note_region_named(
+                self.name, self.tzasc_slot, "shrink", self.protected
+            )
         yield from self.tee_os.tz_call("ree.cma_release", self.cma_name, n_bytes)
 
     def shrink_all(self):

@@ -1,0 +1,180 @@
+"""Park/restore conservation invariants on the paged KV pool.
+
+The memory observatory derives its occupancy and stranded series from
+``free + active + parked == total``, so the pool must hold that identity
+through every preemption shape: repeated park/restore cycles, double
+park (idempotent), faulted restore (checkpoint divergence), and release
+from the parked state.  These tests pin the identity and the terminal
+``kv_bytes_in_use == 0`` on both the clean and the faulted path.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.llm import TINYLLAMA, KVBlockPool, PagedKVCache
+
+
+def make_pool(block_tokens=16, total_blocks=8):
+    return KVBlockPool(TINYLLAMA, block_tokens, total_blocks)
+
+
+def conserved(pool):
+    return pool.free_blocks + pool.active_blocks + pool.parked_blocks == pool.total_blocks
+
+
+# ----------------------------------------------------------------------
+# conservation under preemption cycles
+# ----------------------------------------------------------------------
+def test_conservation_through_repeated_park_restore_cycles():
+    pool = make_pool()
+    kv = PagedKVCache(pool, owner="t/r1")
+    kv.init_prompt(40)  # 3 blocks
+    assert pool.active_blocks == 3 and pool.parked_blocks == 0
+    for _ in range(5):
+        checkpoint = kv.park()
+        assert pool.parked_blocks == 3 and pool.active_blocks == 0
+        assert conserved(pool)
+        kv.restore(checkpoint)
+        assert pool.parked_blocks == 0 and pool.active_blocks == 3
+        assert conserved(pool)
+    kv.release()
+    assert pool.used_blocks == 0 and pool.parked_blocks == 0
+    assert conserved(pool)
+
+
+def test_park_is_idempotent_on_pool_counters():
+    pool = make_pool()
+    kv = PagedKVCache(pool, owner="t/r1")
+    kv.init_prompt(32)  # 2 blocks
+    kv.park()
+    kv.park()  # second park must not double-shift active -> parked
+    assert pool.parked_blocks == 2 and pool.active_blocks == 0
+    assert conserved(pool)
+
+
+def test_parked_and_active_sequences_coexist():
+    pool = make_pool(total_blocks=8)
+    victim = PagedKVCache(pool, owner="t/r1")
+    victim.init_prompt(48)  # 3 blocks
+    victim.park()
+    winner = PagedKVCache(pool, owner="t/r2")
+    winner.init_prompt(40)  # 3 blocks
+    assert pool.parked_blocks == 3 and pool.active_blocks == 3
+    assert pool.free_blocks == 2
+    assert conserved(pool)
+    winner.release()
+    victim.restore(victim.park())  # no-op restore of the live checkpoint
+    assert conserved(pool)
+
+
+def test_growth_while_unparked_keeps_identity():
+    pool = make_pool()
+    kv = PagedKVCache(pool, owner="t/r1")
+    kv.init_prompt(16)
+    checkpoint = kv.park()
+    kv.restore(checkpoint)
+    for _ in range(32):  # grow across two block boundaries post-restore
+        kv.append_token()
+        assert conserved(pool)
+    assert pool.active_blocks == 3
+
+
+# ----------------------------------------------------------------------
+# faulted restore
+# ----------------------------------------------------------------------
+def test_faulted_restore_leaves_blocks_parked_then_release_drains():
+    pool = make_pool()
+    kv = PagedKVCache(pool, owner="t/r1")
+    kv.init_prompt(40)
+    kv.park()
+    tampered = PagedKVCache(pool, owner="t/r2")
+    with pytest.raises(ConfigurationError):
+        tampered.restore(kv.park())  # wrong block list: divergence
+    # The fault happened *before* the unpark transition: the victim's
+    # blocks are still accounted parked, nothing leaked or double-freed.
+    assert pool.parked_blocks == 3
+    assert conserved(pool)
+    kv.release()  # release from the parked state
+    assert pool.used_blocks == 0 and pool.parked_blocks == 0
+    assert pool.bytes_used == 0
+    assert conserved(pool)
+
+
+def test_release_from_parked_returns_every_block_once():
+    pool = make_pool()
+    kv = PagedKVCache(pool, reserved_blocks=4, owner="t/r1")
+    kv.init_prompt(40)  # consumes 3 of the 4 reserved
+    kv.park()
+    kv.release()
+    kv.release()  # idempotent
+    assert pool.free_blocks == pool.total_blocks
+    assert pool.parked_blocks == 0 and pool.reserved == 0
+    assert conserved(pool)
+
+
+# ----------------------------------------------------------------------
+# full stack: kv_bytes_in_use drains on clean and faulted paths
+# ----------------------------------------------------------------------
+def _batched_system():
+    from repro.core import BatchConfig, TZLLM
+
+    return TZLLM(
+        TINYLLAMA, batch_config=BatchConfig(max_batch_size=2, block_tokens=16)
+    )
+
+
+def test_kv_bytes_in_use_drains_after_preemption_cycle():
+    from repro.serve import GatewayConfig, ServeGateway
+
+    system = _batched_system()
+    gateway = ServeGateway(
+        system, GatewayConfig(batching=True, shedding=False, preemption=True)
+    )
+    sim = system.sim
+    bg1 = gateway.submit(32, 40, priority="background", tenant="bg1")
+    bg2 = gateway.submit(32, 40, priority="background", tenant="bg2")
+    holder = {}
+
+    def later():
+        yield sim.timeout(5.0)
+        holder["rt"] = gateway.submit(16, 8, priority="interactive", tenant="rt")
+
+    sim.process(later())
+    for request in (bg1, bg2):
+        sim.run_until(request.completion)
+    sim.run_until(holder["rt"].completion)
+    pool = system.ta.batch_engine.pool
+    assert system.ta.batch_engine.evictions >= 1  # a park really happened
+    assert system.ta.kv_bytes_in_use == 0
+    assert pool.used_blocks == 0 and pool.parked_blocks == 0
+    assert conserved(pool)
+
+
+def test_kv_bytes_in_use_drains_after_faulted_attempt():
+    from repro.core import BatchConfig, TZLLM
+    from repro.faults.plan import FaultPlan, FaultSpec
+    from repro.serve import GatewayConfig, ServeGateway
+
+    # No param caching: every dispatch reads flash, so the injected read
+    # error aborts the first attempt mid-inference and the retry runs
+    # clean — the KV blocks of the failed attempt must all drain.
+    system = TZLLM(
+        TINYLLAMA,
+        batch_config=BatchConfig(max_batch_size=2, block_tokens=16),
+        cache_fraction=0.0,
+    )
+    system.run_infer(8, 0)  # cold start before arming
+    plan = FaultPlan(
+        11, [FaultSpec(site="flash.read_error", probability=1.0, max_fires=1)]
+    )
+    plan.injector(system.sim).arm(system)
+    gateway = ServeGateway(
+        system, GatewayConfig(batching=True, shedding=False, max_retries=2)
+    )
+    request = gateway.submit(32, 24, priority="batch", tenant="a")
+    system.sim.run_until(request.completion)
+    assert request.done  # retried past the injected crash
+    pool = system.ta.batch_engine.pool
+    assert system.ta.kv_bytes_in_use == 0
+    assert pool.used_blocks == 0 and pool.parked_blocks == 0 and pool.reserved == 0
+    assert conserved(pool)
