@@ -37,6 +37,7 @@ from repro.analysis import analyze_prefix_sharing
 from repro.config import RK3588
 from repro.core import BatchConfig, TZLLM
 from repro.fleet import Fleet, FleetLoadGenerator, scale_platform
+from repro.llm import PromptSpec
 from repro.obs import (
     MemoryTimeline,
     TelemetryConfig,
@@ -75,10 +76,19 @@ TENANTS = [
 
 
 def run_single_stack():
-    """One batching device under a three-tenant burst, timeline attached."""
+    """One batching device under a three-tenant burst, timeline attached.
+
+    Prefix sharing is on: the voice/mail tenants resubmit the same system
+    prefix (and one session continuation), so the timeline also carries
+    the shared-block events — ``ref`` (block taken by reference),
+    ``cache``/``uncache`` (prefix-tree residency) and the
+    ``mem_shared_bytes`` counter lane.
+    """
     system = TZLLM(
         TINYLLAMA,
-        batch_config=BatchConfig(max_batch_size=4, block_tokens=16),
+        batch_config=BatchConfig(
+            max_batch_size=4, block_tokens=16, prefix_sharing=True
+        ),
     )
     obs = instrument(system)
     timeline = MemoryTimeline(system.sim).attach(system)
@@ -95,23 +105,41 @@ def run_single_stack():
     done = []
 
     def offered():
+        # (at, tenant, priority, spec-or-prompt-tokens, output_tokens):
+        # the later voice/mail turns repeat earlier prefixes (and one
+        # session continuation), published by then — those are the
+        # shared-block ref events; the indexer stays on the legacy
+        # no-spec path to show the two coexisting.
+        voice = dict(prefix_id="voice/sys", prefix_tokens=32)
+        mail = dict(prefix_id="mail/sys", prefix_tokens=48)
         plan = [
-            (0.0, "voice", "interactive", 24, 8),
-            (0.1, "mail", "batch", 48, 24),
-            (0.2, "mail", "batch", 48, 24),
+            (0.0, "voice", "interactive",
+             PromptSpec(session_id="voice/s1", new_tokens=8, **voice), 8),
+            (0.1, "mail", "batch",
+             PromptSpec(session_id="mail/s1", new_tokens=16, **mail), 24),
             (0.4, "indexer", "background", 96, 48),
-            (2.0, "voice", "interactive", 16, 6),
-            (3.0, "mail", "batch", 64, 24),
             (5.0, "indexer", "background", 80, 40),
-            (6.0, "voice", "interactive", 24, 8),
+            (8.0, "voice", "interactive",
+             PromptSpec(session_id="voice/s2", new_tokens=8, **voice), 6),
+            (10.0, "mail", "batch",
+             PromptSpec(session_id="mail/s2", new_tokens=16, **mail), 24),
+            (12.0, "voice", "interactive",
+             PromptSpec(session_id="voice/s1", context_tokens=8,
+                        new_tokens=16, **voice), 8),
         ]
         last = 0.0
-        for at, tenant, priority, prompt, out in plan:
+        for at, tenant, priority, spec, out in plan:
             yield sim.timeout(at - last)
             last = at
-            done.append(
-                gateway.submit(prompt, out, priority=priority, tenant=tenant)
-            )
+            if isinstance(spec, PromptSpec):
+                done.append(gateway.submit(
+                    spec.prompt_tokens, out, priority=priority, tenant=tenant,
+                    prompt_spec=spec,
+                ))
+            else:
+                done.append(
+                    gateway.submit(spec, out, priority=priority, tenant=tenant)
+                )
 
     def scraper():
         while True:
@@ -134,8 +162,13 @@ def run_single_stack():
           % ", ".join(r.name for r in memory_pressure_rules()))
     print("  served %d/%d requests; pool stats: %s"
           % (sum(1 for r in done if r.done), len(done),
-             {name: "%(allocs)d allocs / %(parks)d parks" % p
+             {name: "%(allocs)d allocs / %(parks)d parks / "
+                    "%(refs_taken)d refs / %(caches)d caches" % p
               for name, p in export["pools"].items()}))
+    print("  shared-prefix hits: %s" % {
+        name: "%d blocks resident, %d shared-saved"
+              % (p["cached_blocks"], p["shared_saved_blocks"])
+        for name, p in export["pools"].items()})
     return export, timeline.to_chrome_trace()
 
 

@@ -30,8 +30,14 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
 from ..errors import ConfigurationError, OutOfMemory
-from ..llm.graph import build_batched_decode_graph
-from ..llm.kv_cache import BlockCheckpoint, KVBlockPool, PagedKVCache
+from ..llm.graph import build_batched_decode_graph, build_chunked_prefill_graph
+from ..llm.kv_cache import (
+    BlockCheckpoint,
+    KVBlockPool,
+    PagedKVCache,
+    PrefixTree,
+    PromptSpec,
+)
 from ..llm.runtime import DecodeResult, GraphExecutor, NPUBackend, sample_token
 from ..sim import Resource
 
@@ -55,6 +61,12 @@ class BatchConfig:
     #: total KV block budget; ``None`` sizes it so ``max_batch_size``
     #: worst-case (``max_tokens``-long) sequences fit simultaneously.
     budget_blocks: Optional[int] = None
+    #: share whole KV blocks across prompts with common prefixes
+    #: (refcounted copy-on-write pages + a prefix tree on the pool).
+    prefix_sharing: bool = False
+    #: max tokens one chunked-prefill step computes inside the running
+    #: decode batch (only used on the sharing path's miss suffix).
+    prefill_chunk_tokens: int = 64
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -63,6 +75,8 @@ class BatchConfig:
             raise ConfigurationError("block_tokens must be positive")
         if self.budget_blocks is not None and self.budget_blocks < 1:
             raise ConfigurationError("budget_blocks must be positive")
+        if self.prefill_chunk_tokens < 1:
+            raise ConfigurationError("prefill_chunk_tokens must be positive")
 
     def resolved_budget(self, max_tokens: int) -> int:
         if self.budget_blocks is not None:
@@ -125,6 +139,11 @@ class BatchedSequence:
     state: str = "waiting"  # waiting | active | finished | evicted | failed
     error: Optional[BaseException] = None
     joined_at: float = 0.0
+    #: miss-suffix tokens still to prefill in-batch (sharing path); the
+    #: sequence decodes only once this reaches zero.
+    prefill_remaining: int = 0
+    #: sim time the prompt became fully resident (TTFT anchor).
+    prefill_done_at: Optional[float] = None
 
     @property
     def remaining(self) -> int:
@@ -157,6 +176,8 @@ class ParkedSequence:
     ttft: float = 0.0
     first_token_at: float = 0.0
     parked_at: float = 0.0
+    #: unfinished in-batch prefill carried across the park (sharing path).
+    prefill_remaining: int = 0
 
 
 class DecodeBatchEngine:
@@ -178,6 +199,11 @@ class DecodeBatchEngine:
         self.config = config
         self.pool = KVBlockPool(
             ta.model, config.block_tokens, config.resolved_budget(ta.max_tokens)
+        )
+        #: content-addressed residency index over the pool's blocks
+        #: (``None`` when sharing is off: zero overhead, legacy behavior).
+        self.tree: Optional[PrefixTree] = (
+            PrefixTree(self.pool) if config.prefix_sharing else None
         )
         #: job execution context + worst-case activation scratch, laid
         #: out ahead of the block span in the data region.
@@ -209,26 +235,46 @@ class DecodeBatchEngine:
         self.kv_extends = 0
         self.evictions = 0
         self.resumes = 0
+        self.prefill_chunks = 0
+        self.prefill_tokens = 0
+        #: summed chunked-prefill wall time (decode busy_time excluded).
+        self.prefill_busy_time = 0.0
 
     # ------------------------------------------------------------------
     # admission-side budget (called synchronously from gateway dispatch)
     # ------------------------------------------------------------------
-    def blocks_needed(self, prompt_tokens: int, output_tokens: int) -> int:
+    def blocks_needed(
+        self,
+        prompt_tokens: int,
+        output_tokens: int,
+        spec: Optional[PromptSpec] = None,
+    ) -> int:
+        """Worst-case fresh blocks a request may allocate.  With sharing
+        on and a :class:`PromptSpec`, predicted whole-block prefix/session
+        hits are subtracted — admission budgets only the *non-shared*
+        part of the prompt (a shared block costs a ref, not a block)."""
+        if spec is not None and self.tree is not None:
+            worst = spec.worst_case_blocks(self.config.block_tokens, output_tokens)
+            return max(0, worst - self.tree.probe(spec))
         return self.pool.blocks_for_tokens(prompt_tokens + output_tokens)
 
-    def can_admit(self, prompt_tokens: int, output_tokens: int, request_id=None) -> bool:
+    def can_admit(
+        self, prompt_tokens: int, output_tokens: int, request_id=None, spec=None
+    ) -> bool:
         """Budget check for dispatch: a parked sequence already holds its
         blocks (plus leftover hold), so resuming always fits."""
         if request_id is not None and request_id in self.parked:
             return True
-        return self.pool.can_admit(self.blocks_needed(prompt_tokens, output_tokens))
+        return self.pool.can_admit(self.blocks_needed(prompt_tokens, output_tokens, spec))
 
-    def reserve(self, prompt_tokens: int, output_tokens: int, request_id=None) -> int:
+    def reserve(
+        self, prompt_tokens: int, output_tokens: int, request_id=None, spec=None
+    ) -> int:
         """Hold a request's worst-case block count until its cache
         consumes it.  Returns the held count (0 for a parked resume)."""
         if request_id is not None and request_id in self.parked:
             return 0
-        blocks = self.blocks_needed(prompt_tokens, output_tokens)
+        blocks = self.blocks_needed(prompt_tokens, output_tokens, spec)
         self.pool.reserve(
             blocks, owner="" if request_id is None else "r%s" % request_id
         )
@@ -248,9 +294,12 @@ class DecodeBatchEngine:
         target_tokens: int,
         gate=None,
         request_id=None,
+        prefill_tokens: int = 0,
     ) -> BatchedSequence:
-        """Queue a prefilled sequence for decode; returns the sequence
-        whose ``done`` event fires when it finishes, evicts, or fails."""
+        """Queue a sequence for decode; returns the sequence whose
+        ``done`` event fires when it finishes, evicts, or fails.  A
+        nonzero ``prefill_tokens`` enters the sequence still owing that
+        many miss-suffix tokens of in-batch chunked prefill."""
         self._seq_ids += 1
         seq = BatchedSequence(
             seq_id=self._seq_ids,
@@ -262,6 +311,8 @@ class DecodeBatchEngine:
             gate=gate,
             request_id=request_id,
             joined_at=self.sim.now,
+            prefill_remaining=prefill_tokens,
+            prefill_done_at=self.sim.now if prefill_tokens <= 0 else None,
         )
         self.waiting.append(seq)
         if self._stepper is None:
@@ -272,8 +323,25 @@ class DecodeBatchEngine:
 
     def rejoin(self, parked: ParkedSequence, gate=None) -> BatchedSequence:
         """Resume a parked sequence: restore its checkpointed block list
-        and re-enter the waiting queue with its decode state intact."""
-        parked.kv.restore(parked.checkpoint)
+        and re-enter the waiting queue with its decode state intact.
+
+        Restore -> unpark -> join is atomic with respect to the parked
+        map: the entry is removed exactly once, *after* the checkpoint
+        validated.  A terminal restore failure (checkpoint divergence)
+        drops the entry and releases the blocks — a parked sequence
+        whose resume can never succeed must not strand its memory."""
+        entry = self.parked.get(parked.request_id)
+        if entry is not parked:
+            raise ConfigurationError(
+                "rejoin of request %r which is not parked" % (parked.request_id,)
+            )
+        try:
+            parked.kv.restore(parked.checkpoint)
+        except BaseException:
+            self.parked.pop(parked.request_id, None)
+            parked.kv.release()
+            raise
+        self.parked.pop(parked.request_id, None)
         self.resumes += 1
         seq = self.join(
             parked.kv,
@@ -281,6 +349,7 @@ class DecodeBatchEngine:
             parked.target_tokens,
             gate=gate,
             request_id=parked.request_id,
+            prefill_tokens=parked.prefill_remaining,
         )
         seq.step_index = parked.step_index
         seq.token_ids = list(parked.token_ids)
@@ -301,6 +370,7 @@ class DecodeBatchEngine:
             prompt_tokens=seq.prompt_tokens,
             target_tokens=seq.target_tokens,
             parked_at=at,
+            prefill_remaining=max(0, seq.prefill_remaining),
         )
         self.parked[seq.request_id] = parked
         return parked
@@ -399,8 +469,12 @@ class DecodeBatchEngine:
     def _prealloc_growth(self) -> None:
         """Allocate this step's KV growth up front so the region can be
         extended before compute touches it; a pool-exhausted sequence
-        fails alone instead of sinking the whole batch."""
+        fails alone instead of sinking the whole batch.  Sequences still
+        prefilling own their whole prompt span already and generate no
+        token this step, so they are skipped."""
         for seq in list(self.active):
+            if seq.prefill_remaining > 0:
+                continue
             try:
                 seq.kv.ensure_capacity(seq.kv.tokens + 1)
             except OutOfMemory as exc:
@@ -426,8 +500,51 @@ class DecodeBatchEngine:
             ).inc(occupancy, model=model)
         self.ta.tracer.counter("batch_occupancy:%s" % model, occupancy)
 
+    def _prefill_chunk(self, seq: BatchedSequence):
+        """One bounded chunked-prefill step for ``seq`` (generator).
+
+        The blocks already exist (taken through the prefix tree at
+        admission); this computes the KV content of the next
+        ``prefill_chunk_tokens`` miss-suffix positions, attending over
+        everything already resident — shared hits plus earlier chunks."""
+        ta = self.ta
+        executor = self._executor
+        chunk = min(self.config.prefill_chunk_tokens, seq.prefill_remaining)
+        context = seq.prompt_tokens - seq.prefill_remaining
+        graph = build_chunked_prefill_graph(
+            ta.model,
+            ta.container.tensors,
+            chunk,
+            context_tokens=context,
+            use_npu=ta.use_npu,
+            platform=ta.platform,
+        )
+        start = self.sim.now
+        try:
+            yield from executor.execute(graph)
+        except Exception as exc:
+            # A faulted chunk fails this sequence alone: its infer()
+            # re-raises and releases the blocks; decoders keep going.
+            if seq in self.active:
+                self.active.remove(seq)
+            self._retire(seq, "failed", error=exc)
+            return
+        self.prefill_chunks += 1
+        self.prefill_tokens += chunk
+        self.prefill_busy_time += self.sim.now - start
+        seq.prefill_remaining -= chunk
+        if seq.prefill_remaining <= 0:
+            seq.prefill_remaining = 0
+            seq.prefill_done_at = self.sim.now
+            if seq.remaining <= 0:
+                # Prompt-only request: fully resident is fully done.
+                self.active.remove(seq)
+                self._retire(seq, "finished")
+
     def _run(self):
-        """The stepper process: one fused decode step per iteration."""
+        """The stepper process: one fused decode step over the resident
+        sequences, then at most one bounded prefill chunk for the oldest
+        still-prefilling sequence, per iteration."""
         ta = self.ta
         if self._executor is None:
             self._executor = GraphExecutor(self.sim, ta.platform, ta.cpu, self._backend())
@@ -442,57 +559,64 @@ class DecodeBatchEngine:
                 if not self.active:
                     continue
                 yield from self.ensure_backing()
-                batch = list(self.active)
-                graph = build_batched_decode_graph(
-                    ta.model,
-                    ta.container.tensors,
-                    [seq.kv.tokens for seq in batch],
-                    use_npu=ta.decode_use_npu,
-                    platform=ta.platform,
-                )
-                start = self.sim.now
-                cpu0 = executor.cpu_busy_time
-                npu0 = executor.npu_busy_time
-                smc0 = executor.npu_overhead_time
-                try:
-                    yield from executor.execute(graph)
-                except Exception as exc:
-                    # A faulted fused step (TEE job hang, watchdog) fails
-                    # every sequence it was computing: each waiting
-                    # infer() re-raises the error and its finally block
-                    # releases that sequence's KV blocks — the engine
-                    # itself must not strand them.
-                    for seq in batch:
-                        if seq in self.active:
-                            self.active.remove(seq)
-                        self._retire(seq, "failed", error=exc)
-                    continue
-                step_time = self.sim.now - start
-                cpu_d = executor.cpu_busy_time - cpu0
-                npu_d = executor.npu_busy_time - npu0
-                smc_d = executor.npu_overhead_time - smc0
-                # Fair-share attribution: each sequence carries an equal
-                # slice of the fused step, so summed attributions across
-                # the batch reconstruct the wall time.
-                share = 1.0 / len(batch)
-                attribution = {
-                    "cpu": cpu_d * share,
-                    "npu_compute": npu_d * share,
-                    "smc": smc_d * share,
-                    "sched_wait": max(0.0, step_time - cpu_d - npu_d - smc_d) * share,
-                }
-                self._note_step(len(batch), step_time)
-                for seq in batch:
-                    seq.token_ids.append(
-                        sample_token(seq.model_id, seq.step_index, ta.model.vocab)
+                batch = [s for s in self.active if s.prefill_remaining <= 0]
+                if batch:
+                    graph = build_batched_decode_graph(
+                        ta.model,
+                        ta.container.tensors,
+                        [seq.kv.tokens for seq in batch],
+                        use_npu=ta.decode_use_npu,
+                        platform=ta.platform,
                     )
-                    seq.step_index += 1
-                    seq.step_times.append(step_time)
-                    seq.attribution.append(dict(attribution))
-                    seq.kv.append_token()
-                    if seq.remaining <= 0:
-                        self.active.remove(seq)
-                        self._retire(seq, "finished")
+                    start = self.sim.now
+                    cpu0 = executor.cpu_busy_time
+                    npu0 = executor.npu_busy_time
+                    smc0 = executor.npu_overhead_time
+                    try:
+                        yield from executor.execute(graph)
+                    except Exception as exc:
+                        # A faulted fused step (TEE job hang, watchdog)
+                        # fails every sequence it was computing: each
+                        # waiting infer() re-raises the error and its
+                        # finally block releases that sequence's KV
+                        # blocks — the engine itself must not strand
+                        # them.  Sequences still prefilling were not in
+                        # the step and survive.
+                        for seq in batch:
+                            if seq in self.active:
+                                self.active.remove(seq)
+                            self._retire(seq, "failed", error=exc)
+                        continue
+                    step_time = self.sim.now - start
+                    cpu_d = executor.cpu_busy_time - cpu0
+                    npu_d = executor.npu_busy_time - npu0
+                    smc_d = executor.npu_overhead_time - smc0
+                    # Fair-share attribution: each sequence carries an
+                    # equal slice of the fused step, so summed
+                    # attributions across the batch reconstruct the wall
+                    # time.
+                    share = 1.0 / len(batch)
+                    attribution = {
+                        "cpu": cpu_d * share,
+                        "npu_compute": npu_d * share,
+                        "smc": smc_d * share,
+                        "sched_wait": max(0.0, step_time - cpu_d - npu_d - smc_d) * share,
+                    }
+                    self._note_step(len(batch), step_time)
+                    for seq in batch:
+                        seq.token_ids.append(
+                            sample_token(seq.model_id, seq.step_index, ta.model.vocab)
+                        )
+                        seq.step_index += 1
+                        seq.step_times.append(step_time)
+                        seq.attribution.append(dict(attribution))
+                        seq.kv.append_token()
+                        if seq.remaining <= 0:
+                            self.active.remove(seq)
+                            self._retire(seq, "finished")
+                prefilling = [s for s in self.active if s.prefill_remaining > 0]
+                if prefilling:
+                    yield from self._prefill_chunk(prefilling[0])
         finally:
             self._stepper = None
 
@@ -515,11 +639,18 @@ class DecodeBatchEngine:
             "evictions": self.evictions,
             "resumes": self.resumes,
             "parked": len(self.parked),
+            "prefill_chunks": self.prefill_chunks,
+            "prefill_chunk_tokens": self.prefill_tokens,
+            "prefill_busy_time": self.prefill_busy_time,
             "pool": {
                 "block_tokens": self.pool.block_tokens,
                 "total_blocks": self.pool.total_blocks,
                 "used_blocks": self.pool.used_blocks,
                 "reserved": self.pool.reserved,
                 "backing_blocks": self.pool.backing_blocks,
+                "cached_blocks": self.pool.cached_blocks,
+                "shared_saved_blocks": self.pool.shared_saved_blocks,
+                "cows": self.pool.cows,
             },
+            "prefix_tree": None if self.tree is None else self.tree.to_dict(),
         }

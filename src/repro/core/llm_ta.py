@@ -25,8 +25,8 @@ from ..faults.recovery import RecoveryPolicy
 from ..hw.common import AddrRange
 from ..llm.checkpoint import cold_init, restore_checkpoint, save_checkpoint
 from ..llm.gguf import ModelContainer, container_path
-from ..llm.graph import build_prefill_graph
-from ..llm.kv_cache import KVCache, PagedKVCache
+from ..llm.graph import build_chunked_prefill_graph, build_prefill_graph
+from ..llm.kv_cache import KVCache, PagedKVCache, PromptSpec
 from ..llm.models import ModelSpec
 from ..llm.runtime import (
     DecodeResult,
@@ -125,6 +125,14 @@ class InferenceRecord:
     #: gateway identity from the request's TraceContext (None for direct
     #: CA invocations) — keys the profiler's decode-attribution rows.
     request_id: Optional[int] = None
+    #: shared-prefix accounting (batched sharing path only): prompt
+    #: tokens taken as whole-block tree hits (zero compute), tokens
+    #: seeded by copy-on-write, and the miss suffix that really
+    #: prefilled.  ``hit + cow + miss == prompt_tokens`` when sharing
+    #: served the request.
+    kv_hit_tokens: int = 0
+    kv_cow_tokens: int = 0
+    kv_miss_tokens: int = 0
 
     @property
     def decode_tokens_per_second(self) -> float:
@@ -338,19 +346,35 @@ class LLMTA(TrustedApplication):
     # ------------------------------------------------------------------
     # batched-mode admission surface (called synchronously by dispatch)
     # ------------------------------------------------------------------
-    def kv_can_admit(self, prompt_tokens: int, output_tokens: int, request_id=None) -> bool:
+    def kv_can_admit(
+        self, prompt_tokens: int, output_tokens: int, request_id=None, spec=None
+    ) -> bool:
         if self.batch_engine is None:
             return True
-        return self.batch_engine.can_admit(prompt_tokens, output_tokens, request_id)
+        return self.batch_engine.can_admit(prompt_tokens, output_tokens, request_id, spec)
 
-    def kv_reserve(self, request_id: int, prompt_tokens: int, output_tokens: int) -> None:
+    def kv_reserve(
+        self, request_id: int, prompt_tokens: int, output_tokens: int, spec=None
+    ) -> None:
         """Hold the request's worst-case block count from dispatch until
-        its attempt builds (or resumes) its paged cache."""
+        its attempt builds (or resumes) its paged cache.  With sharing
+        and a :class:`PromptSpec`, only the predicted non-shared block
+        count is held."""
         if self.batch_engine is None:
             return
-        blocks = self.batch_engine.reserve(prompt_tokens, output_tokens, request_id)
+        blocks = self.batch_engine.reserve(prompt_tokens, output_tokens, request_id, spec)
         if blocks:
             self._kv_reservations[request_id] = blocks
+
+    def flush_kv_cache(self):
+        """Drop every cached-but-unreferenced KV block (generator):
+        flush the prefix tree, then shrink the data region if the TA is
+        now fully drained.  Returns the number of residencies dropped."""
+        if self.batch_engine is None or self.batch_engine.tree is None:
+            return 0
+        dropped = self.batch_engine.tree.flush()
+        yield from self.batch_engine.maybe_release_region()
+        return dropped
 
     # ------------------------------------------------------------------
     # the inference entry point
@@ -361,6 +385,7 @@ class LLMTA(TrustedApplication):
         output_tokens: int = 0,
         preempt: Optional[PreemptionGate] = None,
         ctx=None,
+        prompt: Optional[PromptSpec] = None,
     ):
         """Serve one inference request (generator; returns the record).
 
@@ -372,11 +397,21 @@ class LLMTA(TrustedApplication):
         request's identity from the serving gateway, threaded into the
         prefill pipeline so its flow events link the gateway arrival to
         the TEE-lane spans that served it.
+
+        ``prompt`` — an optional :class:`PromptSpec` describing the
+        prompt's shareable structure.  Only the batched engine with
+        ``prefix_sharing`` uses it: matching whole blocks are taken from
+        the prefix tree by reference and only the miss suffix prefills.
         """
         if self.plan is None:
             raise ConfigurationError("setup() was not called")
         if prompt_tokens + output_tokens > self.max_tokens:
             raise ConfigurationError("request exceeds max_tokens")
+        if prompt is not None and prompt.prompt_tokens != prompt_tokens:
+            raise ConfigurationError(
+                "prompt spec covers %d tokens but the request claims %d"
+                % (prompt.prompt_tokens, prompt_tokens)
+            )
         sim = self.sim
         record = InferenceRecord(
             prompt_tokens=prompt_tokens,
@@ -388,7 +423,7 @@ class LLMTA(TrustedApplication):
         )
         if self.batch_engine is not None:
             record = yield from self._infer_batched(
-                prompt_tokens, output_tokens, preempt, ctx, record
+                prompt_tokens, output_tokens, preempt, ctx, record, prompt
             )
             return record
         switch_t0 = self.stack.tee_npu.world_switch_time
@@ -517,18 +552,25 @@ class LLMTA(TrustedApplication):
         self.records.append(record)
         return record
 
-    def _infer_batched(self, prompt_tokens, output_tokens, preempt, ctx, record):
+    def _infer_batched(self, prompt_tokens, output_tokens, preempt, ctx, record, prompt=None):
         """The continuous-batching request path (generator).
 
-        Prefill serializes through the TA's prefill lock (one §4.1
-        restoration pipeline at a time); decode joins the shared
-        :class:`~repro.core.batch.DecodeBatchEngine` and co-executes with
-        every other in-flight sequence.  Preemption evicts from the batch
-        and *parks* the KV block list keyed by the gateway request id;
-        the resumed attempt skips init and prefill entirely and
-        continues the parked stream.  Block release is guaranteed
-        exactly once by the try/finally — unless the sequence parked, in
-        which case the checkpoint owns the blocks until resume.
+        Without sharing, prefill serializes through the TA's prefill
+        lock (one §4.1 restoration pipeline at a time); decode joins the
+        shared :class:`~repro.core.batch.DecodeBatchEngine` and
+        co-executes with every other in-flight sequence.  With
+        ``prefix_sharing`` and a :class:`PromptSpec`, the prompt's
+        blocks are taken through the prefix tree first — whole-block
+        hits by reference, divergent tails copy-on-write — and only the
+        miss suffix computes: on a fully-cached TA it runs as bounded
+        chunks *inside* the decode batch (no prefill lock at all), and
+        on a cold TA the restoration pipeline prices just the chunked
+        miss-suffix graph.  Preemption evicts from the batch and *parks*
+        the KV block list keyed by the gateway request id; the resumed
+        attempt skips init and any completed prefill and continues the
+        parked stream.  Block release is guaranteed exactly once by the
+        try/finally — unless the sequence parked, in which case the
+        checkpoint owns the blocks until resume.
         """
         sim = self.sim
         engine = self.batch_engine
@@ -536,16 +578,66 @@ class LLMTA(TrustedApplication):
         request_id = record.request_id
         parked = None
         if request_id is not None:
-            parked = engine.parked.pop(request_id, None)
+            # Look up only: rejoin() owns the exactly-once removal from
+            # the parked map (atomically with the checkpoint restore).
+            parked = engine.parked.get(request_id)
         reserved = 0
         if request_id is not None and parked is None:
             reserved = self._kv_reservations.pop(request_id, 0)
+        sharing = engine.tree is not None and prompt is not None and parked is None
         engine.inflight += 1
         kv: Optional[PagedKVCache] = None
         parked_out = False
         seq = None
+        if request_id is not None:
+            # Owner attribution for the memory timeline: the tenant
+            # rides in on the cross-world trace context.
+            tenant = getattr(ctx, "tenant", None) or "-"
+            owner = "%s/r%s" % (tenant, request_id)
+        else:
+            owner = ""
         try:
-            if parked is None:
+            if parked is not None:
+                record.resumed = True
+                record.ttft = parked.ttft
+                record.first_token_at = parked.first_token_at or None
+                kv = parked.kv
+                seq = engine.rejoin(parked, gate=preempt)
+                yield seq.done
+            elif sharing and self._framework_resident and (
+                self.cached_groups >= len(self.plan.groups)
+            ):
+                # Hot path: every parameter group is resident, so there
+                # is nothing to restore and nothing serializes on the
+                # prefill lock.  Shared blocks arrive by reference; the
+                # miss suffix prefills as chunks inside the decode batch.
+                kv = PagedKVCache(engine.pool, reserved_blocks=reserved, owner=owner)
+                reserved = 0  # the cache owns the hold now
+                share = kv.init_prompt_shared(prompt, engine.tree)
+                record.kv_hit_tokens = share.hit_tokens
+                record.kv_cow_tokens = share.cow_tokens
+                record.kv_miss_tokens = share.miss_tokens
+                t0 = sim.now
+                yield from engine.ensure_backing()
+                yield sim.timeout(self.platform.timing.kv_activation_alloc)
+                record.data_setup_time = sim.now - t0
+                record.cached_groups = self.cached_groups
+                record.cached_bytes = self.params_region.protected
+                if output_tokens > 0 or share.miss_tokens > 0:
+                    seq = engine.join(
+                        kv,
+                        prompt_tokens,
+                        output_tokens,
+                        gate=preempt,
+                        request_id=request_id,
+                        prefill_tokens=share.miss_tokens,
+                    )
+                    yield seq.done
+                else:
+                    # Fully shared prompt-only request: resident is done.
+                    record.ttft = sim.now - record.started_at
+                    record.first_token_at = sim.now
+            else:
                 lock_request = self._prefill_lock.request()
                 yield lock_request
                 try:
@@ -564,13 +656,38 @@ class LLMTA(TrustedApplication):
                     # and re-loading a protected group would trap.
                     record.cached_groups = self.cached_groups
                     record.cached_bytes = self.params_region.protected
-                    graph = build_prefill_graph(
-                        self.model,
-                        self.container.tensors,
-                        prompt_tokens,
-                        use_npu=self.use_npu,
-                        platform=self.platform,
-                    )
+                    if sharing:
+                        # Take the shared blocks first so the pipeline
+                        # only prices the miss suffix (restoration still
+                        # overlaps what compute remains).
+                        kv = PagedKVCache(
+                            engine.pool, reserved_blocks=reserved, owner=owner
+                        )
+                        reserved = 0
+                        share = kv.init_prompt_shared(prompt, engine.tree)
+                        record.kv_hit_tokens = share.hit_tokens
+                        record.kv_cow_tokens = share.cow_tokens
+                        record.kv_miss_tokens = share.miss_tokens
+                        graph = build_chunked_prefill_graph(
+                            self.model,
+                            self.container.tensors,
+                            max(share.miss_tokens, 1),
+                            context_tokens=(
+                                share.hit_tokens + share.cow_tokens
+                                if share.miss_tokens
+                                else 0
+                            ),
+                            use_npu=self.use_npu,
+                            platform=self.platform,
+                        )
+                    else:
+                        graph = build_prefill_graph(
+                            self.model,
+                            self.container.tensors,
+                            prompt_tokens,
+                            use_npu=self.use_npu,
+                            platform=self.platform,
+                        )
                     pipeline = PrefillPipeline(
                         sim,
                         self.platform,
@@ -595,16 +712,10 @@ class LLMTA(TrustedApplication):
                     self._prefill_lock.release(lock_request)
                 record.ttft = sim.now - record.started_at
                 record.first_token_at = sim.now
-                # Owner attribution for the memory timeline: the tenant
-                # rides in on the cross-world trace context.
-                if request_id is not None:
-                    tenant = getattr(ctx, "tenant", None) or "-"
-                    owner = "%s/r%s" % (tenant, request_id)
-                else:
-                    owner = ""
-                kv = PagedKVCache(engine.pool, reserved_blocks=reserved, owner=owner)
-                reserved = 0  # the cache owns the hold now
-                kv.init_prompt(prompt_tokens)
+                if kv is None:
+                    kv = PagedKVCache(engine.pool, reserved_blocks=reserved, owner=owner)
+                    reserved = 0  # the cache owns the hold now
+                    kv.init_prompt(prompt_tokens)
                 yield from engine.ensure_backing()
                 if output_tokens > 0:
                     seq = engine.join(
@@ -615,16 +726,14 @@ class LLMTA(TrustedApplication):
                         request_id=request_id,
                     )
                     yield seq.done
-            else:
-                record.resumed = True
-                record.ttft = parked.ttft
-                record.first_token_at = parked.first_token_at
-                kv = parked.kv
-                seq = engine.rejoin(parked, gate=preempt)
-                yield seq.done
             if seq is not None:
                 if seq.state == "failed":
                     raise seq.error
+                if record.first_token_at is None and seq.prefill_done_at is not None:
+                    # Chunked in-batch prefill: TTFT anchors on the
+                    # moment the prompt became fully resident.
+                    record.ttft = seq.prefill_done_at - record.started_at
+                    record.first_token_at = seq.prefill_done_at
                 record.decode = seq.result(stopped_early=(seq.state == "evicted"))
                 if seq.state == "evicted":
                     record.preempted = True
@@ -632,12 +741,19 @@ class LLMTA(TrustedApplication):
                         record.parked = True
                         checkpoint = engine.parked[request_id]
                         checkpoint.ttft = record.ttft
-                        checkpoint.first_token_at = (
-                            record.first_token_at
-                            if record.first_token_at is not None
-                            else record.started_at + record.ttft
-                        )
+                        if record.first_token_at is not None:
+                            checkpoint.first_token_at = record.first_token_at
                         parked_out = True
+            if (
+                kv is not None
+                and engine.tree is not None
+                and not parked_out
+                and (seq is None or seq.state == "finished")
+            ):
+                # Publish the prompt-span residencies only after the
+                # miss suffix really prefilled — a faulted or evicted
+                # attempt must not poison the tree.
+                kv.publish(engine.tree)
         finally:
             engine.inflight -= 1
             if reserved:

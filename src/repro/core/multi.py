@@ -148,14 +148,16 @@ class TZLLMMulti:
         output_tokens: int = 0,
         preempt=None,
         ctx=None,
+        prompt=None,
     ):
         """Generator: serve a request on the named model's TA.
 
         ``ctx`` is an optional :class:`~repro.obs.TraceContext` for
-        cross-world flow tracing.
+        cross-world flow tracing; ``prompt`` an optional
+        :class:`~repro.llm.PromptSpec` for the prefix-sharing path.
         """
         record = yield from self.ta(model_id).infer(
-            prompt_tokens, output_tokens, preempt=preempt, ctx=ctx
+            prompt_tokens, output_tokens, preempt=preempt, ctx=ctx, prompt=prompt
         )
         return record
 

@@ -166,17 +166,39 @@ class TZLLM(_SystemBase):
             self.ta.tracer = self.tracer
         self.stack.board.monitor.register("tee.llm.infer", self.ta.infer)
 
-    def infer(self, prompt_tokens: int, output_tokens: int = 0, preempt=None, ctx=None):
+    def infer(
+        self,
+        prompt_tokens: int,
+        output_tokens: int = 0,
+        preempt=None,
+        ctx=None,
+        prompt=None,
+    ):
         """The client application's request path (generator).
 
         ``ctx`` is an optional :class:`~repro.obs.TraceContext` forwarded
         across the SMC into the TA for cross-world flow tracing.
+        ``prompt`` is an optional :class:`~repro.llm.PromptSpec` the TA's
+        prefix-sharing path (``BatchConfig.prefix_sharing``) uses to take
+        shared KV blocks by reference.
         """
         yield self.sim.timeout(self.stack.spec.timing.ta_invoke_latency)
         record = yield from self.stack.tz_driver.invoke_ta(
-            "tee.llm.infer", prompt_tokens, output_tokens, preempt=preempt, ctx=ctx
+            "tee.llm.infer",
+            prompt_tokens,
+            output_tokens,
+            preempt=preempt,
+            ctx=ctx,
+            prompt=prompt,
         )
         return record
+
+    def flush_kv(self):
+        """Drop every cached-but-unreferenced shared KV block (generator):
+        the prefix tree empties and the data region shrinks if the TA is
+        fully drained.  Returns the number of residencies dropped."""
+        dropped = yield from self.ta.flush_kv_cache()
+        return dropped
 
     def warm_cache(self, fraction: float) -> None:
         """Set the cache policy fraction for subsequent releases."""

@@ -14,10 +14,19 @@ from .graph import (
     ComputationGraph,
     ComputeOp,
     build_batched_decode_graph,
+    build_chunked_prefill_graph,
     build_decode_step_graph,
     build_prefill_graph,
 )
-from .kv_cache import BlockCheckpoint, KVBlockPool, KVCache, PagedKVCache
+from .kv_cache import (
+    BlockCheckpoint,
+    KVBlockPool,
+    KVCache,
+    PagedKVCache,
+    PrefixTree,
+    PromptSpec,
+    ShareResult,
+)
 from .models import LLAMA3_8B, MODELS, PHI3_MINI, QWEN25_3B, TINYLLAMA, ModelSpec, get_model
 from .ops import Engine, op_duration, op_duration_with_launch
 from .quantization import dequantize_q8, quantize_q8
@@ -54,14 +63,18 @@ __all__ = [
     "ModelContainer",
     "ModelSpec",
     "NPUBackend",
+    "PrefixTree",
+    "PromptSpec",
     "REEDriverNPUBackend",
     "Sampler",
+    "ShareResult",
     "SamplerConfig",
     "TEECoDriverNPUBackend",
     "TensorMeta",
     "TensorRole",
     "Tokenizer",
     "build_batched_decode_graph",
+    "build_chunked_prefill_graph",
     "build_decode_step_graph",
     "build_prefill_graph",
     "build_tensor_table",

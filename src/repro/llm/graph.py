@@ -28,6 +28,7 @@ __all__ = [
     "ComputeOp",
     "ComputationGraph",
     "build_prefill_graph",
+    "build_chunked_prefill_graph",
     "build_decode_step_graph",
     "build_batched_decode_graph",
 ]
@@ -186,6 +187,41 @@ def build_prefill_graph(
         add("lm_head", eng, -1, head_flops, embed.nominal_bytes, ["token_embd"])
     graph = ComputationGraph(model, ops)
     graph.validate()
+    return graph
+
+
+def build_chunked_prefill_graph(
+    model: ModelSpec,
+    tensors: Sequence[TensorMeta],
+    chunk_tokens: int,
+    context_tokens: int = 0,
+    use_npu: Union[bool, str] = True,
+    platform: Optional[PlatformSpec] = None,
+) -> ComputationGraph:
+    """Prefill ``chunk_tokens`` new tokens on top of ``context_tokens``
+    of already-resident KV (shared-prefix hits, or earlier chunks).
+
+    The matmul/norm work scales with the *chunk* (only new positions
+    project), while self-attention attends from the chunk's queries over
+    the full resident context — flops ``4 * chunk * (context + chunk) *
+    hidden`` and KV bytes over ``context + chunk`` positions.  With
+    ``context_tokens=0`` this degenerates exactly to
+    :func:`build_prefill_graph` on ``chunk_tokens``, which is what makes
+    the miss-suffix prefill of a shared prompt priceable as "a prompt
+    that starts mid-stream"."""
+    if chunk_tokens < 1:
+        raise ConfigurationError("chunk must have at least one token")
+    if context_tokens < 0:
+        raise ConfigurationError("context_tokens must be >= 0")
+    graph = build_prefill_graph(
+        model, tensors, chunk_tokens, use_npu=use_npu, platform=platform
+    )
+    if context_tokens:
+        total = context_tokens + chunk_tokens
+        for op in graph.ops:
+            if op.name.endswith(".attention"):
+                op.flops = 4.0 * chunk_tokens * total * model.hidden
+                op.bytes_touched = total * model.kv_dim * 2
     return graph
 
 

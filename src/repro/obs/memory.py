@@ -65,8 +65,9 @@ class _PoolStats:
 
     __slots__ = (
         "pool", "name", "slot", "block_bytes", "fixed_bytes", "total_blocks",
-        "active", "parked", "reserved", "allocs", "releases", "parks",
-        "restores",
+        "active", "parked", "cached", "refs", "reserved", "allocs",
+        "releases", "parks", "restores", "refs_taken", "cows", "caches",
+        "uncaches",
     )
 
     def __init__(self, pool, name: str, slot: Optional[int], fixed_bytes: int):
@@ -78,12 +79,18 @@ class _PoolStats:
         self.total_blocks = pool.total_blocks
         # Pick up the pool's current state so mid-run attach balances.
         self.parked = pool.parked_blocks
-        self.active = pool.used_blocks - pool.parked_blocks
+        self.active = pool.active_blocks
+        self.cached = pool.cached_blocks
+        self.refs = pool.total_refs
         self.reserved = pool.reserved
         self.allocs = 0
         self.releases = 0
         self.parks = 0
         self.restores = 0
+        self.refs_taken = 0
+        self.cows = 0
+        self.caches = 0
+        self.uncaches = 0
 
 
 def _tenant_of(owner: str) -> str:
@@ -198,15 +205,29 @@ class MemoryTimeline:
         return sum(s.reserved * s.block_bytes for s in self._pools.values())
 
     @property
+    def kv_cached_bytes(self) -> int:
+        """Unreferenced blocks the prefix tree keeps resident."""
+        return sum(s.cached * s.block_bytes for s in self._pools.values())
+
+    @property
+    def shared_bytes(self) -> int:
+        """Block allocations avoided by sharing right now: holder
+        references in excess of the physical blocks backing them."""
+        return sum(
+            max(0, s.refs - s.active - s.parked) * s.block_bytes
+            for s in self._pools.values()
+        )
+
+    @property
     def live_bytes(self) -> int:
         """Bytes whose content is actually in use: resident parameters,
         activation scratch (while its slot is configured), and KV blocks
-        held by sequences (active or parked)."""
+        holding content (active, parked, or cached for reuse)."""
         live = 0
         for slot in self._param_slots:
             live += self._slot_bytes.get(slot, 0)
         for s in self._pools.values():
-            live += (s.active + s.parked) * s.block_bytes
+            live += (s.active + s.parked + s.cached) * s.block_bytes
             if s.slot is None or self._slot_bytes.get(s.slot, 0) > 0:
                 live += s.fixed_bytes
         return live
@@ -297,7 +318,7 @@ class MemoryTimeline:
         now = self.sim.now
         self._advance(now)
         s = self._pools[id(pool)]
-        s.reserved = max(0, s.reserved - blocks)
+        s.reserved -= blocks  # strict mirror: the pool raised on underflow
         self._push(now, "kv", "cancel", s.name, blocks, owner, ())
 
     def note_alloc(self, pool, block: int, owner: str, from_reservation: bool) -> None:
@@ -305,43 +326,116 @@ class MemoryTimeline:
         self._advance(now)
         s = self._pools[id(pool)]
         s.active += 1
+        s.refs += 1
         s.allocs += 1
-        if from_reservation and s.reserved > 0:
+        if from_reservation:
             s.reserved -= 1
         self._tenant_add(owner, s.block_bytes)
         self._push(now, "kv", "alloc", s.name, block, owner, 1 if from_reservation else 0)
 
-    def note_release(self, pool, block: int, owner: str, parked: bool) -> None:
+    def note_release(self, pool, block: int, owner: str, category: str) -> None:
+        """The block actually freed; ``category`` is the accounting
+        bucket it left (active / parked / cached)."""
         now = self.sim.now
         self._advance(now)
         s = self._pools[id(pool)]
         s.releases += 1
-        if parked:
+        if category == "parked":
             s.parked -= 1
+        elif category == "cached":
+            s.cached -= 1
         else:
             s.active -= 1
+        if category != "cached":
+            # The freeing holder carried the last reference; cached
+            # blocks freed by eviction have no holder to debit.
+            s.refs -= 1
+            self._tenant_add(owner, -s.block_bytes)
+        self._push(now, "kv", "release", s.name, block, owner, category)
+
+    def note_ref(self, pool, block: int, owner: str, from_category: str) -> None:
+        """A sharing hit: one more live reference on a held block."""
+        now = self.sim.now
+        self._advance(now)
+        s = self._pools[id(pool)]
+        s.refs += 1
+        s.refs_taken += 1
+        if from_category == "parked":
+            s.parked -= 1
+            s.active += 1
+        elif from_category == "cached":
+            s.cached -= 1
+            s.active += 1
+        self._tenant_add(owner, s.block_bytes)
+        self._push(now, "kv", "ref", s.name, block, owner, from_category)
+
+    def note_unref(
+        self, pool, block: int, owner: str, from_category: str, to_category: str
+    ) -> None:
+        """A reference dropped without freeing the block (other holders
+        or cached residency keep it)."""
+        now = self.sim.now
+        self._advance(now)
+        s = self._pools[id(pool)]
+        s.refs -= 1
+        if from_category != to_category:
+            if from_category == "active":
+                s.active -= 1
+            elif from_category == "parked":
+                s.parked -= 1
+            if to_category == "parked":
+                s.parked += 1
+            elif to_category == "cached":
+                s.cached += 1
         self._tenant_add(owner, -s.block_bytes)
-        self._push(now, "kv", "release", s.name, block, owner, 1 if parked else 0)
+        self._push(
+            now, "kv", "unref", s.name, block, owner, (from_category, to_category)
+        )
 
-    def note_park(self, pool, block_ids: tuple, tokens: int, owner: str) -> None:
+    def note_cow(self, pool, src: int, dst: int, owner: str, tokens: int) -> None:
+        """Copy-on-write divergence (dst's alloc was noted separately)."""
         now = self.sim.now
         self._advance(now)
         s = self._pools[id(pool)]
-        n = len(block_ids)
-        s.active -= n
-        s.parked += n
+        s.cows += 1
+        self._push(now, "kv", "cow", s.name, tokens, owner, (src, dst))
+
+    def note_cache(self, pool, block: int, owner: str) -> None:
+        """The prefix tree published residency on a (held) block."""
+        now = self.sim.now
+        self._advance(now)
+        s = self._pools[id(pool)]
+        s.caches += 1
+        self._push(now, "kv", "cache", s.name, 1, owner, block)
+
+    def note_uncache(self, pool, block: int, owner: str) -> None:
+        """Residency dropped (category moves arrive as release/unref)."""
+        now = self.sim.now
+        self._advance(now)
+        s = self._pools[id(pool)]
+        s.uncaches += 1
+        self._push(now, "kv", "uncache", s.name, 1, owner, block)
+
+    def note_park(self, pool, block_ids: tuple, tokens: int, owner: str, moved: int) -> None:
+        now = self.sim.now
+        self._advance(now)
+        s = self._pools[id(pool)]
+        # ``moved`` counts blocks whose accounting category actually
+        # shifted — under sharing a block stays active while any other
+        # live sequence still references it.
+        s.active -= moved
+        s.parked += moved
         s.parks += 1
-        self._push(now, "kv", "park", s.name, n, owner, block_ids)
+        self._push(now, "kv", "park", s.name, moved, owner, block_ids)
 
-    def note_restore(self, pool, block_ids: tuple, owner: str) -> None:
+    def note_restore(self, pool, block_ids: tuple, owner: str, moved: int) -> None:
         now = self.sim.now
         self._advance(now)
         s = self._pools[id(pool)]
-        n = len(block_ids)
-        s.parked -= n
-        s.active += n
+        s.parked -= moved
+        s.active += moved
         s.restores += 1
-        self._push(now, "kv", "restore", s.name, n, owner, block_ids)
+        self._push(now, "kv", "restore", s.name, moved, owner, block_ids)
 
     # ------------------------------------------------------------------
     # telemetry derivation (pre-scrape hook)
@@ -362,6 +456,14 @@ class MemoryTimeline:
             ),
             "kv_reserved": registry.gauge(
                 "mem_kv_reserved_bytes", "KV bytes promised to admitted requests"
+            ),
+            "kv_cached": registry.gauge(
+                "mem_kv_cached_bytes",
+                "KV bytes kept resident by the prefix tree for reuse",
+            ),
+            "shared": registry.gauge(
+                "mem_shared_bytes",
+                "KV bytes saved right now by shared-prefix block reuse",
             ),
             "stranded": registry.gauge(
                 "mem_stranded_bytes",
@@ -397,6 +499,8 @@ class MemoryTimeline:
         g["kv_live"].set(float(self.kv_live_bytes))
         g["kv_parked"].set(float(self.kv_parked_bytes))
         g["kv_reserved"].set(float(self.kv_reserved_bytes))
+        g["kv_cached"].set(float(self.kv_cached_bytes))
+        g["shared"].set(float(self.shared_bytes))
         g["stranded"].set(float(self.stranded_bytes))
         g["stranded_ratio"].set(self.stranded_ratio)
         for s in self._pools.values():
@@ -431,13 +535,16 @@ class MemoryTimeline:
         ]
         pools = {}
         for s in self._pools.values():
-            used = s.active + s.parked
+            used = s.active + s.parked + s.cached
             pools[s.name] = {
                 "total_blocks": s.total_blocks,
                 "block_bytes": s.block_bytes,
                 "fixed_bytes": s.fixed_bytes,
                 "active_blocks": s.active,
                 "parked_blocks": s.parked,
+                "cached_blocks": s.cached,
+                "refs": s.refs,
+                "shared_saved_blocks": max(0, s.refs - s.active - s.parked),
                 "reserved_blocks": s.reserved,
                 "free_blocks": s.total_blocks - used,
                 "high_water_blocks": s.pool.backing_blocks,
@@ -446,6 +553,10 @@ class MemoryTimeline:
                 "releases": s.releases,
                 "parks": s.parks,
                 "restores": s.restores,
+                "refs_taken": s.refs_taken,
+                "cows": s.cows,
+                "caches": s.caches,
+                "uncaches": s.uncaches,
             }
         regions = {
             self._slot_names.get(slot, "slot%d" % slot): size
@@ -463,6 +574,8 @@ class MemoryTimeline:
                 "kv_live_bytes": self.kv_live_bytes,
                 "kv_parked_bytes": self.kv_parked_bytes,
                 "kv_reserved_bytes": self.kv_reserved_bytes,
+                "kv_cached_bytes": self.kv_cached_bytes,
+                "shared_bytes": self.shared_bytes,
                 "live_bytes": self.live_bytes,
                 "stranded_bytes": self.stranded_bytes,
                 "stranded_byte_seconds": self.stranded_byte_seconds,
@@ -495,17 +608,20 @@ class MemoryTimeline:
         }
         stats_by_name = {s.name: s for s in self._pools.values()}
         region_bytes: Dict[str, int] = {}
-        pool_state: Dict[str, List[int]] = {}  # name -> [active, parked, reserved]
+        # name -> [active, parked, reserved, cached, refs]
+        pool_state: Dict[str, List[int]] = {}
+        category_index = {"active": 0, "parked": 1, "cached": 3}
 
         def counters() -> dict:
             configured = sum(region_bytes.values())
-            kv_live = kv_parked = kv_reserved = live = 0
-            for name, (active, parked, reserved) in pool_state.items():
+            kv_live = kv_parked = kv_reserved = shared = live = 0
+            for name, (active, parked, reserved, cached, refs) in pool_state.items():
                 s = stats_by_name[name]
                 kv_live += active * s.block_bytes
                 kv_parked += parked * s.block_bytes
                 kv_reserved += reserved * s.block_bytes
-                live += (active + parked) * s.block_bytes + s.fixed_bytes
+                shared += max(0, refs - active - parked) * s.block_bytes
+                live += (active + parked + cached) * s.block_bytes + s.fixed_bytes
             for name in param_names:
                 live += region_bytes.get(name, 0)
             return {
@@ -513,6 +629,7 @@ class MemoryTimeline:
                 "kv_live": kv_live,
                 "kv_parked": kv_parked,
                 "kv_reserved": kv_reserved,
+                "shared": shared,
                 "stranded": max(0, configured - live),
             }
 
@@ -525,23 +642,41 @@ class MemoryTimeline:
                 else:
                     continue  # named protect/shrink shadow the slot events
             else:
-                state = pool_state.setdefault(source, [0, 0, 0])
+                state = pool_state.setdefault(source, [0, 0, 0, 0, 0])
                 if op == "reserve":
                     state[2] += amount
                 elif op == "cancel":
                     state[2] = max(0, state[2] - amount)
                 elif op == "alloc":
                     state[0] += 1
+                    state[4] += 1
                     if extra:
                         state[2] = max(0, state[2] - 1)
                 elif op == "release":
-                    state[1 if extra else 0] -= 1
+                    state[category_index.get(extra, 0)] -= 1
+                    if extra != "cached":
+                        state[4] -= 1
+                elif op == "ref":
+                    state[4] += 1
+                    came_from = category_index.get(extra, 0)
+                    if came_from != 0:
+                        state[came_from] -= 1
+                        state[0] += 1
+                elif op == "unref":
+                    state[4] -= 1
+                    came_from = category_index.get(extra[0], 0)
+                    went_to = category_index.get(extra[1], 0)
+                    if came_from != went_to:
+                        state[came_from] -= 1
+                        state[went_to] += 1
                 elif op == "park":
                     state[0] -= amount
                     state[1] += amount
                 elif op == "restore":
                     state[1] -= amount
                     state[0] += amount
+                # cow/cache/uncache: informational; category moves for
+                # those transitions arrive as alloc/release/ref/unref.
             events.append(
                 {
                     "ph": "C", "pid": 1, "tid": _MEM_TID,
@@ -610,8 +745,10 @@ class FleetMemoryView:
       ``(prompt + output) x kv_bytes_per_token``;
     * **parked** — the session cache's resident KV (parked between
       turns, waiting for the next request of a sticky session);
-    * **stranded** — ``configured - params - live - parked``: the
-      high-water slack an elastic mechanism would return to the REE.
+    * **shared** — the resident shared-prefix KV (the device's prefix
+      LRU), the bytes cross-request block reuse keeps warm;
+    * **stranded** — ``configured - params - live - parked - shared``:
+      the high-water slack an elastic mechanism would return to the REE.
 
     Arm it as a collector ``pre_scrape`` hook (``Fleet.
     start_memory_view()``), after which every refresh also advances the
@@ -634,9 +771,9 @@ class FleetMemoryView:
         self.refreshes = 0
         self.host_seconds = 0.0
         self._last_t: Optional[float] = None
-        #: device -> (configured, params, live, parked, stranded) at the
-        #: last refresh (what render_memtop and to_dict read).
-        self.last: Dict[str, Tuple[float, float, float, float, float]] = {}
+        #: device -> (configured, params, live, parked, shared, stranded)
+        #: at the last refresh (what render_memtop and to_dict read).
+        self.last: Dict[str, Tuple[float, float, float, float, float, float]] = {}
         reg = self.registry
         self._g_configured = reg.gauge(
             "fleet_mem_configured_bytes", "Derived secure bytes configured per device"
@@ -646,6 +783,10 @@ class FleetMemoryView:
         )
         self._g_parked = reg.gauge(
             "fleet_mem_kv_parked_bytes", "KV bytes parked in session caches per device"
+        )
+        self._g_shared = reg.gauge(
+            "fleet_mem_shared_bytes",
+            "Resident shared-prefix KV bytes per device",
         )
         self._g_stranded = reg.gauge(
             "fleet_mem_stranded_bytes", "Stranded secure bytes per device"
@@ -675,6 +816,7 @@ class FleetMemoryView:
         g_configured = self._g_configured._values
         g_live = self._g_live._values
         g_parked = self._g_parked._values
+        g_shared = self._g_shared._values
         g_stranded = self._g_stranded._values
         for device_id, device in self.router.devices.items():
             params = 0.0
@@ -702,18 +844,25 @@ class FleetMemoryView:
                 parked += held
                 tenant = session_id.partition("/")[0]
                 tenant_now[tenant] = tenant_now.get(tenant, 0.0) + held
+            shared = 0.0
+            for prefix_id, tokens in device.prefixes.items():
+                held = tokens * self._default_rate
+                shared += held
+                tenant = prefix_id.partition("/")[0]
+                tenant_now[tenant] = tenant_now.get(tenant, 0.0) + held
             high = self.high_water.get(device_id, 0.0)
             if device.lifecycle.state == "down":
                 high = 0.0  # the secure world died; its backing is gone
-            high = max(high, live + parked)
+            high = max(high, live + parked + shared)
             self.high_water[device_id] = high
             configured = params + high
-            stranded = max(0.0, high - live - parked)
-            self.last[device_id] = (configured, params, live, parked, stranded)
+            stranded = max(0.0, high - live - parked - shared)
+            self.last[device_id] = (configured, params, live, parked, shared, stranded)
             key = (("device", device_id),)
             g_configured[key] = configured
             g_live[key] = live
             g_parked[key] = parked
+            g_shared[key] = shared
             g_stranded[key] = stranded
             fleet_configured += configured
             fleet_live += live
@@ -744,10 +893,10 @@ class FleetMemoryView:
 
         mib = 1024.0 * 1024.0
         rows = []
-        totals = [0.0] * 5
+        totals = [0.0] * 6
         for device_id in sorted(self.last):
-            configured, params, live, parked, stranded = self.last[device_id]
-            for i, v in enumerate((configured, params, live, parked, stranded)):
+            configured, params, live, parked, shared, stranded = self.last[device_id]
+            for i, v in enumerate((configured, params, live, parked, shared, stranded)):
                 totals[i] += v
             rows.append(
                 [
@@ -756,6 +905,7 @@ class FleetMemoryView:
                     "%.1f" % (params / mib),
                     "%.1f" % (live / mib),
                     "%.1f" % (parked / mib),
+                    "%.1f" % (shared / mib),
                     "%.1f" % (stranded / mib),
                     "%.0f%%" % (100.0 * stranded / configured if configured else 0.0),
                 ]
@@ -768,11 +918,13 @@ class FleetMemoryView:
                 "%.1f" % (totals[2] / mib),
                 "%.1f" % (totals[3] / mib),
                 "%.1f" % (totals[4] / mib),
-                "%.0f%%" % (100.0 * totals[4] / totals[0] if totals[0] else 0.0),
+                "%.1f" % (totals[5] / mib),
+                "%.0f%%" % (100.0 * totals[5] / totals[0] if totals[0] else 0.0),
             ]
         )
         table = render_table(
-            ["device", "cfg MiB", "params", "kv live", "parked", "stranded", "str%"],
+            ["device", "cfg MiB", "params", "kv live", "parked", "shared",
+             "stranded", "str%"],
             rows,
             title="mem top @ t=%.0fs (stranded integral %.1f GiB*s)"
             % (self.sim.now, self.stranded_byte_seconds / (1024.0 ** 3)),
@@ -795,10 +947,11 @@ class FleetMemoryView:
                     "param_bytes": params,
                     "kv_live_bytes": live,
                     "kv_parked_bytes": parked,
+                    "kv_shared_bytes": shared,
                     "stranded_bytes": stranded,
                     "high_water_bytes": self.high_water.get(device_id, 0.0),
                 }
-                for device_id, (configured, params, live, parked, stranded)
+                for device_id, (configured, params, live, parked, shared, stranded)
                 in sorted(self.last.items())
             },
             "stranded_byte_seconds": self.stranded_byte_seconds,

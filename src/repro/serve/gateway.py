@@ -239,6 +239,7 @@ class ServeGateway:
         priority: Union[PriorityClass, str] = PriorityClass.INTERACTIVE,
         tenant: str = "anon",
         ctx: Optional[TraceContext] = None,
+        prompt_spec=None,
     ) -> ServeRequest:
         """Admit a request at the current simulated time.
 
@@ -249,6 +250,11 @@ class ServeGateway:
         ``ctx`` lets a caller that owns a larger unit of work (the fleet
         router's per-attempt ticket legs) supply the trace identity;
         without it the gateway mints one from its own request id.
+
+        ``prompt_spec`` (a :class:`~repro.llm.PromptSpec`) describes the
+        prompt's shareable structure; with a prefix-sharing TA, dispatch
+        budgets only the predicted non-shared block count and the TA
+        takes matching blocks by reference.
         """
         cls = PriorityClass.parse(priority)
         if model_id is None:
@@ -271,6 +277,7 @@ class ServeGateway:
             arrived_at=now,
             deadline=None if policy.ttft_slo is None else now + policy.ttft_slo,
             completion=self.sim.event(),
+            prompt_spec=prompt_spec,
         )
         request.trace = ctx if ctx is not None else TraceContext(request.request_id, tenant=tenant)
         try:
@@ -479,7 +486,10 @@ class ServeGateway:
             if request is None:
                 return
             if ta is not None and not ta.kv_can_admit(
-                request.prompt_tokens, request.output_tokens, request.request_id
+                request.prompt_tokens,
+                request.output_tokens,
+                request.request_id,
+                spec=request.prompt_spec,
             ):
                 request.kv_blocked = True
                 if lane.kv_blocked_id != request.request_id:
@@ -499,7 +509,12 @@ class ServeGateway:
             lane.kv_blocked_id = -1
             self.admission.pop_next(model_id, self.config.scheduling)
             if ta is not None:
-                ta.kv_reserve(request.request_id, request.prompt_tokens, request.output_tokens)
+                ta.kv_reserve(
+                    request.request_id,
+                    request.prompt_tokens,
+                    request.output_tokens,
+                    spec=request.prompt_spec,
+                )
             if lane.breaker.state != "closed":
                 lane.breaker.on_dispatch()  # this request is the probe
             self.accountant.note_queue_depth(
@@ -698,6 +713,9 @@ class ServeGateway:
 
     def _infer(self, request: ServeRequest, gate: PreemptionGate):
         """Route the CA→TA invocation to the TA hosting the model."""
+        # ``prompt=`` is forwarded only when a spec exists: fleet
+        # surrogate systems implement the bare infer() signature.
+        extra = {} if request.prompt_spec is None else {"prompt": request.prompt_spec}
         if self._multi_model:
             record = yield from self.system.infer(
                 request.model_id,
@@ -705,6 +723,7 @@ class ServeGateway:
                 request.output_tokens,
                 preempt=gate,
                 ctx=request.trace,
+                **extra
             )
         else:
             record = yield from self.system.infer(
@@ -712,6 +731,7 @@ class ServeGateway:
                 request.output_tokens,
                 preempt=gate,
                 ctx=request.trace,
+                **extra
             )
         return record
 

@@ -71,6 +71,11 @@ class ServeRequest:
     ticket: Optional[object] = None
     hedge: bool = False
     spilled_over: bool = False
+    #: shareable prompt structure (:class:`~repro.llm.PromptSpec`),
+    #: forwarded into the TA's prefix-sharing path and used by dispatch
+    #: to budget only the predicted non-shared block count.  None keeps
+    #: the legacy worst-case admission.
+    prompt_spec: Optional[object] = None
     #: cancellation: the router asked the gateway to abandon this attempt
     #: (a hedge lost the race, or its device is draining).  A cancelled
     #: request ends in state ``cancelled`` — neither done nor failed —

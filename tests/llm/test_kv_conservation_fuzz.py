@@ -1,0 +1,185 @@
+"""Property-style conservation fuzz over the refcounted block pool.
+
+Seeded random interleavings of every pool-mutating operation —
+reserve / cancel / shared prefill / publish / decode growth / park /
+restore / release / tree flush — with the pool's own
+``check_conservation`` invariant asserted after *every* step:
+
+    free + active + parked + cached == total
+    total_refs == sum of holder refs, shared_saved >= 0
+
+At drain (everything released, reservations cancelled, tree flushed)
+the pool must be exactly empty: ``free == total`` and
+``kv bytes in use == 0``.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, OutOfMemory
+from repro.llm import TINYLLAMA, KVBlockPool, PagedKVCache, PromptSpec
+from repro.llm.kv_cache import PrefixTree
+
+B = 16
+TOTAL = 48
+
+
+class Harness:
+    """One fuzzed pool with a population of live and parked caches."""
+
+    def __init__(self, rng):
+        self.rng = rng
+        self.pool = KVBlockPool(TINYLLAMA, B, TOTAL)
+        self.tree = PrefixTree(self.pool)
+        self.live = []    # PagedKVCache with an initialized prompt
+        self.parked = []  # (kv, checkpoint)
+        self.reserved_by = {}  # owner -> blocks held in the pool reservation
+        self.serial = 0
+
+    # -- op table ------------------------------------------------------
+    def op_reserve(self):
+        blocks = self.rng.randrange(1, 5)
+        if not self.pool.can_admit(blocks):
+            return
+        owner = "t/r%d" % self.serial
+        self.pool.reserve(blocks, owner=owner)
+        self.reserved_by[owner] = self.reserved_by.get(owner, 0) + blocks
+
+    def op_cancel(self):
+        if not self.reserved_by:
+            return
+        owner = self.rng.choice(sorted(self.reserved_by))
+        blocks = self.reserved_by.pop(owner)
+        self.pool.cancel_reservation(blocks, owner=owner)
+
+    def op_admit(self):
+        self.serial += 1
+        owner = "t/q%d" % self.serial
+        prefix = self.rng.choice([0, B, 2 * B, 2 * B + 5])
+        session = "t/s%d" % self.rng.randrange(4)
+        context = self.rng.choice([0, B, B + 7, 3 * B])
+        new = self.rng.randrange(1, 3 * B)
+        spec = PromptSpec(
+            prefix_id="t/p%d" % self.rng.randrange(3) if prefix else None,
+            prefix_tokens=prefix,
+            session_id=session,
+            context_tokens=context,
+            new_tokens=new,
+        )
+        kv = PagedKVCache(self.pool, owner=owner)
+        try:
+            kv.init_prompt_shared(spec, self.tree)
+        except OutOfMemory:
+            kv.release()
+            return
+        self.live.append(kv)
+
+    def op_publish(self):
+        if self.live:
+            self.rng.choice(self.live).publish(self.tree)
+
+    def op_append(self):
+        if not self.live:
+            return
+        kv = self.rng.choice(self.live)
+        try:
+            kv.ensure_capacity(kv.tokens + self.rng.randrange(1, B + 1))
+        except OutOfMemory:
+            return
+        kv.append_token()
+
+    def op_park(self):
+        if not self.live:
+            return
+        kv = self.rng.choice(self.live)
+        self.live.remove(kv)
+        self.parked.append((kv, kv.park()))
+
+    def op_restore(self):
+        if not self.parked:
+            return
+        kv, checkpoint = self.parked.pop(self.rng.randrange(len(self.parked)))
+        kv.restore(checkpoint)
+        self.live.append(kv)
+
+    def op_release_live(self):
+        if not self.live:
+            return
+        kv = self.live.pop(self.rng.randrange(len(self.live)))
+        kv.release()
+
+    def op_release_parked(self):
+        """Terminal failure while parked: blocks still come back exactly once."""
+        if not self.parked:
+            return
+        kv, _ = self.parked.pop(self.rng.randrange(len(self.parked)))
+        kv.release()
+
+    def op_flush(self):
+        self.tree.flush()
+
+    def drain(self):
+        for kv in self.live:
+            kv.release()
+        for kv, _ in self.parked:
+            kv.release()
+        self.live, self.parked = [], []
+        for owner, blocks in list(self.reserved_by.items()):
+            self.pool.cancel_reservation(blocks, owner=owner)
+        self.reserved_by.clear()
+        self.tree.flush()
+
+
+OPS = [
+    ("reserve", 1),
+    ("cancel", 1),
+    ("admit", 6),
+    ("publish", 3),
+    ("append", 4),
+    ("park", 2),
+    ("restore", 2),
+    ("release_live", 3),
+    ("release_parked", 1),
+    ("flush", 1),
+]
+DECK = [name for name, weight in OPS for _ in range(weight)]
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23, 101, 4242])
+def test_interleaved_ops_conserve_blocks(seed):
+    rng = random.Random(seed)
+    h = Harness(rng)
+    for step in range(400):
+        getattr(h, "op_" + rng.choice(DECK))()
+        h.pool.check_conservation()
+        used = h.pool.active_blocks + h.pool.parked_blocks + h.pool.cached_blocks
+        assert h.pool.free_blocks + used == TOTAL
+        assert h.pool.shared_saved_blocks >= 0
+    h.drain()
+    h.pool.check_conservation()
+    assert h.pool.free_blocks == TOTAL
+    assert h.pool.used_blocks == 0
+    assert h.pool.reserved == 0
+    assert h.pool.total_refs == 0
+
+
+@pytest.mark.parametrize("seed", [3, 77])
+def test_refcounts_match_holder_population(seed):
+    """Cross-check total_refs against an independent holder census."""
+    rng = random.Random(seed)
+    h = Harness(rng)
+    for step in range(250):
+        getattr(h, "op_" + rng.choice(DECK))()
+        census = {}
+        for kv in h.live:
+            for block in kv.block_ids:
+                census[block] = census.get(block, 0) + 1
+        for kv, _ in h.parked:
+            for block in kv.block_ids:
+                census[block] = census.get(block, 0) + 1
+        assert sum(census.values()) == h.pool.total_refs
+        for block, refs in census.items():
+            assert h.pool.refcount(block) == refs
+    h.drain()
+    assert h.pool.total_refs == 0

@@ -102,6 +102,7 @@ def test_faulted_restore_leaves_blocks_parked_then_release_drains():
 
 def test_release_from_parked_returns_every_block_once():
     pool = make_pool()
+    pool.reserve(4, owner="t/r1")  # the hold must really exist (strict)
     kv = PagedKVCache(pool, reserved_blocks=4, owner="t/r1")
     kv.init_prompt(40)  # consumes 3 of the 4 reserved
     kv.park()

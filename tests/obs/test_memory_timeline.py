@@ -87,6 +87,7 @@ def test_pool_conservation_in_export():
     for pool in timeline.to_dict()["pools"].values():
         assert (
             pool["free_blocks"] + pool["active_blocks"] + pool["parked_blocks"]
+            + pool["cached_blocks"]
             == pool["total_blocks"]
         )
         assert pool["allocs"] == pool["releases"]  # fully drained
@@ -154,7 +155,8 @@ def test_chrome_trace_memory_counter_lane():
     assert all(e["tid"] == 90 for e in counters)
     ts = [e["ts"] for e in counters]
     assert ts == sorted(ts)
-    keys = {"configured", "kv_live", "kv_parked", "kv_reserved", "stranded"}
+    keys = {"configured", "kv_live", "kv_parked", "kv_reserved", "shared",
+            "stranded"}
     assert all(set(e["args"]) == keys for e in counters)
     # The replayed lane agrees with the live aggregates at the end.
     final = counters[-1]["args"]
